@@ -1,0 +1,78 @@
+//! Error type for behavioral simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the behavioral simulator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// The input sequence is empty; at least one pass is required to derive
+    /// statistics.
+    NoInputPasses,
+    /// An input pass does not provide one value per primary input.
+    InputArityMismatch {
+        /// Index of the offending pass.
+        pass: usize,
+        /// Number of primary inputs the design declares.
+        expected: usize,
+        /// Number of values provided.
+        found: usize,
+    },
+    /// A loop exceeded its iteration bound, which usually means the exit
+    /// condition can never become false for the given inputs.
+    IterationLimit {
+        /// Label of the runaway loop.
+        label: String,
+        /// The bound that was hit.
+        limit: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoInputPasses => write!(f, "at least one input pass is required"),
+            SimError::InputArityMismatch {
+                pass,
+                expected,
+                found,
+            } => write!(
+                f,
+                "input pass {pass} provides {found} values but the design has {expected} primary inputs"
+            ),
+            SimError::IterationLimit { label, limit } => write!(
+                f,
+                "loop `{label}` exceeded the iteration bound of {limit} iterations"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = SimError::InputArityMismatch {
+            pass: 3,
+            expected: 2,
+            found: 1,
+        };
+        assert!(e.to_string().contains("pass 3"));
+        assert!(SimError::NoInputPasses.to_string().contains("at least one"));
+        let e = SimError::IterationLimit {
+            label: "loop0".to_string(),
+            limit: 4096,
+        };
+        assert!(e.to_string().contains("loop0"));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<SimError>();
+    }
+}

@@ -1,0 +1,187 @@
+//! Execution traces: the per-operation signal traces produced by one
+//! behavioral simulation.
+
+use std::collections::HashMap;
+
+use impact_cdfg::{NodeId, VarId};
+
+use crate::profile::{BranchStats, ControlProfile, LoopStats};
+
+/// One executed operation: the paper's trace row "inputs | output" for one
+/// dynamic occurrence of a CDFG node.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OpEvent {
+    /// The executed node.
+    pub node: NodeId,
+    /// Input operand values, in port order (for `Select` nodes the third
+    /// entry is the condition value).
+    pub inputs: Vec<i64>,
+    /// Result value.
+    pub output: i64,
+    /// Index of the input pass during which the event occurred.
+    pub pass: u32,
+    /// Global dynamic order of the event within the whole simulation.
+    pub sequence: u32,
+}
+
+/// Everything recorded by one behavioral simulation.
+///
+/// The trace owns the per-operation events in dynamic execution order, the
+/// per-variable write sequences, the control-flow profile and the
+/// primary-output values of every pass.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ExecutionTrace {
+    events: Vec<OpEvent>,
+    per_node: HashMap<NodeId, Vec<usize>>,
+    var_writes: HashMap<VarId, Vec<i64>>,
+    profile: ControlProfile,
+    outputs: Vec<HashMap<VarId, i64>>,
+    passes: u32,
+}
+
+impl ExecutionTrace {
+    pub(crate) fn new(
+        events: Vec<OpEvent>,
+        var_writes: HashMap<VarId, Vec<i64>>,
+        profile: ControlProfile,
+        outputs: Vec<HashMap<VarId, i64>>,
+        passes: u32,
+    ) -> Self {
+        let mut per_node: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        for (index, event) in events.iter().enumerate() {
+            per_node.entry(event.node).or_default().push(index);
+        }
+        Self {
+            events,
+            per_node,
+            var_writes,
+            profile,
+            outputs,
+            passes,
+        }
+    }
+
+    /// All events in dynamic execution order.
+    pub fn events(&self) -> &[OpEvent] {
+        &self.events
+    }
+
+    /// Events of one node, in dynamic execution order (the paper's
+    /// `TR(op_i)` trace for that operation).
+    pub fn events_for(&self, node: NodeId) -> Vec<&OpEvent> {
+        self.per_node
+            .get(&node)
+            .map(|idx| idx.iter().map(|&i| &self.events[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of times a node executed across the whole simulation.
+    pub fn execution_count(&self, node: NodeId) -> usize {
+        self.per_node.get(&node).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Average number of executions of a node per input pass.
+    pub fn executions_per_pass(&self, node: NodeId) -> f64 {
+        self.execution_count(node) as f64 / f64::from(self.passes.max(1))
+    }
+
+    /// Sequence of values written to a variable across the simulation
+    /// (the register trace of the register holding that variable).
+    pub fn variable_writes(&self, var: VarId) -> &[i64] {
+        self.var_writes.get(&var).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Control-flow statistics (branch probabilities, loop trip counts).
+    pub fn profile(&self) -> &ControlProfile {
+        &self.profile
+    }
+
+    /// Statistics of the branch with the given preorder index.
+    pub fn branch(&self, index: usize) -> BranchStats {
+        self.profile.branch(index)
+    }
+
+    /// Statistics of the loop with the given label.
+    pub fn loop_stats(&self, label: &str) -> LoopStats {
+        self.profile.loop_stats(label)
+    }
+
+    /// Number of simulated input passes.
+    pub fn passes(&self) -> u32 {
+        self.passes
+    }
+
+    /// Value committed to primary output `var` during `pass`, if any.
+    pub fn output(&self, pass: usize, var: VarId) -> Option<i64> {
+        self.outputs.get(pass).and_then(|m| m.get(&var).copied())
+    }
+
+    /// All outputs committed during `pass`.
+    pub fn outputs(&self, pass: usize) -> Option<&HashMap<VarId, i64>> {
+        self.outputs.get(pass)
+    }
+
+    /// Total number of recorded operation events.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(node: usize, seq: u32, output: i64) -> OpEvent {
+        OpEvent {
+            node: NodeId::new(node),
+            inputs: vec![output - 1, 1],
+            output,
+            pass: 0,
+            sequence: seq,
+        }
+    }
+
+    #[test]
+    fn per_node_indexing_preserves_order() {
+        let events = vec![event(0, 0, 1), event(1, 1, 2), event(0, 2, 3)];
+        let trace = ExecutionTrace::new(
+            events,
+            HashMap::new(),
+            ControlProfile::default(),
+            vec![HashMap::new()],
+            1,
+        );
+        let n0 = trace.events_for(NodeId::new(0));
+        assert_eq!(n0.len(), 2);
+        assert!(n0[0].sequence < n0[1].sequence);
+        assert_eq!(trace.execution_count(NodeId::new(1)), 1);
+        assert_eq!(trace.execution_count(NodeId::new(9)), 0);
+        assert_eq!(trace.event_count(), 3);
+    }
+
+    #[test]
+    fn executions_per_pass_divides_by_pass_count() {
+        let events = vec![event(0, 0, 1), event(0, 1, 2), event(0, 2, 3), event(0, 3, 4)];
+        let trace = ExecutionTrace::new(
+            events,
+            HashMap::new(),
+            ControlProfile::default(),
+            vec![HashMap::new(), HashMap::new()],
+            2,
+        );
+        assert!((trace.executions_per_pass(NodeId::new(0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_variable_has_empty_writes() {
+        let trace = ExecutionTrace::new(
+            vec![],
+            HashMap::new(),
+            ControlProfile::default(),
+            vec![],
+            1,
+        );
+        assert!(trace.variable_writes(VarId::new(0)).is_empty());
+        assert!(trace.output(0, VarId::new(0)).is_none());
+    }
+}

@@ -1,0 +1,188 @@
+//! Control-flow statistics gathered during behavioral simulation: branch
+//! probabilities and loop trip counts.
+//!
+//! Branches are identified by their **preorder index**: a depth-first walk of
+//! the region tree that visits, for every `Branch` region, the branch itself,
+//! then its then-side, then its else-side, and for every `Loop` region its
+//! header followed by its body. Both the simulator and the schedulers use the
+//! same walk, so the indices agree by construction; [`branch_count`] returns
+//! the number of indices a design has.
+
+use std::collections::HashMap;
+
+use impact_cdfg::Region;
+
+/// Taken/not-taken counts for one branch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BranchStats {
+    /// Times the condition evaluated true.
+    pub taken: u64,
+    /// Times the condition evaluated false.
+    pub not_taken: u64,
+}
+
+impl BranchStats {
+    /// Probability that the branch is taken; 0.5 when never executed.
+    pub fn probability_taken(&self) -> f64 {
+        let total = self.taken + self.not_taken;
+        if total == 0 {
+            0.5
+        } else {
+            self.taken as f64 / total as f64
+        }
+    }
+
+    /// Total number of times the branch was evaluated.
+    pub fn executions(&self) -> u64 {
+        self.taken + self.not_taken
+    }
+}
+
+/// Entry/iteration counts for one loop.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LoopStats {
+    /// Times the loop was entered (its header reached from outside).
+    pub entries: u64,
+    /// Total body iterations across all entries.
+    pub iterations: u64,
+}
+
+impl LoopStats {
+    /// Average number of body iterations per entry; 0 when never entered.
+    pub fn average_iterations(&self) -> f64 {
+        if self.entries == 0 {
+            0.0
+        } else {
+            self.iterations as f64 / self.entries as f64
+        }
+    }
+}
+
+/// Aggregated control-flow statistics for one simulation run.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ControlProfile {
+    branches: Vec<BranchStats>,
+    loops: HashMap<String, LoopStats>,
+}
+
+impl ControlProfile {
+    /// Creates a profile with `branch_slots` branch counters.
+    pub fn with_branches(branch_slots: usize) -> Self {
+        Self {
+            branches: vec![BranchStats::default(); branch_slots],
+            loops: HashMap::new(),
+        }
+    }
+
+    /// Records one evaluation of the branch with preorder index `index`.
+    pub fn record_branch(&mut self, index: usize, taken: bool) {
+        if index >= self.branches.len() {
+            self.branches.resize(index + 1, BranchStats::default());
+        }
+        let stats = &mut self.branches[index];
+        if taken {
+            stats.taken += 1;
+        } else {
+            stats.not_taken += 1;
+        }
+    }
+
+    /// Records one completed execution of the loop labelled `label` that ran
+    /// `iterations` body iterations.
+    pub fn record_loop(&mut self, label: &str, iterations: u64) {
+        let stats = self.loops.entry(label.to_string()).or_default();
+        stats.entries += 1;
+        stats.iterations += iterations;
+    }
+
+    /// Statistics for the branch with preorder index `index`.
+    pub fn branch(&self, index: usize) -> BranchStats {
+        self.branches.get(index).copied().unwrap_or_default()
+    }
+
+    /// Number of branch slots known to this profile.
+    pub fn branch_slots(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Statistics for the loop labelled `label`.
+    pub fn loop_stats(&self, label: &str) -> LoopStats {
+        self.loops.get(label).copied().unwrap_or_default()
+    }
+
+    /// Iterates over `(label, stats)` for every loop observed.
+    pub fn loops(&self) -> impl Iterator<Item = (&str, LoopStats)> {
+        self.loops.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+/// Number of `Branch` regions in a region forest, in the preorder used for
+/// branch indices.
+pub fn branch_count(regions: &[Region]) -> usize {
+    fn walk(regions: &[Region]) -> usize {
+        let mut count = 0;
+        for region in regions {
+            match region {
+                Region::Block(_) => {}
+                Region::Branch {
+                    then_regions,
+                    else_regions,
+                    ..
+                } => {
+                    count += 1 + walk(then_regions) + walk(else_regions);
+                }
+                Region::Loop(info) => {
+                    count += walk(&info.header) + walk(&info.body);
+                }
+            }
+        }
+        count
+    }
+    walk(regions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_probability_defaults_to_half() {
+        assert!((BranchStats::default().probability_taken() - 0.5).abs() < 1e-12);
+        let s = BranchStats {
+            taken: 3,
+            not_taken: 1,
+        };
+        assert!((s.probability_taken() - 0.75).abs() < 1e-12);
+        assert_eq!(s.executions(), 4);
+    }
+
+    #[test]
+    fn loop_average_handles_zero_entries() {
+        assert_eq!(LoopStats::default().average_iterations(), 0.0);
+        let s = LoopStats {
+            entries: 4,
+            iterations: 10,
+        };
+        assert!((s.average_iterations() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_records_and_resizes() {
+        let mut p = ControlProfile::with_branches(1);
+        p.record_branch(0, true);
+        p.record_branch(3, false);
+        assert_eq!(p.branch(0).taken, 1);
+        assert_eq!(p.branch(3).not_taken, 1);
+        assert_eq!(p.branch_slots(), 4);
+        p.record_loop("l", 7);
+        p.record_loop("l", 3);
+        assert!((p.loop_stats("l").average_iterations() - 5.0).abs() < 1e-12);
+        assert_eq!(p.loops().count(), 1);
+    }
+
+    #[test]
+    fn unknown_loop_has_default_stats() {
+        let p = ControlProfile::default();
+        assert_eq!(p.loop_stats("nope").entries, 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Times one Figure 13 design point (area-optimized + power-optimized
+//! synthesis at one laxity) per benchmark. Regenerating the whole figure is
+//! `cargo run -p impact-bench --bin fig13`; this bench tracks how expensive
+//! one sweep point is.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use impact_bench::{prepare, run};
+use impact_core::SynthesisConfig;
+
+fn fig13_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_point");
+    group.sample_size(10);
+    for name in ["gcd", "dealer", "cordic"] {
+        let bench = impact_benchmarks::by_name(name).expect("benchmark exists");
+        let (cdfg, trace) = prepare(&bench, 16, 7);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let area = run(&cdfg, &trace, SynthesisConfig::area_optimized(2.0));
+                let power = run(&cdfg, &trace, SynthesisConfig::power_optimized(2.0));
+                std::hint::black_box((area.report.power_mw, power.report.power_mw))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig13_point);
+criterion_main!(benches);

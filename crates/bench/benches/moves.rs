@@ -1,0 +1,40 @@
+//! Times one full design-point evaluation (schedule + trace manipulation +
+//! power estimate + Vdd scaling) and one cheap fixed-supply evaluation — the
+//! two operations the iterative-improvement inner loop performs per candidate
+//! move.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use impact_bench::prepare;
+use impact_core::{Evaluator, SynthesisConfig};
+use impact_modlib::{ModuleLibrary, VDD_REFERENCE};
+use impact_rtl::RtlDesign;
+
+fn evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("move_evaluation");
+    for name in ["gcd", "loops", "x25_send"] {
+        let bench = impact_benchmarks::by_name(name).expect("benchmark exists");
+        let (cdfg, trace) = prepare(&bench, 16, 7);
+        let evaluator = Evaluator::new(&cdfg, &trace, SynthesisConfig::power_optimized(2.0)).unwrap();
+        let library = ModuleLibrary::standard();
+        let design = RtlDesign::initial_parallel(&cdfg, &library);
+        group.bench_function(format!("full_with_vdd_search/{name}"), |b| {
+            b.iter(|| std::hint::black_box(evaluator.evaluate(&design).unwrap().unwrap().vdd))
+        });
+        group.bench_function(format!("fixed_supply/{name}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    evaluator
+                        .evaluate_at_vdd(&design, VDD_REFERENCE)
+                        .unwrap()
+                        .unwrap()
+                        .power
+                        .total_mw(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, evaluation);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Times the baseline and Wavesched schedulers on every benchmark
+//! (the scheduling step runs inside every move evaluation, so its cost
+//! dominates the synthesis runtime).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use impact_bench::prepare;
+use impact_sched::{uniform_problem, BaselineScheduler, Scheduler, WaveScheduler};
+
+fn schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling");
+    for bench in impact_benchmarks::all_benchmarks() {
+        let (cdfg, trace) = prepare(&bench, 16, 7);
+        let problem = uniform_problem(&cdfg, trace.profile());
+        group.bench_function(format!("baseline/{}", bench.name), |b| {
+            b.iter(|| std::hint::black_box(BaselineScheduler::new().schedule(&problem).unwrap().enc))
+        });
+        group.bench_function(format!("wavesched/{}", bench.name), |b| {
+            b.iter(|| std::hint::black_box(WaveScheduler::new().schedule(&problem).unwrap().enc))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, schedulers);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Times trace manipulation: behavioral simulation (done once) versus the
+//! per-move trace merging and statistics extraction it amortizes
+//! (Section 2.3's motivation for avoiding re-simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use impact_behsim::simulate;
+use impact_modlib::ModuleLibrary;
+use impact_rtl::RtlDesign;
+use impact_trace::RtTraces;
+
+fn trace_manipulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_manipulation");
+    let bench = impact_benchmarks::gcd();
+    let cdfg = bench.compile().unwrap();
+    let inputs = bench.input_sequences(48, 7);
+
+    group.bench_function("behavioral_simulation_48_passes", |b| {
+        b.iter(|| std::hint::black_box(simulate(&cdfg, &inputs).unwrap().event_count()))
+    });
+
+    let trace = simulate(&cdfg, &inputs).unwrap();
+    let library = ModuleLibrary::standard();
+    let mut design = RtlDesign::initial_parallel(&cdfg, &library);
+    let adders = design.units_of_class(impact_cdfg::OpClass::AddSub);
+    design.share_fus(adders[0], adders[1]).unwrap();
+
+    group.bench_function("merge_shared_adder_trace", |b| {
+        let rt = RtTraces::new(&cdfg, &design, &trace);
+        b.iter(|| std::hint::black_box(rt.merged_fu_events(adders[0]).len()))
+    });
+
+    group.bench_function("mux_statistics_all_sites", |b| {
+        let rt = RtTraces::new(&cdfg, &design, &trace);
+        let sites = design.mux_sites(&cdfg);
+        b.iter(|| {
+            let total: f64 = sites
+                .iter()
+                .map(|s| rt.mux_source_stats(s).iter().map(|m| m.ap()).sum::<f64>())
+                .sum();
+            std::hint::black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, trace_manipulation);
+criterion_main!(benches);

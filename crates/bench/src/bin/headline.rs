@@ -1,0 +1,44 @@
+//! Regenerates the headline numbers of the abstract and Section 4:
+//! per-benchmark maximum power reduction versus the 5 V area-optimized base,
+//! versus the Vdd-scaled area-optimized designs, the area overhead, and the
+//! multiplexer power share of the area-optimized designs.
+
+use impact_bench::{figure13_series, prepare, quick_laxities, run, DEFAULT_PASSES};
+use impact_core::SynthesisConfig;
+
+fn main() {
+    let laxities = quick_laxities();
+    println!("IMPACT headline results ({} laxity points, {} passes)", laxities.len(), DEFAULT_PASSES);
+    println!(
+        "{:>10} {:>16} {:>18} {:>14} {:>12}",
+        "benchmark", "vs base (x)", "vs A-Power (x)", "area ovhd (%)", "mux share (%)"
+    );
+    let mut worst_base = 0.0f64;
+    let mut worst_apower = 0.0f64;
+    let mut worst_area = 0.0f64;
+    for bench in impact_benchmarks::all_benchmarks() {
+        let series = figure13_series(&bench, &laxities, DEFAULT_PASSES);
+        // Mux power share of the laxity-1 area-optimized design (the paper's
+        // ">40% of total power" motivation for the restructuring move).
+        let (cdfg, trace) = prepare(&bench, DEFAULT_PASSES, impact_bench::DEFAULT_SEED);
+        let area_opt = run(&cdfg, &trace, SynthesisConfig::area_optimized(1.0));
+        let mux_share = area_opt.report.breakdown.mux_share();
+        println!(
+            "{:>10} {:>16.2} {:>18.2} {:>14.0} {:>12.0}",
+            series.benchmark,
+            series.max_reduction_vs_base(),
+            series.max_reduction_vs_a_power(),
+            100.0 * series.max_area_overhead(),
+            100.0 * mux_share,
+        );
+        worst_base = worst_base.max(series.max_reduction_vs_base());
+        worst_apower = worst_apower.max(series.max_reduction_vs_a_power());
+        worst_area = worst_area.max(series.max_area_overhead());
+    }
+    println!();
+    println!("Paper:    up to 6.7x vs base, up to 2.6x vs A-Power, <=30% area overhead");
+    println!(
+        "Measured: up to {worst_base:.1}x vs base, up to {worst_apower:.1}x vs A-Power, <= {:.0}% area overhead",
+        100.0 * worst_area
+    );
+}

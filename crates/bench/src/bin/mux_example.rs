@@ -1,0 +1,60 @@
+//! Regenerates the worked multiplexer-restructuring example of Section 3.2.1
+//! (Figures 8–10): the balanced tree has switching activity 1.09, the
+//! restructured tree 0.72 (a 34 % reduction), and removing one mux stage from
+//! the most probable path brings it back under the 15 ns clock.
+
+use impact_modlib::{ModuleLibrary, CHAINING_OVERHEAD, DEFAULT_CLOCK_NS};
+use impact_rtl::{MuxSource, MuxTree};
+
+fn main() {
+    // Relative switching activities and branch probabilities quoted in the
+    // paper for the four branches of the Figure 8 CDFG.
+    let sources = vec![
+        MuxSource::new("e1", 0.6, 0.7),
+        MuxSource::new("e2", 0.1, 0.2),
+        MuxSource::new("e3", 0.2, 0.05),
+        MuxSource::new("e4", 0.1, 0.05),
+    ];
+    let balanced = MuxTree::balanced(sources.clone());
+    let restructured = MuxTree::huffman(sources);
+
+    println!("Multiplexer-tree restructuring example (paper Section 3.2.1)");
+    println!();
+    println!("input  activity  probability  depth(balanced)  depth(restructured)");
+    for (i, s) in balanced.sources().iter().enumerate() {
+        println!(
+            "{:>5} {:>9.2} {:>12.2} {:>16} {:>20}",
+            s.label,
+            s.activity,
+            s.probability,
+            balanced.depth_of(i).unwrap_or(0),
+            restructured.depth_of(i).unwrap_or(0)
+        );
+    }
+    println!();
+    let a_bal = balanced.switching_activity();
+    let a_res = restructured.switching_activity();
+    println!("balanced tree activity      : {a_bal:.2}   (paper: 1.09)");
+    println!("restructured tree activity  : {a_res:.2}   (paper: 0.72)");
+    println!(
+        "activity reduction          : {:.0}%  (paper: 34%)",
+        100.0 * (1.0 - a_res / a_bal)
+    );
+
+    // Path-delay consequence: the most probable branch (e1) chains two adders
+    // and then traverses the mux tree before reaching the output register.
+    let lib = ModuleLibrary::standard();
+    let adder = lib.fastest(impact_cdfg::OpClass::AddSub).expect("adders exist").delay_ns;
+    let mux = lib.mux2().delay_ns;
+    let chained_adder = adder * CHAINING_OVERHEAD;
+    let balanced_path = adder + chained_adder + mux * balanced.depth_of(0).unwrap_or(0) as f64;
+    let restructured_path = adder + chained_adder + mux * restructured.depth_of(0).unwrap_or(0) as f64;
+    println!();
+    println!("most probable path, balanced     : {balanced_path:.1} ns (clock {DEFAULT_CLOCK_NS} ns) -> {} cycle(s)",
+        (balanced_path / DEFAULT_CLOCK_NS).ceil());
+    println!("most probable path, restructured : {restructured_path:.1} ns (clock {DEFAULT_CLOCK_NS} ns) -> {} cycle(s)",
+        (restructured_path / DEFAULT_CLOCK_NS).ceil());
+    println!();
+    println!("Paper's switch-level measurement: 10.1 mW (balanced) vs 6.0 mW (restructured).");
+    println!("Shape reproduced: lower tree activity plus the saved cycle enables Vdd scaling.");
+}

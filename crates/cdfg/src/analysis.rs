@@ -1,0 +1,299 @@
+//! Structural analyses over CDFGs used by the schedulers and the synthesis
+//! engine: dependence information, mutual exclusion of operations, and
+//! as-soon-as-possible levels.
+
+use std::collections::HashMap;
+
+use crate::graph::Cdfg;
+use crate::id::NodeId;
+use crate::region::Region;
+
+/// Same-iteration and loop-carried dependence relations between nodes.
+///
+/// ```
+/// use impact_cdfg::{analysis::DependenceInfo, CdfgBuilder, Operation, ValueRef};
+///
+/// # fn main() -> Result<(), impact_cdfg::CdfgError> {
+/// let mut b = CdfgBuilder::new("dep");
+/// let a = b.input("a", 8);
+/// let t = b.binary(Operation::Add, ValueRef::Var(a), ValueRef::Const(1), "t")?;
+/// b.binary(Operation::Mul, ValueRef::Var(t), ValueRef::Const(2), "u")?;
+/// let g = b.finish()?;
+/// let deps = DependenceInfo::compute(&g);
+/// assert_eq!(deps.predecessors(impact_cdfg::NodeId::new(1)).len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct DependenceInfo {
+    preds: Vec<Vec<NodeId>>,
+    succs: Vec<Vec<NodeId>>,
+    carried_preds: Vec<Vec<NodeId>>,
+}
+
+impl DependenceInfo {
+    /// Computes dependence information for every node of `cdfg`.
+    pub fn compute(cdfg: &Cdfg) -> Self {
+        let n = cdfg.node_count();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        let mut carried_preds = vec![Vec::new(); n];
+        for (id, _) in cdfg.nodes() {
+            let p = cdfg.data_predecessors(id);
+            for &pre in &p {
+                succs[pre.index()].push(id);
+            }
+            preds[id.index()] = p;
+            carried_preds[id.index()] = cdfg.loop_carried_predecessors(id);
+        }
+        for list in preds.iter_mut().chain(succs.iter_mut()).chain(carried_preds.iter_mut()) {
+            list.sort_unstable();
+            list.dedup();
+        }
+        Self {
+            preds,
+            succs,
+            carried_preds,
+        }
+    }
+
+    /// Same-iteration predecessors of a node.
+    pub fn predecessors(&self, node: NodeId) -> &[NodeId] {
+        &self.preds[node.index()]
+    }
+
+    /// Same-iteration successors of a node.
+    pub fn successors(&self, node: NodeId) -> &[NodeId] {
+        &self.succs[node.index()]
+    }
+
+    /// Predecessors reached through a loop back-edge.
+    pub fn loop_carried_predecessors(&self, node: NodeId) -> &[NodeId] {
+        &self.carried_preds[node.index()]
+    }
+}
+
+/// Identifies, for every node, the chain of enclosing regions, and answers
+/// mutual-exclusion queries ("can these two operations ever execute in the
+/// same pass?"): two nodes on opposite sides of the same branch are mutually
+/// exclusive, which makes them prime candidates for resource sharing.
+#[derive(Clone, Debug)]
+pub struct ExclusionInfo {
+    /// For each node, the list of (branch identifier, side) pairs on its
+    /// region path. Branches are identified by a dense index assigned during
+    /// traversal.
+    paths: HashMap<NodeId, Vec<(usize, bool)>>,
+}
+
+impl ExclusionInfo {
+    /// Computes branch-path information for every node of `cdfg`.
+    pub fn compute(cdfg: &Cdfg) -> Self {
+        let mut paths = HashMap::new();
+        let mut counter = 0usize;
+        fn walk(
+            regions: &[Region],
+            stack: &mut Vec<(usize, bool)>,
+            counter: &mut usize,
+            paths: &mut HashMap<NodeId, Vec<(usize, bool)>>,
+        ) {
+            for region in regions {
+                match region {
+                    Region::Block(nodes) => {
+                        for &n in nodes {
+                            paths.insert(n, stack.clone());
+                        }
+                    }
+                    Region::Branch {
+                        then_regions,
+                        else_regions,
+                        selects,
+                        ..
+                    } => {
+                        let id = *counter;
+                        *counter += 1;
+                        stack.push((id, true));
+                        walk(then_regions, stack, counter, paths);
+                        stack.pop();
+                        stack.push((id, false));
+                        walk(else_regions, stack, counter, paths);
+                        stack.pop();
+                        for &n in selects {
+                            paths.insert(n, stack.clone());
+                        }
+                    }
+                    Region::Loop(info) => {
+                        walk(&info.header, stack, counter, paths);
+                        walk(&info.body, stack, counter, paths);
+                        for &n in &info.end_nodes {
+                            paths.insert(n, stack.clone());
+                        }
+                    }
+                }
+            }
+        }
+        walk(cdfg.regions(), &mut Vec::new(), &mut counter, &mut paths);
+        Self { paths }
+    }
+
+    /// Returns `true` when `a` and `b` lie on opposite sides of some branch
+    /// and therefore can never execute in the same pass through that branch.
+    pub fn mutually_exclusive(&self, a: NodeId, b: NodeId) -> bool {
+        let (Some(pa), Some(pb)) = (self.paths.get(&a), self.paths.get(&b)) else {
+            return false;
+        };
+        for &(branch_a, side_a) in pa {
+            for &(branch_b, side_b) in pb {
+                if branch_a == branch_b && side_a != side_b {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Branch-nesting depth of a node (0 for unconditional code).
+    pub fn nesting_depth(&self, node: NodeId) -> usize {
+        self.paths.get(&node).map(Vec::len).unwrap_or(0)
+    }
+}
+
+/// As-soon-as-possible (ASAP) level of every node: the length of the longest
+/// chain of same-iteration dependences ending at the node. Used as the list
+/// scheduling priority and for critical-path estimates.
+pub fn asap_levels(cdfg: &Cdfg) -> Vec<u32> {
+    let deps = DependenceInfo::compute(cdfg);
+    let n = cdfg.node_count();
+    let mut levels = vec![0u32; n];
+    // The region tree lists nodes in program order, which is a topological
+    // order of the same-iteration dependence graph by construction.
+    let order = crate::region::collect_all_nodes(cdfg.regions());
+    for node in order {
+        let level = deps
+            .predecessors(node)
+            .iter()
+            .map(|p| levels[p.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        levels[node.index()] = level;
+    }
+    levels
+}
+
+/// Length (in dependence levels) of the critical path of the graph.
+pub fn critical_path_levels(cdfg: &Cdfg) -> u32 {
+    asap_levels(cdfg).into_iter().max().map(|l| l + 1).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CdfgBuilder;
+    use crate::graph::ValueRef;
+    use crate::op::Operation;
+
+    fn branchy() -> (Cdfg, NodeId, NodeId) {
+        let mut b = CdfgBuilder::new("branchy");
+        let a = b.input("a", 8);
+        let c = b
+            .binary(Operation::Gt, ValueRef::Var(a), ValueRef::Const(0), "c")
+            .unwrap();
+        b.begin_branch(ValueRef::Var(c));
+        b.binary(Operation::Add, ValueRef::Var(a), ValueRef::Const(1), "x")
+            .unwrap();
+        b.begin_else();
+        b.binary(Operation::Sub, ValueRef::Var(a), ValueRef::Const(1), "x")
+            .unwrap();
+        b.end_branch();
+        let g = b.finish().unwrap();
+        let add = g
+            .nodes()
+            .find(|(_, n)| n.operation == Operation::Add)
+            .map(|(id, _)| id)
+            .unwrap();
+        let sub = g
+            .nodes()
+            .find(|(_, n)| n.operation == Operation::Sub)
+            .map(|(id, _)| id)
+            .unwrap();
+        (g, add, sub)
+    }
+
+    #[test]
+    fn opposite_branch_sides_are_mutually_exclusive() {
+        let (g, add, sub) = branchy();
+        let excl = ExclusionInfo::compute(&g);
+        assert!(excl.mutually_exclusive(add, sub));
+        assert!(!excl.mutually_exclusive(add, add));
+        assert_eq!(excl.nesting_depth(add), 1);
+    }
+
+    #[test]
+    fn unconditional_nodes_are_not_exclusive() {
+        let (g, add, _) = branchy();
+        let excl = ExclusionInfo::compute(&g);
+        let cmp = g
+            .nodes()
+            .find(|(_, n)| n.operation == Operation::Gt)
+            .map(|(id, _)| id)
+            .unwrap();
+        assert!(!excl.mutually_exclusive(cmp, add));
+        assert_eq!(excl.nesting_depth(cmp), 0);
+    }
+
+    #[test]
+    fn asap_levels_follow_dependence_chains() {
+        let mut b = CdfgBuilder::new("chain");
+        let a = b.input("a", 8);
+        let t1 = b
+            .binary(Operation::Add, ValueRef::Var(a), ValueRef::Const(1), "t1")
+            .unwrap();
+        let t2 = b
+            .binary(Operation::Add, ValueRef::Var(t1), ValueRef::Const(1), "t2")
+            .unwrap();
+        b.binary(Operation::Add, ValueRef::Var(t2), ValueRef::Const(1), "t3")
+            .unwrap();
+        let g = b.finish().unwrap();
+        let levels = asap_levels(&g);
+        assert_eq!(levels, vec![0, 1, 2]);
+        assert_eq!(critical_path_levels(&g), 3);
+    }
+
+    #[test]
+    fn dependence_info_reports_successors() {
+        let (g, _, _) = branchy();
+        let deps = DependenceInfo::compute(&g);
+        let cmp = g
+            .nodes()
+            .find(|(_, n)| n.operation == Operation::Gt)
+            .map(|(id, _)| id)
+            .unwrap();
+        // The comparison feeds nothing through *data* ports (only control and
+        // the Sel condition), so it has no data successors.
+        assert!(deps.successors(cmp).is_empty());
+        assert!(deps.predecessors(cmp).is_empty());
+    }
+
+    #[test]
+    fn loop_carried_predecessors_are_reported() {
+        let mut b = CdfgBuilder::new("lc");
+        b.local("i", 8, Some(0)).unwrap();
+        let i = b.variable("i").unwrap();
+        b.begin_loop("l");
+        let c = b
+            .binary(Operation::Lt, ValueRef::Var(i), ValueRef::Const(3), "c")
+            .unwrap();
+        b.end_loop_header(ValueRef::Var(c));
+        b.binary(Operation::Add, ValueRef::Var(i), ValueRef::Const(1), "i")
+            .unwrap();
+        b.end_loop();
+        let g = b.finish().unwrap();
+        let deps = DependenceInfo::compute(&g);
+        let add = g
+            .nodes()
+            .find(|(_, n)| n.operation == Operation::Add)
+            .map(|(id, _)| id)
+            .unwrap();
+        assert!(deps.loop_carried_predecessors(add).contains(&add));
+        assert!(deps.predecessors(add).is_empty());
+    }
+}

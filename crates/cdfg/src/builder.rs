@@ -1,0 +1,900 @@
+//! Programmatic construction of CDFGs.
+//!
+//! [`CdfgBuilder`] offers a structured, scope-based API: straight-line
+//! operations are appended to the current block, while `begin_branch` /
+//! `begin_else` / `end_branch` and `begin_loop` / `end_loop_header` /
+//! `end_loop` open and close control regions. The builder takes care of
+//!
+//! * creating data edges with correct def-use sources,
+//! * detecting loop-carried dependences and marking their edges,
+//! * gating nodes on the innermost enclosing condition through their control
+//!   ports (active-high on the then-side, active-low on the else-side),
+//! * synthesizing the paper's `Sel` (branch merge) and `Elp` (end-loop)
+//!   structural nodes.
+
+use std::collections::HashMap;
+
+use crate::error::CdfgError;
+use crate::graph::{Cdfg, Edge, EdgeSource, Port, ValueRef, Variable, VariableKind};
+use crate::id::{EdgeId, NodeId, VarId};
+use crate::node::{ControlPort, Node, Polarity};
+use crate::op::Operation;
+use crate::region::{LoopInfo, Region};
+
+/// Incremental CDFG builder.
+///
+/// # Example
+///
+/// Build `if (a < b) { m = a; } else { m = b; }` (a 2-input minimum):
+///
+/// ```
+/// use impact_cdfg::{CdfgBuilder, Operation, ValueRef};
+///
+/// # fn main() -> Result<(), impact_cdfg::CdfgError> {
+/// let mut b = CdfgBuilder::new("min2");
+/// let a = b.input("a", 8);
+/// let bv = b.input("b", 8);
+/// let cond = b.binary(Operation::Lt, ValueRef::Var(a), ValueRef::Var(bv), "c")?;
+/// b.begin_branch(ValueRef::Var(cond));
+/// b.assign(ValueRef::Var(a), "m")?;
+/// b.begin_else();
+/// b.assign(ValueRef::Var(bv), "m")?;
+/// let selects = b.end_branch();
+/// assert_eq!(selects.len(), 1);
+/// let cdfg = b.finish()?;
+/// assert!(cdfg.validate().is_ok());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CdfgBuilder {
+    graph: Cdfg,
+    frames: Vec<Frame>,
+    /// Latest defining node for each variable, in program order.
+    current_def: HashMap<VarId, NodeId>,
+    temp_counter: usize,
+}
+
+#[derive(Debug)]
+struct Frame {
+    kind: FrameKind,
+    regions: Vec<Region>,
+    block: Vec<NodeId>,
+    /// Variables defined while this frame was open, with their defining node.
+    defined_here: HashMap<VarId, NodeId>,
+    /// Edges whose variable had no definition inside any enclosing loop at the
+    /// time of use; candidates for loop-carried fix-up.
+    pending_uses: Vec<(EdgeId, VarId)>,
+}
+
+#[derive(Debug)]
+enum FrameKind {
+    Top,
+    Branch {
+        condition: ValueRef,
+        condition_node: Option<NodeId>,
+        then_regions: Vec<Region>,
+        then_defs: HashMap<VarId, NodeId>,
+        /// Definitions visible before the branch, restored for the else-side.
+        snapshot: HashMap<VarId, NodeId>,
+        in_else: bool,
+    },
+    Loop {
+        label: String,
+        header_regions: Option<Vec<Region>>,
+        condition: Option<ValueRef>,
+        condition_node: Option<NodeId>,
+    },
+}
+
+impl Frame {
+    fn new(kind: FrameKind) -> Self {
+        Self {
+            kind,
+            regions: Vec::new(),
+            block: Vec::new(),
+            defined_here: HashMap::new(),
+            pending_uses: Vec::new(),
+        }
+    }
+
+    fn flush_block(&mut self) {
+        if !self.block.is_empty() {
+            self.regions.push(Region::Block(std::mem::take(&mut self.block)));
+        }
+    }
+
+    fn take_regions(&mut self) -> Vec<Region> {
+        self.flush_block();
+        std::mem::take(&mut self.regions)
+    }
+}
+
+impl CdfgBuilder {
+    /// Starts building a CDFG with the given design name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            graph: Cdfg::new(name),
+            frames: vec![Frame::new(FrameKind::Top)],
+            current_def: HashMap::new(),
+            temp_counter: 0,
+        }
+    }
+
+    // ---------------------------------------------------------------- variables
+
+    /// Declares a primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name was already declared; inputs are normally declared
+    /// first, before any code is lowered.
+    pub fn input(&mut self, name: &str, width: u8) -> VarId {
+        self.graph
+            .push_variable(Variable {
+                name: name.to_string(),
+                kind: VariableKind::Input,
+                width,
+                initial: None,
+            })
+            .expect("primary input declared twice")
+    }
+
+    /// Declares a primary output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name was already declared.
+    pub fn output(&mut self, name: &str, width: u8) -> VarId {
+        self.graph
+            .push_variable(Variable {
+                name: name.to_string(),
+                kind: VariableKind::Output,
+                width,
+                initial: None,
+            })
+            .expect("primary output declared twice")
+    }
+
+    /// Declares a local variable with an optional initial value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdfgError::DuplicateVariable`] if the name is already in use.
+    pub fn local(&mut self, name: &str, width: u8, initial: Option<i64>) -> Result<VarId, CdfgError> {
+        self.graph.push_variable(Variable {
+            name: name.to_string(),
+            kind: VariableKind::Local,
+            width,
+            initial,
+        })
+    }
+
+    /// Creates a fresh compiler temporary.
+    pub fn temp(&mut self, width: u8) -> VarId {
+        loop {
+            let name = format!("%t{}", self.temp_counter);
+            self.temp_counter += 1;
+            if self.graph.variable_by_name(&name).is_none() {
+                return self
+                    .graph
+                    .push_variable(Variable {
+                        name,
+                        kind: VariableKind::Temp,
+                        width,
+                        initial: None,
+                    })
+                    .expect("fresh temporary name collided");
+            }
+        }
+    }
+
+    /// Looks up a variable by name.
+    pub fn variable(&self, name: &str) -> Option<VarId> {
+        self.graph.variable_by_name(name)
+    }
+
+    /// Width of a value (variable width, or minimal width of a constant).
+    pub fn width_of(&self, value: ValueRef) -> u8 {
+        match value {
+            ValueRef::Var(v) => self.graph.variable(v).width,
+            ValueRef::Const(c) => {
+                let bits = 64 - c.unsigned_abs().leading_zeros().min(63);
+                (bits.max(1) as u8).min(64)
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- operations
+
+    /// Appends a binary operation defining (or redefining) `defines`.
+    ///
+    /// The destination variable is created as a local if it does not exist
+    /// yet (names beginning with `%` become temporaries).
+    ///
+    /// # Errors
+    ///
+    /// Propagates variable-creation errors.
+    pub fn binary(
+        &mut self,
+        op: Operation,
+        lhs: ValueRef,
+        rhs: ValueRef,
+        defines: &str,
+    ) -> Result<VarId, CdfgError> {
+        let dest = self.resolve_dest(defines, self.width_of(lhs).max(self.width_of(rhs)))?;
+        self.emit(op, &[lhs, rhs], Some(dest), None);
+        Ok(dest)
+    }
+
+    /// Appends a unary operation defining (or redefining) `defines`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates variable-creation errors.
+    pub fn unary(&mut self, op: Operation, value: ValueRef, defines: &str) -> Result<VarId, CdfgError> {
+        let dest = self.resolve_dest(defines, self.width_of(value))?;
+        self.emit(op, &[value], Some(dest), None);
+        Ok(dest)
+    }
+
+    /// Appends a register transfer (`Mov`) assigning `value` to `defines`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates variable-creation errors.
+    pub fn assign(&mut self, value: ValueRef, defines: &str) -> Result<VarId, CdfgError> {
+        let dest = self.resolve_dest(defines, self.width_of(value))?;
+        self.emit(Operation::Mov, &[value], Some(dest), None);
+        Ok(dest)
+    }
+
+    /// Commits `value` to the primary output variable `out`.
+    pub fn emit_output(&mut self, value: ValueRef, out: VarId) -> NodeId {
+        self.emit(Operation::Output, &[value], Some(out), None)
+    }
+
+    // ---------------------------------------------------------------- branches
+
+    /// Opens a conditional region; subsequent operations belong to the
+    /// then-side until [`begin_else`](Self::begin_else) or
+    /// [`end_branch`](Self::end_branch) is called.
+    pub fn begin_branch(&mut self, condition: ValueRef) {
+        let condition_node = condition.as_var().and_then(|v| self.current_def.get(&v).copied());
+        let snapshot = self.current_def.clone();
+        self.frames.push(Frame::new(FrameKind::Branch {
+            condition,
+            condition_node,
+            then_regions: Vec::new(),
+            then_defs: HashMap::new(),
+            snapshot,
+            in_else: false,
+        }));
+    }
+
+    /// Switches the open conditional from the then-side to the else-side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no branch is open or the else-side was already started.
+    pub fn begin_else(&mut self) {
+        let frame = self.frames.last_mut().expect("no open frame");
+        let regions = frame.take_regions();
+        let defs = std::mem::take(&mut frame.defined_here);
+        match &mut frame.kind {
+            FrameKind::Branch {
+                then_regions,
+                then_defs,
+                snapshot,
+                in_else,
+                ..
+            } => {
+                assert!(!*in_else, "begin_else called twice for the same branch");
+                *then_regions = regions;
+                *then_defs = defs;
+                *in_else = true;
+                // The else-side must not see then-side definitions.
+                self.current_def = snapshot.clone();
+            }
+            _ => panic!("begin_else called outside a branch"),
+        }
+    }
+
+    /// Closes the open conditional, creating one `Sel` node per variable
+    /// assigned on either side, and returns those nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no branch is open.
+    pub fn end_branch(&mut self) -> Vec<NodeId> {
+        let mut frame = self.frames.pop().expect("no open frame");
+        let tail_regions = frame.take_regions();
+        let tail_defs = std::mem::take(&mut frame.defined_here);
+        let pending = std::mem::take(&mut frame.pending_uses);
+        let (condition, condition_node, then_regions, then_defs, else_regions, else_defs, snapshot) =
+            match frame.kind {
+                FrameKind::Branch {
+                    condition,
+                    condition_node,
+                    then_regions,
+                    then_defs,
+                    snapshot,
+                    in_else,
+                } => {
+                    if in_else {
+                        (condition, condition_node, then_regions, then_defs, tail_regions, tail_defs, snapshot)
+                    } else {
+                        (condition, condition_node, tail_regions, tail_defs, Vec::new(), HashMap::new(), snapshot)
+                    }
+                }
+                _ => panic!("end_branch called outside a branch"),
+            };
+
+        // Definitions after the branch resolve against the pre-branch state
+        // until the Sel nodes below redefine the merged variables.
+        self.current_def = snapshot.clone();
+
+        // Merge variables assigned on either side with Sel nodes.
+        let mut merged: Vec<VarId> = then_defs.keys().chain(else_defs.keys()).copied().collect();
+        merged.sort_unstable();
+        merged.dedup();
+
+        let mut selects = Vec::new();
+        for var in merged {
+            let then_source = then_defs
+                .get(&var)
+                .copied()
+                .map(EdgeSource::Node)
+                .unwrap_or_else(|| Self::source_from(&snapshot, var));
+            let else_source = else_defs
+                .get(&var)
+                .copied()
+                .map(EdgeSource::Node)
+                .unwrap_or_else(|| Self::source_from(&snapshot, var));
+            let node_id = self.push_select(var, then_source, else_source, condition, condition_node);
+            selects.push(node_id);
+            self.current_def.insert(var, node_id);
+            self.record_definition(var, node_id);
+        }
+
+        let region = Region::Branch {
+            condition,
+            condition_node,
+            then_regions,
+            else_regions,
+            selects: selects.clone(),
+        };
+        let parent = self.frames.last_mut().expect("top frame always present");
+        parent.flush_block();
+        parent.regions.push(region);
+        parent.pending_uses.extend(pending);
+        selects
+    }
+
+    // ---------------------------------------------------------------- loops
+
+    /// Opens a loop region. Operations appended before
+    /// [`end_loop_header`](Self::end_loop_header) form the loop header
+    /// (executed every iteration, computing the exit condition).
+    pub fn begin_loop(&mut self, label: &str) {
+        self.frames.push(Frame::new(FrameKind::Loop {
+            label: label.to_string(),
+            header_regions: None,
+            condition: None,
+            condition_node: None,
+        }));
+    }
+
+    /// Marks the end of the loop header; `condition` is the value tested each
+    /// iteration (the body runs while it is non-zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no loop is open or the header was already closed.
+    pub fn end_loop_header(&mut self, condition: ValueRef) {
+        let condition_node = condition.as_var().and_then(|v| self.current_def.get(&v).copied());
+        let frame = self.frames.last_mut().expect("no open frame");
+        let regions = frame.take_regions();
+        match &mut frame.kind {
+            FrameKind::Loop {
+                header_regions,
+                condition: cond_slot,
+                condition_node: cond_node_slot,
+                ..
+            } => {
+                assert!(header_regions.is_none(), "loop header closed twice");
+                *header_regions = Some(regions);
+                *cond_slot = Some(condition);
+                *cond_node_slot = condition_node;
+            }
+            _ => panic!("end_loop_header called outside a loop"),
+        }
+    }
+
+    /// Closes the open loop, creating its `Elp` (end-loop) node, resolving
+    /// loop-carried dependences, and returns the `Elp` node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no loop is open or [`end_loop_header`](Self::end_loop_header)
+    /// was never called.
+    pub fn end_loop(&mut self) -> NodeId {
+        let mut frame = self.frames.pop().expect("no open frame");
+        let body_regions = frame.take_regions();
+        let defined_here = std::mem::take(&mut frame.defined_here);
+        let pending = std::mem::take(&mut frame.pending_uses);
+        let (label, header, condition, condition_node) = match frame.kind {
+            FrameKind::Loop {
+                label,
+                header_regions,
+                condition,
+                condition_node,
+            } => (
+                label,
+                header_regions.expect("end_loop called before end_loop_header"),
+                condition.expect("end_loop called before end_loop_header"),
+                condition_node,
+            ),
+            _ => panic!("end_loop called outside a loop"),
+        };
+
+        // Loop-carried dependence fix-up: a use recorded before any in-loop
+        // definition of its variable now resolves to that in-loop definition
+        // through a back-edge.
+        let mut unresolved = Vec::new();
+        for (edge, var) in pending {
+            if let Some(&def) = defined_here.get(&var) {
+                let e = self.graph_edge_mut(edge);
+                e.source = EdgeSource::Node(def);
+                e.loop_carried = true;
+            } else {
+                unresolved.push((edge, var));
+            }
+        }
+
+        // Live-outs of the loop: every variable assigned in the loop body or
+        // header feeds the Elp node.
+        let mut live_out: Vec<VarId> = defined_here.keys().copied().collect();
+        live_out.sort_unstable();
+        let elp_inputs: Vec<ValueRef> = if live_out.is_empty() {
+            vec![condition]
+        } else {
+            live_out.iter().map(|&v| ValueRef::Var(v)).collect()
+        };
+
+        let elp = self.push_raw_node(
+            Operation::EndLoop,
+            &elp_inputs,
+            None,
+            Some((condition, condition_node, Polarity::ActiveLow)),
+            Some(format!("Elp:{label}")),
+            false,
+        );
+
+        let info = LoopInfo {
+            label,
+            header,
+            condition,
+            condition_node,
+            body: body_regions,
+            end_nodes: vec![elp],
+            max_iterations: crate::region::DEFAULT_MAX_ITERATIONS,
+        };
+
+        let parent = self.frames.last_mut().expect("top frame always present");
+        parent.flush_block();
+        parent.regions.push(Region::Loop(info));
+        parent.pending_uses.extend(unresolved);
+        // Definitions made inside the loop stay visible after it.
+        for (var, node) in defined_here {
+            parent.defined_here.insert(var, node);
+        }
+        elp
+    }
+
+    // ---------------------------------------------------------------- finish
+
+    /// Finalizes the graph and checks its invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a control scope is still open (reported as a
+    /// malformed region) or if validation fails.
+    pub fn finish(mut self) -> Result<Cdfg, CdfgError> {
+        if self.frames.len() != 1 {
+            return Err(CdfgError::MalformedRegion {
+                detail: format!("{} control scopes left open", self.frames.len() - 1),
+            });
+        }
+        let mut top = self.frames.pop().expect("top frame present");
+        let regions = top.take_regions();
+        self.graph.set_regions(regions);
+        self.graph.validate()?;
+        Ok(self.graph)
+    }
+
+    // ---------------------------------------------------------------- internals
+
+    fn resolve_dest(&mut self, name: &str, width: u8) -> Result<VarId, CdfgError> {
+        if let Some(v) = self.graph.variable_by_name(name) {
+            return Ok(v);
+        }
+        let kind = if name.starts_with('%') {
+            VariableKind::Temp
+        } else {
+            VariableKind::Local
+        };
+        self.graph.push_variable(Variable {
+            name: name.to_string(),
+            kind,
+            width: width.max(1),
+            initial: None,
+        })
+    }
+
+    fn source_from(defs: &HashMap<VarId, NodeId>, var: VarId) -> EdgeSource {
+        defs.get(&var)
+            .copied()
+            .map(EdgeSource::Node)
+            .unwrap_or(EdgeSource::External)
+    }
+
+    /// Innermost enclosing condition (branch side or loop), if any, for
+    /// control-port gating of new nodes.
+    fn innermost_guard(&self) -> Option<(ValueRef, Option<NodeId>, Polarity)> {
+        for frame in self.frames.iter().rev() {
+            match &frame.kind {
+                FrameKind::Branch {
+                    condition,
+                    condition_node,
+                    in_else,
+                    ..
+                } => {
+                    let polarity = if *in_else {
+                        Polarity::ActiveLow
+                    } else {
+                        Polarity::ActiveHigh
+                    };
+                    return Some((*condition, *condition_node, polarity));
+                }
+                FrameKind::Loop {
+                    condition: Some(c),
+                    condition_node,
+                    ..
+                } => {
+                    return Some((*c, *condition_node, Polarity::ActiveHigh));
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    fn emit(
+        &mut self,
+        op: Operation,
+        inputs: &[ValueRef],
+        defines: Option<VarId>,
+        label: Option<String>,
+    ) -> NodeId {
+        let guard = self.innermost_guard();
+        self.push_raw_node(op, inputs, defines, guard, label, true)
+    }
+
+    fn push_raw_node(
+        &mut self,
+        op: Operation,
+        inputs: &[ValueRef],
+        defines: Option<VarId>,
+        guard: Option<(ValueRef, Option<NodeId>, Polarity)>,
+        label: Option<String>,
+        add_to_block: bool,
+    ) -> NodeId {
+        let mut node = Node::new(op);
+        node.defines = defines;
+        node.label = label;
+        let node_id = self.graph.push_node(node);
+
+        // Data edges.
+        let mut edge_ids = Vec::with_capacity(inputs.len());
+        for (port, &value) in inputs.iter().enumerate() {
+            let edge_id = self.push_value_edge(value, node_id, Port::Data(port as u8));
+            edge_ids.push(edge_id);
+        }
+        // Control edge, if the node is gated.
+        let control = if let Some((cond, _cond_node, polarity)) = guard {
+            let edge_id = self.push_value_edge(cond, node_id, Port::Control);
+            ControlPort::gated(edge_id, polarity)
+        } else {
+            ControlPort::independent()
+        };
+
+        {
+            let n = self.graph.node_mut(node_id);
+            n.inputs = edge_ids;
+            n.control = control;
+        }
+
+        if let Some(var) = defines {
+            self.current_def.insert(var, node_id);
+            self.record_definition(var, node_id);
+        }
+
+        if add_to_block {
+            let frame = self.frames.last_mut().expect("top frame always present");
+            frame.block.push(node_id);
+        }
+        node_id
+    }
+
+    fn push_select(
+        &mut self,
+        var: VarId,
+        then_source: EdgeSource,
+        else_source: EdgeSource,
+        condition: ValueRef,
+        condition_node: Option<NodeId>,
+    ) -> NodeId {
+        let mut node = Node::new(Operation::Select);
+        node.defines = Some(var);
+        node.label = Some(format!("Sel:{}", self.graph.variable(var).name));
+        let node_id = self.graph.push_node(node);
+
+        let width = self.graph.variable(var).width;
+        let then_edge = self.push_edge_raw(then_source, node_id, Port::Data(0), ValueRef::Var(var), width);
+        let else_edge = self.push_edge_raw(else_source, node_id, Port::Data(1), ValueRef::Var(var), width);
+        let cond_source = condition_node.map(EdgeSource::Node).unwrap_or(EdgeSource::External);
+        let cond_width = self.width_of(condition);
+        let cond_edge = self.push_edge_raw(cond_source, node_id, Port::Control, condition, cond_width);
+
+        {
+            let n = self.graph.node_mut(node_id);
+            n.inputs = vec![then_edge, else_edge];
+            // The Sel node always executes; its control edge is the mux select.
+            n.control = ControlPort {
+                polarity: Polarity::None,
+                condition: Some(cond_edge),
+            };
+        }
+        // The node is recorded in the Branch region's `selects` list by
+        // `end_branch`, not in the surrounding block.
+        node_id
+    }
+
+    fn push_value_edge(&mut self, value: ValueRef, target: NodeId, port: Port) -> EdgeId {
+        let width = self.width_of(value);
+        let (source, initial, pending) = match value {
+            ValueRef::Const(_) => (EdgeSource::External, None, None),
+            ValueRef::Var(v) => {
+                let initial = self.graph.variable(v).initial;
+                match self.current_def.get(&v) {
+                    Some(&def) => (EdgeSource::Node(def), initial, None),
+                    None => (EdgeSource::External, initial, Some(v)),
+                }
+            }
+        };
+        let edge_id = self.push_edge_raw(source, target, port, value, width);
+        if let Some(initial_value) = initial {
+            self.graph_edge_mut(edge_id).initial = Some(initial_value);
+        }
+        if let Some(var) = pending {
+            // The variable has no definition yet: if an enclosing loop defines
+            // it later, this use becomes a loop-carried dependence.
+            let frame = self.frames.last_mut().expect("top frame always present");
+            frame.pending_uses.push((edge_id, var));
+        }
+        edge_id
+    }
+
+    fn push_edge_raw(
+        &mut self,
+        source: EdgeSource,
+        target: NodeId,
+        port: Port,
+        value: ValueRef,
+        width: u8,
+    ) -> EdgeId {
+        self.graph.push_edge(Edge {
+            source,
+            target,
+            port,
+            value,
+            initial: None,
+            width,
+            loop_carried: false,
+        })
+    }
+
+    fn graph_edge_mut(&mut self, id: EdgeId) -> &mut Edge {
+        // Edges are stored in a Vec inside the graph; expose mutation only to
+        // the builder through this narrow helper.
+        let idx = id.index();
+        // Safety in the logical sense: the builder created the edge, so the
+        // index is in range.
+        self.graph_edges_mut()
+            .get_mut(idx)
+            .expect("edge created by this builder")
+    }
+
+    fn graph_edges_mut(&mut self) -> &mut Vec<Edge> {
+        // A small accessor kept private to the crate.
+        self.graph.edges_mut()
+    }
+
+    fn record_definition(&mut self, var: VarId, node: NodeId) {
+        let frame = self.frames.last_mut().expect("top frame always present");
+        frame.defined_here.insert(var, node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::VariableKind;
+
+    #[test]
+    fn straight_line_code_builds_one_block() {
+        let mut b = CdfgBuilder::new("straight");
+        let a = b.input("a", 8);
+        let t = b
+            .binary(Operation::Add, ValueRef::Var(a), ValueRef::Const(1), "t")
+            .unwrap();
+        b.binary(Operation::Mul, ValueRef::Var(t), ValueRef::Const(3), "u")
+            .unwrap();
+        let g = b.finish().unwrap();
+        assert_eq!(g.regions().len(), 1);
+        assert!(matches!(g.regions()[0], Region::Block(ref ns) if ns.len() == 2));
+    }
+
+    #[test]
+    fn branch_creates_select_per_assigned_variable() {
+        let mut b = CdfgBuilder::new("branch");
+        let a = b.input("a", 8);
+        let c = b
+            .binary(Operation::Gt, ValueRef::Var(a), ValueRef::Const(5), "c")
+            .unwrap();
+        b.begin_branch(ValueRef::Var(c));
+        b.assign(ValueRef::Const(1), "x").unwrap();
+        b.assign(ValueRef::Const(2), "y").unwrap();
+        b.begin_else();
+        b.assign(ValueRef::Const(3), "x").unwrap();
+        let selects = b.end_branch();
+        assert_eq!(selects.len(), 2, "x and y each get a Sel node");
+        let g = b.finish().unwrap();
+        assert!(g.validate().is_ok());
+        let sel_count = g
+            .nodes()
+            .filter(|(_, n)| n.operation == Operation::Select)
+            .count();
+        assert_eq!(sel_count, 2);
+    }
+
+    #[test]
+    fn branch_nodes_are_gated_with_correct_polarity() {
+        let mut b = CdfgBuilder::new("gating");
+        let a = b.input("a", 8);
+        let c = b
+            .binary(Operation::Gt, ValueRef::Var(a), ValueRef::Const(5), "c")
+            .unwrap();
+        b.begin_branch(ValueRef::Var(c));
+        let then_var = b.assign(ValueRef::Const(1), "x").unwrap();
+        b.begin_else();
+        b.assign(ValueRef::Const(3), "x").unwrap();
+        b.end_branch();
+        let g = b.finish().unwrap();
+        let (pos, neg, _none) = g.polarity_histogram();
+        assert_eq!(pos, 1, "one then-side node is active-high");
+        assert_eq!(neg, 1, "one else-side node is active-low");
+        let _ = then_var;
+    }
+
+    #[test]
+    fn loop_carried_dependences_are_marked() {
+        // z = z + 1 inside a loop: the use of z is loop-carried from the add.
+        let mut b = CdfgBuilder::new("loop_carried");
+        b.local("z", 8, Some(0)).unwrap();
+        b.local("i", 8, Some(0)).unwrap();
+        let i = b.variable("i").unwrap();
+        let z = b.variable("z").unwrap();
+        b.begin_loop("l1");
+        let cond = b
+            .binary(Operation::Lt, ValueRef::Var(i), ValueRef::Const(10), "c")
+            .unwrap();
+        b.end_loop_header(ValueRef::Var(cond));
+        b.binary(Operation::Add, ValueRef::Var(z), ValueRef::Const(1), "z")
+            .unwrap();
+        b.binary(Operation::Add, ValueRef::Var(i), ValueRef::Const(1), "i")
+            .unwrap();
+        b.end_loop();
+        let g = b.finish().unwrap();
+        assert!(g.validate().is_ok());
+        let carried = g.edges().filter(|(_, e)| e.loop_carried).count();
+        assert!(carried >= 2, "uses of z and i are carried by the back-edge");
+        // The carried edge for z points at the add that defines z.
+        let add_z = g
+            .nodes()
+            .find(|(_, n)| n.defines == Some(z) && n.operation == Operation::Add)
+            .map(|(id, _)| id)
+            .unwrap();
+        assert!(g
+            .edges()
+            .any(|(_, e)| e.loop_carried && e.source == EdgeSource::Node(add_z)));
+    }
+
+    #[test]
+    fn loop_builds_elp_node_and_region() {
+        let mut b = CdfgBuilder::new("loop");
+        b.local("i", 8, Some(0)).unwrap();
+        let i = b.variable("i").unwrap();
+        b.begin_loop("main");
+        let cond = b
+            .binary(Operation::Lt, ValueRef::Var(i), ValueRef::Const(4), "c")
+            .unwrap();
+        b.end_loop_header(ValueRef::Var(cond));
+        b.binary(Operation::Add, ValueRef::Var(i), ValueRef::Const(1), "i")
+            .unwrap();
+        let elp = b.end_loop();
+        let g = b.finish().unwrap();
+        assert_eq!(g.node(elp).operation, Operation::EndLoop);
+        assert_eq!(g.regions().len(), 1);
+        match &g.regions()[0] {
+            Region::Loop(info) => {
+                assert_eq!(info.end_nodes, vec![elp]);
+                assert!(!info.header.is_empty());
+                assert!(!info.body.is_empty());
+            }
+            other => panic!("expected loop region, found {other:?}"),
+        }
+    }
+
+    #[test]
+    fn temporaries_get_unique_names_and_temp_kind() {
+        let mut b = CdfgBuilder::new("temps");
+        let t1 = b.temp(8);
+        let t2 = b.temp(8);
+        assert_ne!(t1, t2);
+        b.input("a", 8);
+        let a = b.variable("a").unwrap();
+        b.binary(Operation::Add, ValueRef::Var(a), ValueRef::Const(1), "%sum")
+            .unwrap();
+        let g = b.finish().unwrap();
+        let sum = g.variable_by_name("%sum").unwrap();
+        assert_eq!(g.variable(sum).kind, VariableKind::Temp);
+    }
+
+    #[test]
+    fn finish_rejects_open_scopes() {
+        let mut b = CdfgBuilder::new("open");
+        let a = b.input("a", 8);
+        let c = b
+            .binary(Operation::Gt, ValueRef::Var(a), ValueRef::Const(0), "c")
+            .unwrap();
+        b.begin_branch(ValueRef::Var(c));
+        assert!(matches!(
+            b.finish(),
+            Err(CdfgError::MalformedRegion { .. })
+        ));
+    }
+
+    #[test]
+    fn width_of_constants_is_minimal() {
+        let b = CdfgBuilder::new("w");
+        assert_eq!(b.width_of(ValueRef::Const(0)), 1);
+        assert_eq!(b.width_of(ValueRef::Const(1)), 1);
+        assert_eq!(b.width_of(ValueRef::Const(255)), 8);
+        assert_eq!(b.width_of(ValueRef::Const(256)), 9);
+    }
+
+    #[test]
+    fn output_nodes_reference_output_variables() {
+        let mut b = CdfgBuilder::new("out");
+        let a = b.input("a", 8);
+        let o = b.output("result", 8);
+        b.emit_output(ValueRef::Var(a), o);
+        let g = b.finish().unwrap();
+        assert_eq!(g.primary_outputs(), vec![o]);
+        assert!(g
+            .nodes()
+            .any(|(_, n)| n.operation == Operation::Output && n.defines == Some(o)));
+    }
+}

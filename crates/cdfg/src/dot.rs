@@ -1,0 +1,143 @@
+//! Graphviz DOT export, mirroring the drawing conventions of the paper:
+//! control edges are dashed, data edges solid, and control-port polarity is
+//! shown as `+` / `−` on the node label.
+
+use std::fmt::Write as _;
+
+use crate::graph::{Cdfg, EdgeSource, Port, ValueRef};
+use crate::node::Polarity;
+
+impl Cdfg {
+    /// Renders the graph in Graphviz DOT format.
+    ///
+    /// ```
+    /// # use impact_cdfg::{CdfgBuilder, Operation, ValueRef};
+    /// # let mut b = CdfgBuilder::new("d");
+    /// # let a = b.input("a", 8);
+    /// # b.binary(Operation::Add, ValueRef::Var(a), ValueRef::Const(1), "t").unwrap();
+    /// # let cdfg = b.finish().unwrap();
+    /// let dot = cdfg.to_dot();
+    /// assert!(dot.starts_with("digraph"));
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", escape(self.name()));
+        let _ = writeln!(out, "  rankdir=TB;");
+        let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+        for (id, node) in self.nodes() {
+            let polarity = match node.control.polarity {
+                Polarity::ActiveHigh => " (+)",
+                Polarity::ActiveLow => " (-)",
+                Polarity::None => "",
+            };
+            let _ = writeln!(
+                out,
+                "  {} [label=\"{}{}\"];",
+                id.index(),
+                escape(&node.display_label()),
+                polarity
+            );
+        }
+        for (_, edge) in self.edges() {
+            let style = match edge.port {
+                Port::Control => "dashed",
+                Port::Data(_) => "solid",
+            };
+            let label = match edge.value {
+                ValueRef::Const(c) => c.to_string(),
+                ValueRef::Var(v) => {
+                    let var = self.variable(v);
+                    match edge.initial {
+                        Some(init) => format!("{}({})", var.name, init),
+                        None => var.name.clone(),
+                    }
+                }
+            };
+            match edge.source {
+                EdgeSource::Node(src) => {
+                    let _ = writeln!(
+                        out,
+                        "  {} -> {} [style={}, label=\"{}\"{}];",
+                        src.index(),
+                        edge.target.index(),
+                        style,
+                        escape(&label),
+                        if edge.loop_carried {
+                            ", constraint=false, color=gray"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+                EdgeSource::External => {
+                    // External values (constants, primary inputs) get a small
+                    // point-shaped pseudo-node so the fan-in stays visible.
+                    let pseudo = format!("ext_{}_{}", edge.target.index(), port_index(edge.port));
+                    let _ = writeln!(
+                        out,
+                        "  \"{pseudo}\" [shape=plaintext, label=\"{}\"];",
+                        escape(&label)
+                    );
+                    let _ = writeln!(
+                        out,
+                        "  \"{pseudo}\" -> {} [style={}];",
+                        edge.target.index(),
+                        style
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+fn port_index(port: Port) -> String {
+    match port {
+        Port::Data(i) => i.to_string(),
+        Port::Control => "c".to_string(),
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::CdfgBuilder;
+    use crate::graph::ValueRef;
+    use crate::op::Operation;
+
+    #[test]
+    fn dot_output_contains_all_nodes_and_styles() {
+        let mut b = CdfgBuilder::new("dot");
+        let a = b.input("a", 8);
+        let c = b
+            .binary(Operation::Gt, ValueRef::Var(a), ValueRef::Const(5), "c")
+            .unwrap();
+        b.begin_branch(ValueRef::Var(c));
+        b.assign(ValueRef::Const(1), "x").unwrap();
+        b.begin_else();
+        b.assign(ValueRef::Const(0), "x").unwrap();
+        b.end_branch();
+        let g = b.finish().unwrap();
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph \"dot\""));
+        assert!(dot.contains("style=dashed"), "control edges are dashed");
+        assert!(dot.contains("style=solid"), "data edges are solid");
+        assert!(dot.contains("Sel:x"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes_in_labels() {
+        let mut b = CdfgBuilder::new("quote\"d");
+        let a = b.input("a", 8);
+        b.binary(Operation::Add, ValueRef::Var(a), ValueRef::Const(1), "t")
+            .unwrap();
+        let g = b.finish().unwrap();
+        let dot = g.to_dot();
+        assert!(dot.contains("quote\\\"d"));
+    }
+}

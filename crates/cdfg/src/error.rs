@@ -1,0 +1,117 @@
+//! Error type for CDFG construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::id::{EdgeId, NodeId, VarId};
+
+/// Errors reported while building or validating a [`Cdfg`](crate::Cdfg).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CdfgError {
+    /// A node refers to an edge that does not exist.
+    DanglingEdge {
+        /// Node holding the reference.
+        node: NodeId,
+        /// The missing edge.
+        edge: EdgeId,
+    },
+    /// An edge refers to a node that does not exist.
+    DanglingNode {
+        /// The edge holding the reference.
+        edge: EdgeId,
+        /// The missing node.
+        node: NodeId,
+    },
+    /// A node has the wrong number of data inputs for its operation.
+    ArityMismatch {
+        /// The offending node.
+        node: NodeId,
+        /// Inputs expected by the operation.
+        expected: usize,
+        /// Inputs actually connected.
+        found: usize,
+    },
+    /// An edge carries neither a constant nor a variable binding.
+    UnboundEdge {
+        /// The offending edge.
+        edge: EdgeId,
+    },
+    /// A variable was referenced before being declared.
+    UnknownVariable {
+        /// The missing variable.
+        var: VarId,
+    },
+    /// Two variables were declared with the same name.
+    DuplicateVariable {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A region references a node outside the graph or references it twice.
+    MalformedRegion {
+        /// Explanation of the structural problem.
+        detail: String,
+    },
+    /// The builder was asked to finish without any nodes.
+    EmptyGraph,
+}
+
+impl fmt::Display for CdfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdfgError::DanglingEdge { node, edge } => {
+                write!(f, "node {node} references missing edge {edge}")
+            }
+            CdfgError::DanglingNode { edge, node } => {
+                write!(f, "edge {edge} references missing node {node}")
+            }
+            CdfgError::ArityMismatch {
+                node,
+                expected,
+                found,
+            } => write!(
+                f,
+                "node {node} expects {expected} data inputs but has {found}"
+            ),
+            CdfgError::UnboundEdge { edge } => {
+                write!(f, "edge {edge} carries neither a constant nor a variable")
+            }
+            CdfgError::UnknownVariable { var } => {
+                write!(f, "variable {var} referenced before declaration")
+            }
+            CdfgError::DuplicateVariable { name } => {
+                write!(f, "variable `{name}` declared more than once")
+            }
+            CdfgError::MalformedRegion { detail } => {
+                write!(f, "malformed region tree: {detail}")
+            }
+            CdfgError::EmptyGraph => write!(f, "cannot finish an empty CDFG"),
+        }
+    }
+}
+
+impl Error for CdfgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_useful_messages() {
+        let e = CdfgError::ArityMismatch {
+            node: NodeId::new(4),
+            expected: 2,
+            found: 1,
+        };
+        assert_eq!(e.to_string(), "node n4 expects 2 data inputs but has 1");
+        let e = CdfgError::DuplicateVariable {
+            name: "z".to_string(),
+        };
+        assert!(e.to_string().contains('z'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<CdfgError>();
+    }
+}

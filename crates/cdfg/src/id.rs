@@ -1,0 +1,105 @@
+//! Strongly-typed identifiers for CDFG entities.
+//!
+//! All identifiers are small indices into arenas owned by a
+//! [`Cdfg`](crate::Cdfg). They are stable across CDFG transformations: nodes
+//! and edges are never re-indexed once created.
+
+use std::fmt;
+
+/// Identifier of a node (operation) in a CDFG.
+///
+/// ```
+/// use impact_cdfg::NodeId;
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(n.to_string(), "n3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(u32);
+
+/// Identifier of an edge (data or control carrier) in a CDFG.
+///
+/// ```
+/// use impact_cdfg::EdgeId;
+/// assert_eq!(EdgeId::new(0).to_string(), "e0");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EdgeId(u32);
+
+/// Identifier of a variable (named program variable or compiler temporary).
+///
+/// ```
+/// use impact_cdfg::VarId;
+/// assert_eq!(VarId::new(7).to_string(), "v7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VarId(u32);
+
+macro_rules! impl_id {
+    ($ty:ident, $prefix:literal) => {
+        impl $ty {
+            /// Creates an identifier from a raw index.
+            pub fn new(index: usize) -> Self {
+                Self(u32::try_from(index).expect("identifier index exceeds u32::MAX"))
+            }
+
+            /// Returns the raw index backing this identifier.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$ty> for usize {
+            fn from(id: $ty) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+impl_id!(NodeId, "n");
+impl_id!(EdgeId, "e");
+impl_id!(VarId, "v");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_index() {
+        assert_eq!(NodeId::new(12).index(), 12);
+        assert_eq!(EdgeId::new(0).index(), 0);
+        assert_eq!(VarId::new(99).index(), 99);
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(NodeId::new(1).to_string(), "n1");
+        assert_eq!(EdgeId::new(2).to_string(), "e2");
+        assert_eq!(VarId::new(3).to_string(), "v3");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(EdgeId::new(0) < EdgeId::new(10));
+    }
+
+    #[test]
+    fn ids_convert_to_usize() {
+        let n: usize = NodeId::new(5).into();
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "identifier index exceeds u32::MAX")]
+    fn oversized_index_panics() {
+        let _ = NodeId::new(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Control-data flow graph (CDFG) intermediate representation.
+//!
+//! The CDFG is the intermediate representation used throughout the IMPACT
+//! high-level synthesis system. It follows the model described in Section 2.1
+//! of the paper:
+//!
+//! * **Nodes** carry arithmetic, logical and comparison [`Operation`]s plus the
+//!   structural `Select` (branch merge) and `EndLoop` operations.
+//! * **Edges** carry data values only: either a constant, a primary input, or
+//!   the value produced by another node. Edges may carry an *initial value*
+//!   (the paper's "`i(0)`" notation) used for loop-carried variables.
+//! * **Control ports**: every node has exactly one control port with a
+//!   [`Polarity`] (active-high, active-low or none). A node executes only when
+//!   the value on its control edge matches the polarity.
+//! * A structured [`RegionTree`](region::Region) (sequence / branch / loop)
+//!   produced by the frontend gives the CDFG executable semantics and gives
+//!   the schedulers loop-membership and mutual-exclusion information.
+//!
+//! # Example
+//!
+//! Build the three-addition CDFG of Figure 3 of the paper:
+//!
+//! ```
+//! use impact_cdfg::{CdfgBuilder, Operation, ValueRef};
+//!
+//! # fn main() -> Result<(), impact_cdfg::CdfgError> {
+//! let mut b = CdfgBuilder::new("three_additions");
+//! let a = b.input("a", 8);
+//! let bb = b.input("b", 8);
+//! let sum = b.binary(Operation::Add, ValueRef::Var(a), ValueRef::Var(bb), "t1")?;
+//! let cmp = b.binary(Operation::Lt, ValueRef::var(sum), ValueRef::Const(8), "c")?;
+//! let cdfg = b.finish()?;
+//! assert_eq!(cdfg.node_count(), 2);
+//! assert!(cdfg.validate().is_ok());
+//! # let _ = cmp;
+//! # Ok(())
+//! # }
+//! ```
+
+mod builder;
+mod dot;
+mod error;
+mod graph;
+mod id;
+mod node;
+mod op;
+pub mod analysis;
+pub mod region;
+
+pub use builder::CdfgBuilder;
+pub use error::CdfgError;
+pub use graph::{Cdfg, Edge, EdgeSource, Port, ValueRef, Variable, VariableKind};
+pub use id::{EdgeId, NodeId, VarId};
+pub use node::{ControlPort, Node, Polarity};
+pub use op::{OpClass, Operation};
+pub use region::{LoopInfo, Region};

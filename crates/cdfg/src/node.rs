@@ -1,0 +1,172 @@
+//! CDFG nodes and their control ports.
+
+use std::fmt;
+
+use crate::id::{EdgeId, VarId};
+use crate::op::Operation;
+
+/// Polarity of a node's control port.
+///
+/// The paper introduces control ports as an abstraction that accepts an edge
+/// and evaluates the value on it independently of the node's operation: the
+/// node executes only when the control value matches the assigned polarity.
+///
+/// ```
+/// use impact_cdfg::Polarity;
+/// assert!(Polarity::ActiveHigh.admits(1));
+/// assert!(!Polarity::ActiveHigh.admits(0));
+/// assert!(Polarity::ActiveLow.admits(0));
+/// assert!(Polarity::None.admits(0) && Polarity::None.admits(1));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Polarity {
+    /// The node executes when the control value is true (the paper's `+`).
+    ActiveHigh,
+    /// The node executes when the control value is false (the paper's `−`).
+    ActiveLow,
+    /// The node is control-independent and always executes.
+    #[default]
+    None,
+}
+
+impl Polarity {
+    /// Returns `true` if a control value of `value` allows the node to execute.
+    pub fn admits(self, value: i64) -> bool {
+        match self {
+            Polarity::ActiveHigh => value != 0,
+            Polarity::ActiveLow => value == 0,
+            Polarity::None => true,
+        }
+    }
+
+    /// Returns the opposite polarity (`None` stays `None`).
+    pub fn inverted(self) -> Polarity {
+        match self {
+            Polarity::ActiveHigh => Polarity::ActiveLow,
+            Polarity::ActiveLow => Polarity::ActiveHigh,
+            Polarity::None => Polarity::None,
+        }
+    }
+}
+
+impl fmt::Display for Polarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Polarity::ActiveHigh => "+",
+            Polarity::ActiveLow => "-",
+            Polarity::None => "∅",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The single control port owned by every CDFG node.
+///
+/// A port with [`Polarity::None`] has no controlling edge; otherwise
+/// `condition` names the edge whose runtime value gates execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ControlPort {
+    /// Control condition required for the node to execute.
+    pub polarity: Polarity,
+    /// Edge feeding this control port (`None` when control-independent).
+    pub condition: Option<EdgeId>,
+}
+
+impl ControlPort {
+    /// A control-independent port.
+    pub fn independent() -> Self {
+        Self::default()
+    }
+
+    /// A port gated by `condition` with the given polarity.
+    pub fn gated(condition: EdgeId, polarity: Polarity) -> Self {
+        Self {
+            polarity,
+            condition: Some(condition),
+        }
+    }
+
+    /// Returns `true` when the node is control-dependent.
+    pub fn is_gated(&self) -> bool {
+        self.condition.is_some() && self.polarity != Polarity::None
+    }
+}
+
+/// A CDFG node: one operation with its control port.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// The operation performed by this node.
+    pub operation: Operation,
+    /// Incoming data edges, ordered by port index.
+    pub inputs: Vec<EdgeId>,
+    /// The node's control port.
+    pub control: ControlPort,
+    /// Variable defined by this node's output, if any.
+    pub defines: Option<VarId>,
+    /// Optional human-readable label (e.g. `"+1"` from the paper's figures).
+    pub label: Option<String>,
+}
+
+impl Node {
+    /// Creates a node with no inputs connected yet.
+    pub fn new(operation: Operation) -> Self {
+        Self {
+            operation,
+            inputs: Vec::new(),
+            control: ControlPort::independent(),
+            defines: None,
+            label: None,
+        }
+    }
+
+    /// Returns the label if set, otherwise the operation mnemonic.
+    pub fn display_label(&self) -> String {
+        self.label
+            .clone()
+            .unwrap_or_else(|| self.operation.mnemonic().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_admission() {
+        assert!(Polarity::ActiveHigh.admits(5));
+        assert!(!Polarity::ActiveHigh.admits(0));
+        assert!(Polarity::ActiveLow.admits(0));
+        assert!(!Polarity::ActiveLow.admits(1));
+        assert!(Polarity::None.admits(0));
+        assert!(Polarity::None.admits(123));
+    }
+
+    #[test]
+    fn polarity_inversion_is_involutive() {
+        for p in [Polarity::ActiveHigh, Polarity::ActiveLow, Polarity::None] {
+            assert_eq!(p.inverted().inverted(), p);
+        }
+    }
+
+    #[test]
+    fn gated_control_port() {
+        let port = ControlPort::gated(EdgeId::new(3), Polarity::ActiveLow);
+        assert!(port.is_gated());
+        assert_eq!(port.condition, Some(EdgeId::new(3)));
+        assert!(!ControlPort::independent().is_gated());
+    }
+
+    #[test]
+    fn node_display_label_falls_back_to_mnemonic() {
+        let mut n = Node::new(Operation::Add);
+        assert_eq!(n.display_label(), "+");
+        n.label = Some("+1".to_string());
+        assert_eq!(n.display_label(), "+1");
+    }
+
+    #[test]
+    fn polarity_display() {
+        assert_eq!(Polarity::ActiveHigh.to_string(), "+");
+        assert_eq!(Polarity::ActiveLow.to_string(), "-");
+    }
+}

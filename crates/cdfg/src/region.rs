@@ -1,0 +1,220 @@
+//! Structured region tree giving the CDFG executable semantics.
+//!
+//! The frontend lowers structured control flow (sequences, `if`/`else`,
+//! `while`/`for` loops) into a tree of [`Region`]s referencing CDFG nodes.
+//! The behavioral simulator interprets this tree; the schedulers use it for
+//! loop membership, mutual exclusion of branches and loop-carried dependence
+//! information.
+
+use crate::graph::ValueRef;
+use crate::id::NodeId;
+
+/// Default simulation bound on loop iterations, used when a loop's exit
+/// condition never becomes false for some input.
+pub const DEFAULT_MAX_ITERATIONS: u32 = 4096;
+
+/// One structured control region.
+#[derive(Clone, Debug)]
+pub enum Region {
+    /// Straight-line code: operation nodes listed in program order.
+    Block(Vec<NodeId>),
+    /// A two-way conditional.
+    Branch {
+        /// Value deciding the branch (1 ⇒ then-side, 0 ⇒ else-side).
+        condition: ValueRef,
+        /// Node computing the condition, when it is computed by the graph.
+        condition_node: Option<NodeId>,
+        /// Regions executed when the condition is true.
+        then_regions: Vec<Region>,
+        /// Regions executed when the condition is false.
+        else_regions: Vec<Region>,
+        /// `Select` nodes merging values defined on either side.
+        selects: Vec<NodeId>,
+    },
+    /// A pre-test loop (`while`-form; `for` loops are lowered to this form).
+    Loop(LoopInfo),
+}
+
+/// Description of a loop region.
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    /// Human-readable label (used in statistics and schedules).
+    pub label: String,
+    /// Regions executed on every iteration *before* the exit test
+    /// (they compute the exit condition).
+    pub header: Vec<Region>,
+    /// Value tested after the header; the loop body runs while it is true.
+    pub condition: ValueRef,
+    /// Node computing the condition, when it is computed by the graph.
+    pub condition_node: Option<NodeId>,
+    /// Regions executed on every iteration when the condition holds.
+    pub body: Vec<Region>,
+    /// `EndLoop` nodes executed once when the loop exits.
+    pub end_nodes: Vec<NodeId>,
+    /// Safety bound on simulated iterations.
+    pub max_iterations: u32,
+}
+
+impl LoopInfo {
+    /// Creates a loop with the default iteration bound and no nodes attached.
+    pub fn new(label: impl Into<String>, condition: ValueRef) -> Self {
+        Self {
+            label: label.into(),
+            header: Vec::new(),
+            condition,
+            condition_node: None,
+            body: Vec::new(),
+            end_nodes: Vec::new(),
+            max_iterations: DEFAULT_MAX_ITERATIONS,
+        }
+    }
+}
+
+impl Region {
+    /// Collects every node referenced by this region, recursively, in program
+    /// order.
+    pub fn collect_nodes(&self, out: &mut Vec<NodeId>) {
+        match self {
+            Region::Block(nodes) => out.extend_from_slice(nodes),
+            Region::Branch {
+                then_regions,
+                else_regions,
+                selects,
+                ..
+            } => {
+                for r in then_regions {
+                    r.collect_nodes(out);
+                }
+                for r in else_regions {
+                    r.collect_nodes(out);
+                }
+                out.extend_from_slice(selects);
+            }
+            Region::Loop(info) => {
+                for r in &info.header {
+                    r.collect_nodes(out);
+                }
+                for r in &info.body {
+                    r.collect_nodes(out);
+                }
+                out.extend_from_slice(&info.end_nodes);
+            }
+        }
+    }
+
+    /// Returns all nodes referenced by this region in program order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.collect_nodes(&mut out);
+        out
+    }
+
+    /// Number of loops contained in this region (including itself).
+    pub fn loop_count(&self) -> usize {
+        match self {
+            Region::Block(_) => 0,
+            Region::Branch {
+                then_regions,
+                else_regions,
+                ..
+            } => then_regions
+                .iter()
+                .chain(else_regions.iter())
+                .map(Region::loop_count)
+                .sum(),
+            Region::Loop(info) => {
+                1 + info
+                    .header
+                    .iter()
+                    .chain(info.body.iter())
+                    .map(Region::loop_count)
+                    .sum::<usize>()
+            }
+        }
+    }
+
+    /// Returns `true` if this region contains no nodes at all.
+    pub fn is_empty(&self) -> bool {
+        self.nodes().is_empty()
+    }
+}
+
+/// Collects every node referenced by a slice of regions, in program order.
+pub fn collect_all_nodes(regions: &[Region]) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for region in regions {
+        region.collect_nodes(&mut out);
+    }
+    out
+}
+
+/// Total number of loops in a slice of regions.
+pub fn total_loop_count(regions: &[Region]) -> usize {
+    regions.iter().map(Region::loop_count).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn block_nodes_are_collected_in_order() {
+        let r = Region::Block(vec![n(2), n(0), n(1)]);
+        assert_eq!(r.nodes(), vec![n(2), n(0), n(1)]);
+        assert_eq!(r.loop_count(), 0);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn branch_collects_both_sides_and_selects() {
+        let r = Region::Branch {
+            condition: ValueRef::Const(1),
+            condition_node: None,
+            then_regions: vec![Region::Block(vec![n(0)])],
+            else_regions: vec![Region::Block(vec![n(1)])],
+            selects: vec![n(2)],
+        };
+        assert_eq!(r.nodes(), vec![n(0), n(1), n(2)]);
+    }
+
+    #[test]
+    fn nested_loops_are_counted() {
+        let inner = Region::Loop(LoopInfo {
+            body: vec![Region::Block(vec![n(1)])],
+            header: vec![Region::Block(vec![n(0)])],
+            ..LoopInfo::new("inner", ValueRef::Const(1))
+        });
+        let outer = Region::Loop(LoopInfo {
+            body: vec![inner],
+            header: vec![Region::Block(vec![n(2)])],
+            end_nodes: vec![n(3)],
+            ..LoopInfo::new("outer", ValueRef::Const(1))
+        });
+        assert_eq!(outer.loop_count(), 2);
+        assert_eq!(outer.nodes(), vec![n(2), n(0), n(1), n(3)]);
+        assert_eq!(total_loop_count(&[outer]), 2);
+    }
+
+    #[test]
+    fn empty_region_detection() {
+        assert!(Region::Block(vec![]).is_empty());
+        let empty_branch = Region::Branch {
+            condition: ValueRef::Const(0),
+            condition_node: None,
+            then_regions: vec![],
+            else_regions: vec![],
+            selects: vec![],
+        };
+        assert!(empty_branch.is_empty());
+    }
+
+    #[test]
+    fn collect_all_nodes_spans_regions() {
+        let regions = vec![Region::Block(vec![n(0)]), Region::Block(vec![n(1), n(2)])];
+        assert_eq!(collect_all_nodes(&regions), vec![n(0), n(1), n(2)]);
+    }
+}

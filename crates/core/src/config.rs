@@ -1,0 +1,159 @@
+//! Synthesis configuration.
+
+use impact_modlib::DEFAULT_CLOCK_NS;
+use impact_power::PowerConfig;
+
+/// What the iterative improvement minimizes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OptimizationMode {
+    /// Minimize estimated average power (the IMPACT objective).
+    Power,
+    /// Minimize area (the baseline the paper's `A-Power` designs come from).
+    Area,
+}
+
+/// Knobs of one synthesis run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SynthesisConfig {
+    /// Optimization objective.
+    pub mode: OptimizationMode,
+    /// Allowed ENC as a multiple of the minimum achievable ENC (the paper's
+    /// laxity factor, swept from 1.0 to 3.0 in Figure 13).
+    pub laxity: f64,
+    /// Clock period in nanoseconds.
+    pub clock_ns: f64,
+    /// Maximum number of improvement passes.
+    pub max_passes: usize,
+    /// Maximum number of moves per variable-depth sequence.
+    pub max_sequence_length: usize,
+    /// Enable the multiplexer-tree restructuring move.
+    pub mux_restructuring: bool,
+    /// Enable module selection/substitution moves.
+    pub module_selection: bool,
+    /// Enable functional-unit sharing/splitting moves.
+    pub resource_sharing: bool,
+    /// Enable register sharing/splitting moves.
+    pub register_sharing: bool,
+    /// Scale the supply voltage down into the slack left by the laxity
+    /// constraint.
+    pub vdd_scaling: bool,
+    /// Power-estimator technology parameters.
+    pub power: PowerConfig,
+}
+
+impl SynthesisConfig {
+    /// Power-optimization mode with every move enabled (the `I-Power` /
+    /// `I-Area` designs of the paper).
+    pub fn power_optimized(laxity: f64) -> Self {
+        Self {
+            mode: OptimizationMode::Power,
+            laxity,
+            clock_ns: DEFAULT_CLOCK_NS,
+            max_passes: 4,
+            max_sequence_length: 6,
+            mux_restructuring: true,
+            module_selection: true,
+            resource_sharing: true,
+            register_sharing: true,
+            vdd_scaling: true,
+            power: PowerConfig::default(),
+        }
+    }
+
+    /// Area-optimization mode (the base / `A-Power` designs of the paper).
+    /// Supply scaling is still applied when reporting power, but the search
+    /// itself minimizes area.
+    pub fn area_optimized(laxity: f64) -> Self {
+        Self {
+            mode: OptimizationMode::Area,
+            ..Self::power_optimized(laxity)
+        }
+    }
+
+    /// Disables the multiplexer-restructuring move (ablation).
+    pub fn without_mux_restructuring(mut self) -> Self {
+        self.mux_restructuring = false;
+        self
+    }
+
+    /// Disables module selection (ablation).
+    pub fn without_module_selection(mut self) -> Self {
+        self.module_selection = false;
+        self
+    }
+
+    /// Disables functional-unit sharing and splitting (ablation).
+    pub fn without_resource_sharing(mut self) -> Self {
+        self.resource_sharing = false;
+        self
+    }
+
+    /// Disables register sharing and splitting (ablation).
+    pub fn without_register_sharing(mut self) -> Self {
+        self.register_sharing = false;
+        self
+    }
+
+    /// Disables supply-voltage scaling (ablation).
+    pub fn without_vdd_scaling(mut self) -> Self {
+        self.vdd_scaling = false;
+        self
+    }
+
+    /// Returns a copy with a different clock period.
+    pub fn with_clock(mut self, clock_ns: f64) -> Self {
+        self.clock_ns = clock_ns;
+        self
+    }
+
+    /// Returns a copy with different search effort limits.
+    pub fn with_effort(mut self, max_passes: usize, max_sequence_length: usize) -> Self {
+        self.max_passes = max_passes;
+        self.max_sequence_length = max_sequence_length;
+        self
+    }
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        Self::power_optimized(1.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_set_the_expected_mode() {
+        assert_eq!(SynthesisConfig::power_optimized(2.0).mode, OptimizationMode::Power);
+        assert_eq!(SynthesisConfig::area_optimized(2.0).mode, OptimizationMode::Area);
+        assert_eq!(SynthesisConfig::default().mode, OptimizationMode::Power);
+    }
+
+    #[test]
+    fn ablation_builders_toggle_single_features() {
+        let c = SynthesisConfig::power_optimized(1.5)
+            .without_mux_restructuring()
+            .without_module_selection()
+            .without_resource_sharing()
+            .without_register_sharing()
+            .without_vdd_scaling();
+        assert!(!c.mux_restructuring);
+        assert!(!c.module_selection);
+        assert!(!c.resource_sharing);
+        assert!(!c.register_sharing);
+        assert!(!c.vdd_scaling);
+        assert!(SynthesisConfig::power_optimized(1.5).mux_restructuring);
+    }
+
+    #[test]
+    fn effort_and_clock_builders() {
+        let c = SynthesisConfig::power_optimized(1.0)
+            .with_clock(20.0)
+            .with_effort(2, 3);
+        assert_eq!(c.clock_ns, 20.0);
+        assert_eq!(c.max_passes, 2);
+        assert_eq!(c.max_sequence_length, 3);
+    }
+}

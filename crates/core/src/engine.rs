@@ -1,0 +1,349 @@
+//! The IMPACT iterative-improvement engine (Figure 7 of the paper).
+
+use impact_behsim::ExecutionTrace;
+use impact_cdfg::analysis::ExclusionInfo;
+use impact_cdfg::Cdfg;
+use impact_power::PowerBreakdown;
+use impact_rtl::RtlDesign;
+use impact_sched::SchedulingResult;
+
+use crate::config::{OptimizationMode, SynthesisConfig};
+use crate::error::SynthesisError;
+use crate::evaluate::{DesignPoint, Evaluator};
+use crate::moves::{generate, Move};
+
+/// One committed move together with its (possibly negative) gain.
+#[derive(Clone, Debug)]
+pub struct MoveRecord {
+    /// The move applied.
+    pub applied: Move,
+    /// Cost reduction it produced (in the units of the optimization mode).
+    pub gain: f64,
+    /// Improvement pass during which it was committed.
+    pub pass: usize,
+}
+
+/// Summary metrics of a finished synthesis run.
+#[derive(Clone, Debug)]
+pub struct SynthesisReport {
+    /// Estimated average power at the selected supply, in milliwatts.
+    pub power_mw: f64,
+    /// Power of the final design at the 5 V reference supply, in milliwatts.
+    pub power_at_reference_mw: f64,
+    /// Power breakdown at the selected supply.
+    pub breakdown: PowerBreakdown,
+    /// Total area in equivalent gates.
+    pub area: f64,
+    /// Selected supply voltage in volts.
+    pub vdd: f64,
+    /// Expected number of cycles of the final schedule.
+    pub enc: f64,
+    /// Minimum achievable ENC for this design and library.
+    pub enc_min: f64,
+    /// The ENC budget (`laxity × enc_min`).
+    pub enc_limit: f64,
+    /// The laxity factor the run was constrained to.
+    pub laxity: f64,
+    /// Power of the initial fully-parallel architecture at 5 V (the paper's
+    /// normalization base before area optimization).
+    pub initial_power_mw: f64,
+    /// Area of the initial fully-parallel architecture.
+    pub initial_area: f64,
+    /// Number of committed moves.
+    pub moves_applied: usize,
+    /// Number of improvement passes executed.
+    pub passes: usize,
+}
+
+/// Result of [`Impact::synthesize`]: the final architecture, its schedule and
+/// the report plus the move history.
+#[derive(Clone, Debug)]
+pub struct SynthesisOutcome {
+    /// Final RT-level architecture.
+    pub design: RtlDesign,
+    /// Final schedule.
+    pub schedule: SchedulingResult,
+    /// Headline metrics.
+    pub report: SynthesisReport,
+    /// Committed moves in application order.
+    pub history: Vec<MoveRecord>,
+}
+
+/// The IMPACT synthesis engine.
+#[derive(Clone, Debug)]
+pub struct Impact {
+    config: SynthesisConfig,
+}
+
+impl Impact {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: SynthesisConfig) -> Self {
+        Self { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &SynthesisConfig {
+        &self.config
+    }
+
+    /// Runs the full synthesis flow of Figure 7: start from the fully
+    /// parallel architecture, iteratively apply variable-depth sequences of
+    /// moves, and stop when a whole pass brings no improvement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::InfeasibleLaxity`] for laxity below 1.0 and
+    /// propagates scheduler failures.
+    pub fn synthesize(
+        &self,
+        cdfg: &Cdfg,
+        trace: &ExecutionTrace,
+    ) -> Result<SynthesisOutcome, SynthesisError> {
+        let evaluator = Evaluator::new(cdfg, trace, self.config.clone())?;
+        let exclusion = ExclusionInfo::compute(cdfg);
+        let mode = self.config.mode;
+
+        let initial = evaluator.initial_point()?;
+        let initial_power_mw = initial.power_at_reference.total_mw();
+        let initial_area = initial.area;
+
+        let mut current = initial;
+        let mut history: Vec<MoveRecord> = Vec::new();
+        let mut passes_run = 0usize;
+
+        for pass in 0..self.config.max_passes {
+            passes_run = pass + 1;
+            let committed = self.improvement_pass(
+                cdfg,
+                &evaluator,
+                &exclusion,
+                &mut current,
+                pass,
+                &mut history,
+            )?;
+            if !committed {
+                break;
+            }
+        }
+
+        let report = SynthesisReport {
+            power_mw: current.power.total_mw(),
+            power_at_reference_mw: current.power_at_reference.total_mw(),
+            breakdown: current.power,
+            area: current.area,
+            vdd: current.vdd,
+            enc: current.enc(),
+            enc_min: evaluator.enc_min(),
+            enc_limit: evaluator.enc_limit(),
+            laxity: self.config.laxity,
+            initial_power_mw,
+            initial_area,
+            moves_applied: history.len(),
+            passes: passes_run,
+        };
+        let _ = mode;
+        Ok(SynthesisOutcome {
+            design: current.design,
+            schedule: current.schedule,
+            report,
+            history,
+        })
+    }
+
+    /// One variable-depth pass. Returns `true` when at least one move was
+    /// committed.
+    fn improvement_pass(
+        &self,
+        cdfg: &Cdfg,
+        evaluator: &Evaluator<'_>,
+        exclusion: &ExclusionInfo,
+        current: &mut DesignPoint,
+        pass: usize,
+        history: &mut Vec<MoveRecord>,
+    ) -> Result<bool, SynthesisError> {
+        let mode = self.config.mode;
+        let mut working = current.clone();
+        let mut sequence: Vec<(Move, DesignPoint, f64)> = Vec::new();
+        let mut cumulative_gain = 0.0;
+        let mut best_gain = 0.0;
+        let mut best_prefix = 0usize;
+
+        for _ in 0..self.config.max_sequence_length {
+            let candidates = generate(cdfg, evaluator.library(), &working.design, &self.config, exclusion);
+            if candidates.is_empty() {
+                break;
+            }
+
+            // Rank candidates with a cheap single-schedule evaluation at the
+            // reference supply, then fully evaluate the winner (including Vdd
+            // scaling).
+            let working_reference_cost = reference_cost(&working, mode);
+            let mut ranked: Option<(Move, f64)> = None;
+            for candidate in candidates {
+                let mut mutated = working.design.clone();
+                if candidate
+                    .apply(cdfg, evaluator.library(), &mut mutated)
+                    .is_err()
+                {
+                    continue;
+                }
+                let Some(point) =
+                    evaluator.evaluate_at_vdd(&mutated, impact_modlib::VDD_REFERENCE)?
+                else {
+                    continue;
+                };
+                let gain = working_reference_cost - reference_cost(&point, mode);
+                match &ranked {
+                    Some((_, best)) if *best >= gain => {}
+                    _ => ranked = Some((candidate, gain)),
+                }
+            }
+            let Some((chosen, _)) = ranked else { break };
+
+            let mut mutated = working.design.clone();
+            chosen.apply(cdfg, evaluator.library(), &mut mutated)?;
+            let Some(full) = evaluator.evaluate(&mutated)? else {
+                break;
+            };
+            let gain = working.cost(mode) - full.cost(mode);
+            cumulative_gain += gain;
+            working = full.clone();
+            sequence.push((chosen, full, gain));
+            if cumulative_gain > best_gain + 1e-9 {
+                best_gain = cumulative_gain;
+                best_prefix = sequence.len();
+            }
+        }
+
+        if best_prefix == 0 {
+            return Ok(false);
+        }
+        // Commit the prefix with the best cumulative gain.
+        for (mv, _, gain) in sequence.iter().take(best_prefix) {
+            history.push(MoveRecord {
+                applied: mv.clone(),
+                gain: *gain,
+                pass,
+            });
+        }
+        *current = sequence[best_prefix - 1].1.clone();
+        Ok(true)
+    }
+}
+
+fn reference_cost(point: &DesignPoint, mode: OptimizationMode) -> f64 {
+    match mode {
+        OptimizationMode::Power => point.power_at_reference.total_mw(),
+        OptimizationMode::Area => point.area,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impact_behsim::simulate;
+
+    fn setup(
+        bench: impact_benchmarks::Benchmark,
+        passes: usize,
+    ) -> (Cdfg, ExecutionTrace) {
+        let cdfg = bench.compile().unwrap();
+        let inputs = bench.input_sequences(passes, 17);
+        let trace = simulate(&cdfg, &inputs).unwrap();
+        (cdfg, trace)
+    }
+
+    fn quick(config: SynthesisConfig) -> SynthesisConfig {
+        config.with_effort(2, 3)
+    }
+
+    #[test]
+    fn power_mode_reduces_power_versus_the_initial_architecture() {
+        let (cdfg, trace) = setup(impact_benchmarks::gcd(), 12);
+        let outcome = Impact::new(quick(SynthesisConfig::power_optimized(2.0)))
+            .synthesize(&cdfg, &trace)
+            .unwrap();
+        assert!(
+            outcome.report.power_at_reference_mw <= outcome.report.initial_power_mw + 1e-9,
+            "search must not end on a worse design ({} vs {})",
+            outcome.report.power_at_reference_mw,
+            outcome.report.initial_power_mw
+        );
+        assert!(outcome.report.enc <= outcome.report.enc_limit + 1e-6);
+        assert!(outcome.report.vdd <= 5.0);
+    }
+
+    #[test]
+    fn area_mode_reduces_area_and_respects_the_enc_budget() {
+        let (cdfg, trace) = setup(impact_benchmarks::gcd(), 12);
+        let outcome = Impact::new(quick(SynthesisConfig::area_optimized(2.0)))
+            .synthesize(&cdfg, &trace)
+            .unwrap();
+        assert!(outcome.report.area < outcome.report.initial_area);
+        assert!(outcome.report.enc <= outcome.report.enc_limit + 1e-6);
+        assert!(!outcome.history.is_empty());
+    }
+
+    #[test]
+    fn higher_laxity_never_increases_optimized_power() {
+        let (cdfg, trace) = setup(impact_benchmarks::gcd(), 12);
+        let tight = Impact::new(quick(SynthesisConfig::power_optimized(1.0)))
+            .synthesize(&cdfg, &trace)
+            .unwrap();
+        let relaxed = Impact::new(quick(SynthesisConfig::power_optimized(3.0)))
+            .synthesize(&cdfg, &trace)
+            .unwrap();
+        assert!(
+            relaxed.report.power_mw <= tight.report.power_mw + 1e-9,
+            "more slack must not hurt power ({} vs {})",
+            relaxed.report.power_mw,
+            tight.report.power_mw
+        );
+        assert!(relaxed.report.vdd <= tight.report.vdd + 1e-9);
+    }
+
+    #[test]
+    fn committed_moves_report_their_pass_and_kind() {
+        let (cdfg, trace) = setup(impact_benchmarks::gcd(), 12);
+        let outcome = Impact::new(quick(SynthesisConfig::power_optimized(2.0)))
+            .synthesize(&cdfg, &trace)
+            .unwrap();
+        for record in &outcome.history {
+            assert!(record.pass < outcome.report.passes);
+            assert!(!record.applied.kind().is_empty());
+        }
+        assert_eq!(outcome.history.len(), outcome.report.moves_applied);
+    }
+
+    #[test]
+    fn infeasible_laxity_is_reported() {
+        let (cdfg, trace) = setup(impact_benchmarks::gcd(), 8);
+        assert!(matches!(
+            Impact::new(SynthesisConfig::power_optimized(0.5)).synthesize(&cdfg, &trace),
+            Err(SynthesisError::InfeasibleLaxity { .. })
+        ));
+    }
+
+    #[test]
+    fn data_dominated_designs_are_handled_too() {
+        let (cdfg, trace) = setup(impact_benchmarks::paulin(), 6);
+        let outcome = Impact::new(quick(SynthesisConfig::power_optimized(2.0)))
+            .synthesize(&cdfg, &trace)
+            .unwrap();
+        assert!(outcome.report.power_mw > 0.0);
+        assert!(outcome.report.enc <= outcome.report.enc_limit + 1e-6);
+    }
+
+    #[test]
+    fn final_schedule_covers_every_functional_operation() {
+        let (cdfg, trace) = setup(impact_benchmarks::gcd(), 12);
+        let outcome = Impact::new(quick(SynthesisConfig::power_optimized(2.0)))
+            .synthesize(&cdfg, &trace)
+            .unwrap();
+        for (id, node) in cdfg.nodes() {
+            if node.operation.needs_functional_unit() {
+                assert!(outcome.schedule.stg.state_of(id).is_some());
+            }
+        }
+    }
+}

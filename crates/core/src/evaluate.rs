@@ -1,0 +1,363 @@
+//! Cost evaluation of RT-level designs: scheduling, power, area and supply
+//! scaling against the laxity constraint.
+
+use impact_behsim::ExecutionTrace;
+use impact_cdfg::Cdfg;
+use impact_modlib::{ModuleLibrary, VDD_REFERENCE};
+use impact_power::{PowerBreakdown, PowerEstimator};
+use impact_rtl::{MuxTree, RtlDesign};
+use impact_sched::{ScheduleConfig, Scheduler, SchedulingProblem, SchedulingResult, WaveScheduler};
+use impact_trace::RtTraces;
+
+use crate::config::{OptimizationMode, SynthesisConfig};
+use crate::error::SynthesisError;
+
+/// A fully evaluated design: architecture, schedule, operating point and the
+/// resulting cost metrics.
+#[derive(Clone, Debug)]
+pub struct DesignPoint {
+    /// The RT-level architecture.
+    pub design: RtlDesign,
+    /// Its schedule at the selected supply voltage.
+    pub schedule: SchedulingResult,
+    /// Selected supply voltage in volts.
+    pub vdd: f64,
+    /// Power at the selected supply voltage.
+    pub power: PowerBreakdown,
+    /// Power of the same design operated at the 5 V reference supply.
+    pub power_at_reference: PowerBreakdown,
+    /// Total area in equivalent gates.
+    pub area: f64,
+}
+
+impl DesignPoint {
+    /// Expected number of cycles of the design at its operating point.
+    pub fn enc(&self) -> f64 {
+        self.schedule.enc
+    }
+
+    /// The scalar the search minimizes under the given mode.
+    pub fn cost(&self, mode: OptimizationMode) -> f64 {
+        match mode {
+            OptimizationMode::Power => self.power.total_mw(),
+            OptimizationMode::Area => self.area,
+        }
+    }
+}
+
+/// Evaluator bound to one design (CDFG + behavioral trace + configuration).
+///
+/// It owns the ENC budget derived from the laxity factor: `enc_limit =
+/// laxity × enc_min`, where `enc_min` is the ENC of the Wavesched schedule of
+/// the fully-parallel architecture with the fastest modules at 5 V.
+#[derive(Clone, Debug)]
+pub struct Evaluator<'a> {
+    cdfg: &'a Cdfg,
+    trace: &'a ExecutionTrace,
+    library: ModuleLibrary,
+    config: SynthesisConfig,
+    enc_min: f64,
+    enc_limit: f64,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator and computes the ENC budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::InfeasibleLaxity`] for laxity below 1.0 and
+    /// propagates scheduling failures on the initial architecture.
+    pub fn new(
+        cdfg: &'a Cdfg,
+        trace: &'a ExecutionTrace,
+        config: SynthesisConfig,
+    ) -> Result<Self, SynthesisError> {
+        if config.laxity < 1.0 {
+            return Err(SynthesisError::InfeasibleLaxity {
+                laxity: config.laxity,
+            });
+        }
+        let library = ModuleLibrary::standard();
+        let mut evaluator = Self {
+            cdfg,
+            trace,
+            library,
+            config,
+            enc_min: 0.0,
+            enc_limit: f64::INFINITY,
+        };
+        let initial = RtlDesign::initial_parallel(cdfg, &evaluator.library);
+        let schedule = evaluator.schedule(&initial, VDD_REFERENCE)?;
+        evaluator.enc_min = schedule.enc;
+        evaluator.enc_limit = schedule.enc * evaluator.config.laxity;
+        Ok(evaluator)
+    }
+
+    /// Minimum achievable ENC with the given library and clock.
+    pub fn enc_min(&self) -> f64 {
+        self.enc_min
+    }
+
+    /// The ENC budget (`laxity × enc_min`).
+    pub fn enc_limit(&self) -> f64 {
+        self.enc_limit
+    }
+
+    /// The module library used for evaluation.
+    pub fn library(&self) -> &ModuleLibrary {
+        &self.library
+    }
+
+    /// The synthesis configuration.
+    pub fn config(&self) -> &SynthesisConfig {
+        &self.config
+    }
+
+    /// Builds and evaluates the initial fully-parallel architecture.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling failures; the initial architecture is always
+    /// feasible for laxity ≥ 1.
+    pub fn initial_point(&self) -> Result<DesignPoint, SynthesisError> {
+        let design = RtlDesign::initial_parallel(self.cdfg, &self.library);
+        self.evaluate(&design)?
+            .ok_or(SynthesisError::InfeasibleLaxity {
+                laxity: self.config.laxity,
+            })
+    }
+
+    /// Fully evaluates a design: checks feasibility at the reference supply,
+    /// then (when enabled) scales the supply down as far as the ENC budget
+    /// allows. Returns `None` when the design violates the ENC budget even at
+    /// 5 V.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler failures (which indicate malformed inputs, not
+    /// infeasibility).
+    pub fn evaluate(&self, design: &RtlDesign) -> Result<Option<DesignPoint>, SynthesisError> {
+        let reference = self.evaluate_at_vdd(design, VDD_REFERENCE)?;
+        let Some(reference_point) = reference else {
+            return Ok(None);
+        };
+        if !self.config.vdd_scaling {
+            return Ok(Some(reference_point));
+        }
+        // Binary search for the lowest feasible supply on the discrete grid;
+        // ENC grows monotonically as the supply (and hence speed) drops.
+        let levels = self.library.vdd().levels().to_vec();
+        let mut lo = 0usize;
+        let mut hi = levels.len() - 1; // the reference level, known feasible
+        let mut best = reference_point.clone();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match self.evaluate_at_vdd(design, levels[mid])? {
+                Some(point) => {
+                    best = point;
+                    hi = mid;
+                }
+                None => lo = mid + 1,
+            }
+        }
+        // `best` holds the point for the lowest feasible level probed; make
+        // sure it matches `levels[hi]` exactly (it might be a higher level if
+        // the last probe was infeasible).
+        if (best.vdd - levels[hi]).abs() > 1e-9 {
+            if let Some(point) = self.evaluate_at_vdd(design, levels[hi])? {
+                best = point;
+            }
+        }
+        Ok(Some(best))
+    }
+
+    /// Evaluates a design at one fixed supply voltage (a single scheduling),
+    /// returning `None` when it violates the ENC budget there.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler failures.
+    pub fn evaluate_at_vdd(
+        &self,
+        design: &RtlDesign,
+        vdd: f64,
+    ) -> Result<Option<DesignPoint>, SynthesisError> {
+        let schedule = self.schedule(design, vdd)?;
+        if schedule.enc > self.enc_limit + 1e-9 {
+            return Ok(None);
+        }
+        let rt = RtTraces::new(self.cdfg, design, self.trace);
+        let estimator = PowerEstimator::new(&self.library, self.config.power.clone().at_vdd(vdd));
+        let power = estimator.estimate(self.cdfg, design, &rt, &schedule);
+        let area = estimator.area(self.cdfg, design, &schedule);
+        let power_at_reference = if (vdd - VDD_REFERENCE).abs() < 1e-9 {
+            power
+        } else {
+            let ref_estimator =
+                PowerEstimator::new(&self.library, self.config.power.clone().at_vdd(VDD_REFERENCE));
+            ref_estimator.estimate(self.cdfg, design, &rt, &schedule)
+        };
+        Ok(Some(DesignPoint {
+            design: design.clone(),
+            schedule,
+            vdd,
+            power,
+            power_at_reference,
+            area,
+        }))
+    }
+
+    /// Schedules a design at the given supply voltage with the Wavesched
+    /// scheduler, using effective per-node delays that include module delay,
+    /// interconnect (mux-tree) delay and supply-dependent slowdown.
+    fn schedule(&self, design: &RtlDesign, vdd: f64) -> Result<SchedulingResult, SynthesisError> {
+        let factor = self.library.vdd().delay_factor(vdd);
+        let node_delays = self.effective_node_delays(design, factor);
+        let problem = SchedulingProblem {
+            cdfg: self.cdfg,
+            node_delays,
+            node_fu: design.scheduler_binding(),
+            profile: self.trace.profile().clone(),
+            config: ScheduleConfig::wavesched().with_clock(self.config.clock_ns),
+        };
+        WaveScheduler::new()
+            .schedule(&problem)
+            .map_err(SynthesisError::from)
+    }
+
+    /// Effective delay of every node: module delay plus the mux stages its
+    /// operands and result traverse, all scaled by the supply-dependent
+    /// factor. Restructured trees use each operand's actual depth in the
+    /// activity-probability-ordered tree, which is how restructuring can
+    /// shorten the critical path of probable signals (the Figure 9/10
+    /// example).
+    pub fn effective_node_delays(&self, design: &RtlDesign, delay_factor: f64) -> Vec<f64> {
+        let mut delays = design.node_module_delays(self.cdfg, &self.library);
+        let mux_delay = self.library.mux2().delay_ns;
+        let rt = RtTraces::new(self.cdfg, design, self.trace);
+        for site in design.mux_sites(self.cdfg) {
+            if site.fan_in() < 2 {
+                continue;
+            }
+            let depth_of: Vec<usize> = if design.is_restructured(site.sink) {
+                let tree = MuxTree::huffman(rt.mux_source_stats(&site));
+                (0..site.sources.len())
+                    .map(|i| tree.depth_of(i).unwrap_or(0))
+                    .collect()
+            } else {
+                let tree = MuxTree::balanced(
+                    site.sources
+                        .iter()
+                        .map(|_| impact_rtl::MuxSource::new("s", 0.0, 0.0))
+                        .collect::<Vec<_>>(),
+                );
+                (0..site.sources.len())
+                    .map(|i| tree.depth_of(i).unwrap_or(0))
+                    .collect()
+            };
+            for (index, source) in site.sources.iter().enumerate() {
+                let extra = depth_of[index] as f64 * mux_delay;
+                for &op in &source.ops {
+                    delays[op.index()] += extra;
+                }
+            }
+        }
+        for d in delays.iter_mut() {
+            *d *= delay_factor;
+        }
+        delays
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impact_behsim::simulate;
+
+    fn gcd_setup(laxity: f64) -> (Cdfg, ExecutionTrace, SynthesisConfig) {
+        let bench = impact_benchmarks::gcd();
+        let cdfg = bench.compile().unwrap();
+        let inputs = bench.input_sequences(16, 3);
+        let trace = simulate(&cdfg, &inputs).unwrap();
+        (cdfg, trace, SynthesisConfig::power_optimized(laxity))
+    }
+
+    #[test]
+    fn enc_budget_scales_with_laxity() {
+        let (cdfg, trace, config) = gcd_setup(2.0);
+        let evaluator = Evaluator::new(&cdfg, &trace, config).unwrap();
+        assert!(evaluator.enc_min() > 0.0);
+        assert!((evaluator.enc_limit() - 2.0 * evaluator.enc_min()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn laxity_below_one_is_rejected() {
+        let (cdfg, trace, _) = gcd_setup(2.0);
+        let err = Evaluator::new(&cdfg, &trace, SynthesisConfig::power_optimized(0.8)).unwrap_err();
+        assert!(matches!(err, SynthesisError::InfeasibleLaxity { .. }));
+    }
+
+    #[test]
+    fn initial_point_is_feasible_and_at_reduced_vdd_when_laxity_allows() {
+        let (cdfg, trace, config) = gcd_setup(2.5);
+        let evaluator = Evaluator::new(&cdfg, &trace, config).unwrap();
+        let point = evaluator.initial_point().unwrap();
+        assert!(point.enc() <= evaluator.enc_limit() + 1e-9);
+        assert!(point.vdd < VDD_REFERENCE, "slack should be converted into a lower supply");
+        assert!(point.power.total_mw() < point.power_at_reference.total_mw());
+    }
+
+    #[test]
+    fn laxity_one_keeps_the_reference_supply() {
+        let (cdfg, trace, _) = gcd_setup(2.0);
+        let evaluator =
+            Evaluator::new(&cdfg, &trace, SynthesisConfig::power_optimized(1.0)).unwrap();
+        let point = evaluator.initial_point().unwrap();
+        // With no slack the supply can barely move; it must stay close to 5 V.
+        assert!(point.vdd > 4.0, "vdd {} should stay near the reference", point.vdd);
+    }
+
+    #[test]
+    fn infeasible_designs_evaluate_to_none() {
+        let (cdfg, trace, config) = gcd_setup(1.0);
+        let evaluator = Evaluator::new(&cdfg, &trace, config).unwrap();
+        // Make the design much slower than the fully parallel one: share both
+        // subtractors and put ripple adders on them.
+        let mut design = RtlDesign::initial_parallel(&cdfg, evaluator.library());
+        let adders = design.units_of_class(impact_cdfg::OpClass::AddSub);
+        design.share_fus(adders[0], adders[1]).unwrap();
+        let ripple = evaluator.library().variant_by_name("ripple_adder").unwrap();
+        design
+            .substitute_module(evaluator.library(), adders[0], ripple)
+            .unwrap();
+        // At laxity 1.0 the budget equals the fastest schedule, so this must
+        // either be infeasible or cost strictly more cycles at 5 V.
+        match evaluator.evaluate(&design).unwrap() {
+            None => {}
+            Some(point) => assert!(point.enc() <= evaluator.enc_limit() + 1e-9),
+        }
+    }
+
+    #[test]
+    fn effective_delays_grow_when_the_supply_drops() {
+        let (cdfg, trace, config) = gcd_setup(2.0);
+        let evaluator = Evaluator::new(&cdfg, &trace, config).unwrap();
+        let design = RtlDesign::initial_parallel(&cdfg, evaluator.library());
+        let at_5v = evaluator.effective_node_delays(&design, 1.0);
+        let slow = evaluator.effective_node_delays(&design, 2.0);
+        for (a, b) in at_5v.iter().zip(&slow) {
+            assert!(b >= a);
+        }
+    }
+
+    #[test]
+    fn evaluate_at_reference_matches_reference_power() {
+        let (cdfg, trace, config) = gcd_setup(1.5);
+        let evaluator = Evaluator::new(&cdfg, &trace, config).unwrap();
+        let design = RtlDesign::initial_parallel(&cdfg, evaluator.library());
+        let point = evaluator.evaluate_at_vdd(&design, VDD_REFERENCE).unwrap().unwrap();
+        assert!((point.power.total_mw() - point.power_at_reference.total_mw()).abs() < 1e-12);
+        assert!(point.cost(OptimizationMode::Area) > 0.0);
+        assert!(point.cost(OptimizationMode::Power) > 0.0);
+    }
+}

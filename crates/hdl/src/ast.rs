@@ -1,0 +1,267 @@
+//! Abstract syntax tree for the behavioral language.
+
+use std::fmt;
+
+/// A complete behavioral design: ports, local variables and a statement body.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Design {
+    /// Design name.
+    pub name: String,
+    /// Primary inputs.
+    pub inputs: Vec<PortDecl>,
+    /// Primary outputs.
+    pub outputs: Vec<PortDecl>,
+    /// Local variable declarations.
+    pub variables: Vec<VarDecl>,
+    /// Statement body, in program order.
+    pub body: Vec<Stmt>,
+}
+
+/// A primary input or output declaration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PortDecl {
+    /// Port name.
+    pub name: String,
+    /// Bit width.
+    pub width: u8,
+}
+
+/// A local variable declaration with an optional initializer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Bit width.
+    pub width: u8,
+    /// Constant initial value.
+    pub initial: Option<i64>,
+}
+
+/// Statements.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Stmt {
+    /// `name = expr;`
+    Assign {
+        /// Assignment target.
+        target: String,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if (cond) { … } else { … }`
+    If {
+        /// Branch condition.
+        condition: Expr,
+        /// Statements executed when the condition is true.
+        then_body: Vec<Stmt>,
+        /// Statements executed when the condition is false.
+        else_body: Vec<Stmt>,
+    },
+    /// `while (cond) { … }`
+    While {
+        /// Loop condition, tested before each iteration.
+        condition: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; update) { … }`
+    For {
+        /// Initialization statement (an assignment).
+        init: Box<Stmt>,
+        /// Loop condition, tested before each iteration.
+        condition: Expr,
+        /// Update statement (an assignment), executed after the body.
+        update: Box<Stmt>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+}
+
+/// Expressions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Literal(i64),
+    /// Variable or port reference.
+    Variable(String),
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnaryOp {
+    /// Arithmetic negation (`-x`).
+    Neg,
+    /// Logical not (`!x`).
+    Not,
+}
+
+/// Binary operators, from lowest to highest precedence tier.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinaryOp {
+    /// `||`
+    Or,
+    /// `&&`
+    And,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `&`
+    BitAnd,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+}
+
+impl Expr {
+    /// Convenience constructor for a binary expression.
+    pub fn binary(op: BinaryOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Convenience constructor for a variable reference.
+    pub fn var(name: &str) -> Expr {
+        Expr::Variable(name.to_string())
+    }
+
+    /// Number of operation nodes this expression lowers to.
+    pub fn op_count(&self) -> usize {
+        match self {
+            Expr::Literal(_) | Expr::Variable(_) => 0,
+            Expr::Unary { operand, .. } => 1 + operand.op_count(),
+            Expr::Binary { lhs, rhs, .. } => 1 + lhs.op_count() + rhs.op_count(),
+        }
+    }
+}
+
+impl Stmt {
+    /// Number of statements in this statement, counting nested bodies.
+    pub fn statement_count(&self) -> usize {
+        match self {
+            Stmt::Assign { .. } => 1,
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                1 + then_body.iter().map(Stmt::statement_count).sum::<usize>()
+                    + else_body.iter().map(Stmt::statement_count).sum::<usize>()
+            }
+            Stmt::While { body, .. } => 1 + body.iter().map(Stmt::statement_count).sum::<usize>(),
+            Stmt::For {
+                init,
+                update,
+                body,
+                ..
+            } => {
+                1 + init.statement_count()
+                    + update.statement_count()
+                    + body.iter().map(Stmt::statement_count).sum::<usize>()
+            }
+        }
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Or => "||",
+            BinaryOp::And => "&&",
+            BinaryOp::BitOr => "|",
+            BinaryOp::BitXor => "^",
+            BinaryOp::BitAnd => "&",
+            BinaryOp::Eq => "==",
+            BinaryOp::Ne => "!=",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::Shl => "<<",
+            BinaryOp::Shr => ">>",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Rem => "%",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_count_counts_nested_operations() {
+        // (a + b) * (c - 1) has three operations.
+        let e = Expr::binary(
+            BinaryOp::Mul,
+            Expr::binary(BinaryOp::Add, Expr::var("a"), Expr::var("b")),
+            Expr::binary(BinaryOp::Sub, Expr::var("c"), Expr::Literal(1)),
+        );
+        assert_eq!(e.op_count(), 3);
+        assert_eq!(Expr::Literal(5).op_count(), 0);
+    }
+
+    #[test]
+    fn statement_count_includes_nested_bodies() {
+        let inner = Stmt::Assign {
+            target: "x".to_string(),
+            value: Expr::Literal(1),
+        };
+        let loop_stmt = Stmt::While {
+            condition: Expr::var("c"),
+            body: vec![inner.clone(), inner],
+        };
+        assert_eq!(loop_stmt.statement_count(), 3);
+    }
+
+    #[test]
+    fn binary_op_display() {
+        assert_eq!(BinaryOp::Add.to_string(), "+");
+        assert_eq!(BinaryOp::Ne.to_string(), "!=");
+    }
+}

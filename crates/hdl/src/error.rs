@@ -1,0 +1,106 @@
+//! Error type for the behavioral frontend.
+
+use std::error::Error;
+use std::fmt;
+
+use impact_cdfg::CdfgError;
+
+/// Errors produced while compiling behavioral source text.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum HdlError {
+    /// An unexpected character was encountered while tokenizing.
+    Lex {
+        /// 1-based line number.
+        line: u32,
+        /// 1-based column number.
+        column: u32,
+        /// The offending character.
+        found: char,
+    },
+    /// The token stream did not match the grammar.
+    Parse {
+        /// 1-based line number.
+        line: u32,
+        /// 1-based column number.
+        column: u32,
+        /// What the parser expected.
+        expected: String,
+        /// What it found instead.
+        found: String,
+    },
+    /// A name was used before being declared, declared twice, or misused
+    /// (e.g. assigning to a primary input).
+    Semantic {
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// The CDFG builder rejected the lowered graph.
+    Lowering(CdfgError),
+}
+
+impl fmt::Display for HdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdlError::Lex {
+                line,
+                column,
+                found,
+            } => write!(f, "line {line}:{column}: unexpected character `{found}`"),
+            HdlError::Parse {
+                line,
+                column,
+                expected,
+                found,
+            } => write!(
+                f,
+                "line {line}:{column}: expected {expected}, found {found}"
+            ),
+            HdlError::Semantic { message } => write!(f, "semantic error: {message}"),
+            HdlError::Lowering(e) => write!(f, "lowering error: {e}"),
+        }
+    }
+}
+
+impl Error for HdlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HdlError::Lowering(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CdfgError> for HdlError {
+    fn from(e: CdfgError) -> Self {
+        HdlError::Lowering(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = HdlError::Parse {
+            line: 3,
+            column: 9,
+            expected: "`;`".to_string(),
+            found: "`}`".to_string(),
+        };
+        assert_eq!(e.to_string(), "line 3:9: expected `;`, found `}`");
+    }
+
+    #[test]
+    fn lowering_errors_chain_their_source() {
+        let e = HdlError::from(CdfgError::EmptyGraph);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("lowering error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: std::error::Error + Send + Sync + 'static>() {}
+        check::<HdlError>();
+    }
+}

@@ -1,0 +1,57 @@
+//! Behavioral HDL frontend for the IMPACT high-level synthesis system.
+//!
+//! The paper starts from "an input specification described in a hardware
+//! description language that has been compiled into a CDFG". This crate is
+//! that compiler: a small C-like behavioral language with designs, typed
+//! ports, local variables, `if`/`else`, `while` and `for` statements is
+//! lexed, parsed and lowered onto the [`impact_cdfg`] builder.
+//!
+//! # Example
+//!
+//! ```
+//! let source = r#"
+//!     design gcd {
+//!         input a: 8, b: 8;
+//!         output result: 8;
+//!         var x: 8 = 0;
+//!         var y: 8 = 0;
+//!         x = a;
+//!         y = b;
+//!         while (x != y) {
+//!             if (x > y) { x = x - y; } else { y = y - x; }
+//!         }
+//!         result = x;
+//!     }
+//! "#;
+//! let cdfg = impact_hdl::compile(source)?;
+//! assert_eq!(cdfg.name(), "gcd");
+//! assert!(cdfg.validate().is_ok());
+//! # Ok::<(), impact_hdl::HdlError>(())
+//! ```
+
+mod ast;
+mod error;
+mod lexer;
+mod lower;
+mod parser;
+
+pub use ast::{BinaryOp, Design, Expr, PortDecl, Stmt, UnaryOp, VarDecl};
+pub use error::HdlError;
+pub use lexer::{Lexer, Token, TokenKind};
+pub use lower::lower;
+pub use parser::parse;
+
+use impact_cdfg::Cdfg;
+
+/// Compiles behavioral source text into a CDFG.
+///
+/// This is the `parse` + `lower` convenience entry point.
+///
+/// # Errors
+///
+/// Returns an [`HdlError`] describing the first lexical, syntactic, semantic
+/// or lowering problem encountered.
+pub fn compile(source: &str) -> Result<Cdfg, HdlError> {
+    let design = parse(source)?;
+    lower(&design)
+}

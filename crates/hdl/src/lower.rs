@@ -1,0 +1,426 @@
+//! Lowering from the behavioral AST onto the CDFG builder.
+
+use std::collections::HashSet;
+
+use impact_cdfg::{Cdfg, CdfgBuilder, Operation, ValueRef};
+
+use crate::ast::{BinaryOp, Design, Expr, Stmt, UnaryOp};
+use crate::error::HdlError;
+
+/// Lowers a parsed [`Design`] into a validated [`Cdfg`].
+///
+/// # Errors
+///
+/// Returns [`HdlError::Semantic`] for undeclared or misused names and
+/// [`HdlError::Lowering`] if the resulting graph fails validation.
+pub fn lower(design: &Design) -> Result<Cdfg, HdlError> {
+    Lowering::new(design)?.run()
+}
+
+struct Lowering<'a> {
+    design: &'a Design,
+    builder: CdfgBuilder,
+    inputs: HashSet<String>,
+    declared: HashSet<String>,
+    temp_counter: usize,
+    loop_counter: usize,
+}
+
+impl<'a> Lowering<'a> {
+    fn new(design: &'a Design) -> Result<Self, HdlError> {
+        let mut builder = CdfgBuilder::new(&design.name);
+        let mut inputs = HashSet::new();
+        let mut declared = HashSet::new();
+
+        for port in &design.inputs {
+            if !declared.insert(port.name.clone()) {
+                return Err(duplicate(&port.name));
+            }
+            inputs.insert(port.name.clone());
+            builder.input(&port.name, port.width);
+        }
+        for port in &design.outputs {
+            if !declared.insert(port.name.clone()) {
+                return Err(duplicate(&port.name));
+            }
+            builder.output(&port.name, port.width);
+        }
+        for var in &design.variables {
+            if !declared.insert(var.name.clone()) {
+                return Err(duplicate(&var.name));
+            }
+            builder.local(&var.name, var.width, var.initial)?;
+        }
+
+        Ok(Self {
+            design,
+            builder,
+            inputs,
+            declared,
+            temp_counter: 0,
+            loop_counter: 0,
+        })
+    }
+
+    fn run(mut self) -> Result<Cdfg, HdlError> {
+        for stmt in &self.design.body {
+            self.lower_stmt(stmt)?;
+        }
+        // Commit every primary output once, reading its final value.
+        for port in &self.design.outputs {
+            let var = self
+                .builder
+                .variable(&port.name)
+                .expect("output declared above");
+            self.builder.emit_output(ValueRef::Var(var), var);
+        }
+        self.builder.finish().map_err(HdlError::from)
+    }
+
+    fn fresh_temp(&mut self) -> String {
+        let name = format!("%e{}", self.temp_counter);
+        self.temp_counter += 1;
+        name
+    }
+
+    fn lookup(&self, name: &str) -> Result<ValueRef, HdlError> {
+        if !self.declared.contains(name) {
+            return Err(HdlError::Semantic {
+                message: format!("variable `{name}` used before declaration"),
+            });
+        }
+        let var = self
+            .builder
+            .variable(name)
+            .expect("declared names exist in the builder");
+        Ok(ValueRef::Var(var))
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<(), HdlError> {
+        match stmt {
+            Stmt::Assign { target, value } => self.lower_assign(target, value),
+            Stmt::If {
+                condition,
+                then_body,
+                else_body,
+            } => {
+                let cond = self.lower_expr(condition)?;
+                self.builder.begin_branch(cond);
+                for s in then_body {
+                    self.lower_stmt(s)?;
+                }
+                if !else_body.is_empty() {
+                    self.builder.begin_else();
+                    for s in else_body {
+                        self.lower_stmt(s)?;
+                    }
+                }
+                self.builder.end_branch();
+                Ok(())
+            }
+            Stmt::While { condition, body } => {
+                let label = self.fresh_loop_label();
+                self.builder.begin_loop(&label);
+                let cond = self.lower_expr(condition)?;
+                self.builder.end_loop_header(cond);
+                for s in body {
+                    self.lower_stmt(s)?;
+                }
+                self.builder.end_loop();
+                Ok(())
+            }
+            Stmt::For {
+                init,
+                condition,
+                update,
+                body,
+            } => {
+                self.lower_stmt(init)?;
+                let label = self.fresh_loop_label();
+                self.builder.begin_loop(&label);
+                let cond = self.lower_expr(condition)?;
+                self.builder.end_loop_header(cond);
+                for s in body {
+                    self.lower_stmt(s)?;
+                }
+                self.lower_stmt(update)?;
+                self.builder.end_loop();
+                Ok(())
+            }
+        }
+    }
+
+    fn fresh_loop_label(&mut self) -> String {
+        let label = format!("loop{}", self.loop_counter);
+        self.loop_counter += 1;
+        label
+    }
+
+    fn lower_assign(&mut self, target: &str, value: &Expr) -> Result<(), HdlError> {
+        if !self.declared.contains(target) {
+            return Err(HdlError::Semantic {
+                message: format!("assignment to undeclared variable `{target}`"),
+            });
+        }
+        if self.inputs.contains(target) {
+            return Err(HdlError::Semantic {
+                message: format!("primary input `{target}` cannot be assigned"),
+            });
+        }
+        match value {
+            Expr::Binary { op, lhs, rhs } => {
+                let l = self.lower_expr(lhs)?;
+                let r = self.lower_expr(rhs)?;
+                self.builder.binary(map_binary(*op), l, r, target)?;
+            }
+            Expr::Unary { op, operand } => {
+                let v = self.lower_expr(operand)?;
+                self.builder.unary(map_unary(*op), v, target)?;
+            }
+            Expr::Literal(_) | Expr::Variable(_) => {
+                let v = self.lower_expr(value)?;
+                self.builder.assign(v, target)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_expr(&mut self, expr: &Expr) -> Result<ValueRef, HdlError> {
+        match expr {
+            Expr::Literal(v) => Ok(ValueRef::Const(*v)),
+            Expr::Variable(name) => self.lookup(name),
+            Expr::Unary { op, operand } => {
+                let v = self.lower_expr(operand)?;
+                let temp = self.fresh_temp();
+                let var = self.builder.unary(map_unary(*op), v, &temp)?;
+                Ok(ValueRef::Var(var))
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let l = self.lower_expr(lhs)?;
+                let r = self.lower_expr(rhs)?;
+                let temp = self.fresh_temp();
+                let var = self.builder.binary(map_binary(*op), l, r, &temp)?;
+                Ok(ValueRef::Var(var))
+            }
+        }
+    }
+}
+
+fn duplicate(name: &str) -> HdlError {
+    HdlError::Semantic {
+        message: format!("name `{name}` declared more than once"),
+    }
+}
+
+fn map_binary(op: BinaryOp) -> Operation {
+    match op {
+        BinaryOp::Or => Operation::Or,
+        BinaryOp::And => Operation::And,
+        BinaryOp::BitOr => Operation::Or,
+        BinaryOp::BitXor => Operation::Xor,
+        BinaryOp::BitAnd => Operation::And,
+        BinaryOp::Eq => Operation::Eq,
+        BinaryOp::Ne => Operation::Ne,
+        BinaryOp::Lt => Operation::Lt,
+        BinaryOp::Le => Operation::Le,
+        BinaryOp::Gt => Operation::Gt,
+        BinaryOp::Ge => Operation::Ge,
+        BinaryOp::Shl => Operation::Shl,
+        BinaryOp::Shr => Operation::Shr,
+        BinaryOp::Add => Operation::Add,
+        BinaryOp::Sub => Operation::Sub,
+        BinaryOp::Mul => Operation::Mul,
+        BinaryOp::Div => Operation::Div,
+        BinaryOp::Rem => Operation::Rem,
+    }
+}
+
+fn map_unary(op: UnaryOp) -> Operation {
+    match op {
+        UnaryOp::Neg => Operation::Neg,
+        UnaryOp::Not => Operation::Not,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use impact_cdfg::Region;
+
+    fn compile(src: &str) -> Cdfg {
+        lower(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn straight_line_assignment_lowers_to_operations() {
+        let g = compile("design d { input a: 8, b: 8; output y: 8; y = a + b * 3; }");
+        // One Mul (temp), one Add (into y), one Output node.
+        assert_eq!(
+            g.nodes()
+                .filter(|(_, n)| n.operation == Operation::Mul)
+                .count(),
+            1
+        );
+        assert_eq!(
+            g.nodes()
+                .filter(|(_, n)| n.operation == Operation::Add)
+                .count(),
+            1
+        );
+        assert_eq!(
+            g.nodes()
+                .filter(|(_, n)| n.operation == Operation::Output)
+                .count(),
+            1
+        );
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn if_statements_become_branch_regions_with_selects() {
+        let g = compile(
+            "design d { input x: 8; output z: 8;
+               if (x > 5) { z = 1; } else { z = 2; }
+             }",
+        );
+        let has_branch = g
+            .regions()
+            .iter()
+            .any(|r| matches!(r, Region::Branch { .. }));
+        assert!(has_branch);
+        assert_eq!(
+            g.nodes()
+                .filter(|(_, n)| n.operation == Operation::Select)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn for_loops_become_loop_regions() {
+        let g = compile(
+            "design d { output s: 8; var i: 8; var acc: 8 = 0;
+               for (i = 0; i < 10; i = i + 1) { acc = acc + i; }
+               s = acc;
+             }",
+        );
+        let loops = g
+            .regions()
+            .iter()
+            .filter(|r| matches!(r, Region::Loop(_)))
+            .count();
+        assert_eq!(loops, 1);
+        assert!(g.edges().any(|(_, e)| e.loop_carried));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn while_loops_lower_with_condition_in_header() {
+        let g = compile(
+            "design d { input a: 8, b: 8; output r: 8; var x: 8; var y: 8;
+               x = a; y = b;
+               while (x != y) { if (x > y) { x = x - y; } else { y = y - x; } }
+               r = x;
+             }",
+        );
+        match g
+            .regions()
+            .iter()
+            .find(|r| matches!(r, Region::Loop(_)))
+            .unwrap()
+        {
+            Region::Loop(info) => {
+                assert!(!info.header.is_empty(), "condition computed in the header");
+                assert!(!info.body.is_empty());
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn undeclared_variable_use_is_a_semantic_error() {
+        let err = lower(&parse("design d { output y: 8; y = missing + 1; }").unwrap()).unwrap_err();
+        assert!(matches!(err, HdlError::Semantic { .. }));
+    }
+
+    #[test]
+    fn assigning_to_an_input_is_rejected() {
+        let err = lower(&parse("design d { input a: 8; output y: 8; a = 3; y = a; }").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, HdlError::Semantic { .. }));
+    }
+
+    #[test]
+    fn duplicate_declarations_are_rejected() {
+        let err =
+            lower(&parse("design d { input a: 8; var a: 8; output y: 8; y = a; }").unwrap())
+                .unwrap_err();
+        assert!(matches!(err, HdlError::Semantic { .. }));
+    }
+
+    #[test]
+    fn every_output_gets_an_output_node() {
+        let g = compile("design d { input a: 8; output y: 8, z: 8; y = a; z = a + 1; }");
+        assert_eq!(
+            g.nodes()
+                .filter(|(_, n)| n.operation == Operation::Output)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn logical_and_bitwise_operators_map_to_logic_nodes() {
+        let g = compile("design d { input a: 8, b: 8; output y: 8; y = (a && b) | (a ^ b); }");
+        assert_eq!(
+            g.nodes()
+                .filter(|(_, n)| n.operation == Operation::And)
+                .count(),
+            1
+        );
+        assert_eq!(
+            g.nodes()
+                .filter(|(_, n)| n.operation == Operation::Or)
+                .count(),
+            1
+        );
+        assert_eq!(
+            g.nodes()
+                .filter(|(_, n)| n.operation == Operation::Xor)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn nested_loops_and_branches_validate() {
+        let g = compile(
+            "design d { input a: 8, b: 8, dd: 8; output zz: 8;
+               var z: 8 = 0; var i: 8; var j: 8; var h: 8 = 0; var m: 8 = 0; var k: 8 = 0;
+               var c: 1; var e: 8; var g: 8;
+               for (i = 0; i < 10; i = i + 1) {
+                 c = a && b;
+                 e = dd * i;
+                 z = z + e;
+                 if (c == 1) {
+                   z = 0;
+                 } else {
+                   for (j = 0; j < 8; j = j + 1) {
+                     g = i - h;
+                     h = g + 5;
+                     m = m + k;
+                     k = dd * j;
+                   }
+                   z = h - m;
+                   h = 8;
+                   m = 0;
+                 }
+               }
+               zz = z;
+             }",
+        );
+        assert!(g.validate().is_ok());
+        assert!(g.node_count() > 15);
+    }
+}

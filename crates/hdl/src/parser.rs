@@ -1,0 +1,534 @@
+//! Recursive-descent parser for the behavioral language.
+//!
+//! Grammar (EBNF, whitespace and `//` comments ignored):
+//!
+//! ```text
+//! design      := "design" IDENT "{" decl* stmt* "}"
+//! decl        := ("input" | "output") port ("," port)* ";"
+//!              | "var" IDENT ":" INT ("=" INT)? ";"
+//! port        := IDENT ":" INT
+//! stmt        := IDENT "=" expr ";"
+//!              | "if" "(" expr ")" block ("else" (block | if-stmt))?
+//!              | "while" "(" expr ")" block
+//!              | "for" "(" assign ";" expr ";" assign ")" block
+//! block       := "{" stmt* "}"
+//! expr        := or-expr (binary operators with C-like precedence)
+//! ```
+
+use crate::ast::{BinaryOp, Design, Expr, PortDecl, Stmt, UnaryOp, VarDecl};
+use crate::error::HdlError;
+use crate::lexer::{Lexer, Token, TokenKind};
+
+/// Parses behavioral source text into an AST.
+///
+/// # Errors
+///
+/// Returns [`HdlError::Lex`] or [`HdlError::Parse`] on malformed input.
+pub fn parse(source: &str) -> Result<Design, HdlError> {
+    let tokens = Lexer::new(source).tokenize()?;
+    Parser { tokens, pos: 0 }.design()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, expected: &str) -> Result<T, HdlError> {
+        let t = self.peek();
+        Err(HdlError::Parse {
+            line: t.line,
+            column: t.column,
+            expected: expected.to_string(),
+            found: t.kind.to_string(),
+        })
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<Token, HdlError> {
+        if self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            self.error(what)
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, HdlError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            _ => self.error(what),
+        }
+    }
+
+    fn integer(&mut self, what: &str) -> Result<i64, HdlError> {
+        // Allow a leading minus for negative constants in initializers.
+        let negative = self.eat(&TokenKind::Minus);
+        match self.peek().kind {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(if negative { -v } else { v })
+            }
+            _ => self.error(what),
+        }
+    }
+
+    fn design(&mut self) -> Result<Design, HdlError> {
+        self.expect(TokenKind::Design, "`design`")?;
+        let name = self.ident("design name")?;
+        self.expect(TokenKind::LBrace, "`{`")?;
+
+        let mut design = Design {
+            name,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            variables: Vec::new(),
+            body: Vec::new(),
+        };
+
+        loop {
+            match self.peek().kind {
+                TokenKind::Input => {
+                    self.bump();
+                    design.inputs.extend(self.port_list()?);
+                }
+                TokenKind::Output => {
+                    self.bump();
+                    design.outputs.extend(self.port_list()?);
+                }
+                TokenKind::Var => {
+                    self.bump();
+                    design.variables.push(self.var_decl()?);
+                }
+                _ => break,
+            }
+        }
+
+        while self.peek().kind != TokenKind::RBrace {
+            if self.peek().kind == TokenKind::Eof {
+                return self.error("`}` closing the design");
+            }
+            design.body.push(self.statement()?);
+        }
+        self.expect(TokenKind::RBrace, "`}`")?;
+        Ok(design)
+    }
+
+    fn port_list(&mut self) -> Result<Vec<PortDecl>, HdlError> {
+        let mut ports = Vec::new();
+        loop {
+            let name = self.ident("port name")?;
+            self.expect(TokenKind::Colon, "`:` before the port width")?;
+            let width = self.integer("port width")?;
+            ports.push(PortDecl {
+                name,
+                width: clamp_width(width),
+            });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::Semicolon, "`;` after the port list")?;
+        Ok(ports)
+    }
+
+    fn var_decl(&mut self) -> Result<VarDecl, HdlError> {
+        let name = self.ident("variable name")?;
+        self.expect(TokenKind::Colon, "`:` before the variable width")?;
+        let width = self.integer("variable width")?;
+        let initial = if self.eat(&TokenKind::Assign) {
+            Some(self.integer("initial value")?)
+        } else {
+            None
+        };
+        self.expect(TokenKind::Semicolon, "`;` after the variable declaration")?;
+        Ok(VarDecl {
+            name,
+            width: clamp_width(width),
+            initial,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, HdlError> {
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut body = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            if self.peek().kind == TokenKind::Eof {
+                return self.error("`}` closing the block");
+            }
+            body.push(self.statement()?);
+        }
+        self.expect(TokenKind::RBrace, "`}`")?;
+        Ok(body)
+    }
+
+    fn statement(&mut self) -> Result<Stmt, HdlError> {
+        match self.peek().kind.clone() {
+            TokenKind::If => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let condition = self.expression()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                let then_body = self.block()?;
+                let else_body = if self.eat(&TokenKind::Else) {
+                    if self.peek().kind == TokenKind::If {
+                        vec![self.statement()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    condition,
+                    then_body,
+                    else_body,
+                })
+            }
+            TokenKind::While => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let condition = self.expression()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                let body = self.block()?;
+                Ok(Stmt::While { condition, body })
+            }
+            TokenKind::For => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let init = self.assignment()?;
+                self.expect(TokenKind::Semicolon, "`;` after the for-initializer")?;
+                let condition = self.expression()?;
+                self.expect(TokenKind::Semicolon, "`;` after the for-condition")?;
+                let update = self.assignment()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                let body = self.block()?;
+                Ok(Stmt::For {
+                    init: Box::new(init),
+                    condition,
+                    update: Box::new(update),
+                    body,
+                })
+            }
+            TokenKind::Ident(_) => {
+                let stmt = self.assignment()?;
+                self.expect(TokenKind::Semicolon, "`;` after the assignment")?;
+                Ok(stmt)
+            }
+            _ => self.error("a statement"),
+        }
+    }
+
+    fn assignment(&mut self) -> Result<Stmt, HdlError> {
+        let target = self.ident("assignment target")?;
+        self.expect(TokenKind::Assign, "`=`")?;
+        let value = self.expression()?;
+        Ok(Stmt::Assign { target, value })
+    }
+
+    // Expression parsing with C-like precedence (lowest first).
+    fn expression(&mut self) -> Result<Expr, HdlError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, HdlError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::binary(BinaryOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, HdlError> {
+        let mut lhs = self.bitor_expr()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.bitor_expr()?;
+            lhs = Expr::binary(BinaryOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bitor_expr(&mut self) -> Result<Expr, HdlError> {
+        let mut lhs = self.bitxor_expr()?;
+        while self.eat(&TokenKind::Pipe) {
+            let rhs = self.bitxor_expr()?;
+            lhs = Expr::binary(BinaryOp::BitOr, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bitxor_expr(&mut self) -> Result<Expr, HdlError> {
+        let mut lhs = self.bitand_expr()?;
+        while self.eat(&TokenKind::Caret) {
+            let rhs = self.bitand_expr()?;
+            lhs = Expr::binary(BinaryOp::BitXor, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bitand_expr(&mut self) -> Result<Expr, HdlError> {
+        let mut lhs = self.equality_expr()?;
+        while self.eat(&TokenKind::Amp) {
+            let rhs = self.equality_expr()?;
+            lhs = Expr::binary(BinaryOp::BitAnd, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn equality_expr(&mut self) -> Result<Expr, HdlError> {
+        let mut lhs = self.relational_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::EqEq => BinaryOp::Eq,
+                TokenKind::NotEq => BinaryOp::Ne,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.relational_expr()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn relational_expr(&mut self) -> Result<Expr, HdlError> {
+        let mut lhs = self.shift_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Lt => BinaryOp::Lt,
+                TokenKind::Le => BinaryOp::Le,
+                TokenKind::Gt => BinaryOp::Gt,
+                TokenKind::Ge => BinaryOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.shift_expr()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn shift_expr(&mut self) -> Result<Expr, HdlError> {
+        let mut lhs = self.additive_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Shl => BinaryOp::Shl,
+                TokenKind::Shr => BinaryOp::Shr,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.additive_expr()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn additive_expr(&mut self) -> Result<Expr, HdlError> {
+        let mut lhs = self.multiplicative_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.multiplicative_expr()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative_expr(&mut self) -> Result<Expr, HdlError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                TokenKind::Percent => BinaryOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, HdlError> {
+        if self.eat(&TokenKind::Minus) {
+            let operand = self.unary_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                operand: Box::new(operand),
+            });
+        }
+        if self.eat(&TokenKind::Bang) {
+            let operand = self.unary_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                operand: Box::new(operand),
+            });
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, HdlError> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Literal(v))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::Variable(name))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expression()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            _ => self.error("an expression"),
+        }
+    }
+}
+
+fn clamp_width(width: i64) -> u8 {
+    width.clamp(1, 64) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_declarations_and_body() {
+        let d = parse(
+            "design demo {
+                input a: 8, b: 4;
+                output y: 8;
+                var t: 8 = 3;
+                y = a + b * t;
+            }",
+        )
+        .unwrap();
+        assert_eq!(d.name, "demo");
+        assert_eq!(d.inputs.len(), 2);
+        assert_eq!(d.inputs[1].width, 4);
+        assert_eq!(d.outputs.len(), 1);
+        assert_eq!(d.variables[0].initial, Some(3));
+        assert_eq!(d.body.len(), 1);
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let d = parse("design p { input a: 8; var x: 8; x = a + 2 * 3; }").unwrap();
+        match &d.body[0] {
+            Stmt::Assign { value, .. } => match value {
+                Expr::Binary { op: BinaryOp::Add, rhs, .. } => {
+                    assert!(matches!(**rhs, Expr::Binary { op: BinaryOp::Mul, .. }));
+                }
+                other => panic!("expected addition at the top, found {other:?}"),
+            },
+            other => panic!("expected assignment, found {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_else_chain() {
+        let d = parse(
+            "design p { input x: 8; var z: 8;
+               if (x > 5) { z = 1; } else if (x > 2) { z = 2; } else { z = 3; }
+             }",
+        )
+        .unwrap();
+        match &d.body[0] {
+            Stmt::If { else_body, .. } => {
+                assert_eq!(else_body.len(), 1);
+                assert!(matches!(else_body[0], Stmt::If { .. }));
+            }
+            other => panic!("expected if, found {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_for_loops() {
+        let d = parse(
+            "design p { var i: 8; var s: 8 = 0;
+               for (i = 0; i < 10; i = i + 1) { s = s + i; }
+             }",
+        )
+        .unwrap();
+        assert!(matches!(d.body[0], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn parses_while_loops_and_parentheses() {
+        let d = parse(
+            "design p { input a: 8, b: 8; var x: 8;
+               while ((a + b) > x) { x = x + 1; }
+             }",
+        )
+        .unwrap();
+        assert!(matches!(d.body[0], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn negative_initializers_are_allowed() {
+        let d = parse("design p { var x: 8 = -5; x = 0; }").unwrap();
+        assert_eq!(d.variables[0].initial, Some(-5));
+    }
+
+    #[test]
+    fn missing_semicolon_is_a_parse_error() {
+        let err = parse("design p { var x: 8; x = 1 }").unwrap_err();
+        match err {
+            HdlError::Parse { expected, .. } => assert!(expected.contains(';')),
+            other => panic!("expected parse error, found {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unexpected_eof_is_reported() {
+        assert!(parse("design p { input a: 8;").is_err());
+    }
+
+    #[test]
+    fn width_is_clamped_to_valid_range() {
+        let d = parse("design p { input a: 200; var x: 0; x = a; }").unwrap();
+        assert_eq!(d.inputs[0].width, 64);
+        assert_eq!(d.variables[0].width, 1);
+    }
+
+    #[test]
+    fn unary_operators_parse() {
+        let d = parse("design p { input a: 8; var x: 8; x = -a + !a; }").unwrap();
+        match &d.body[0] {
+            Stmt::Assign { value, .. } => assert_eq!(value.op_count(), 3),
+            other => panic!("expected assignment, found {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! RT-level module library for the IMPACT high-level synthesis system.
+//!
+//! "There are many VLSI implementations for different functions, and it is
+//! important to capture the diversity of these implementations in the module
+//! library" (Section 3.2.2). Every functional-unit class offers at least two
+//! variants that trade delay against area and switched capacitance, so the
+//! module-selection move has a real design space to explore. The library also
+//! characterizes registers and 2-to-1 multiplexers (the building block of the
+//! paper's mux trees) and owns the supply-voltage scaling model used to trade
+//! schedule slack for power.
+//!
+//! # Example
+//!
+//! ```
+//! use impact_cdfg::OpClass;
+//! use impact_modlib::ModuleLibrary;
+//!
+//! let lib = ModuleLibrary::standard();
+//! let fast = lib.fastest(OpClass::AddSub).expect("adders exist");
+//! let small = lib.smallest(OpClass::AddSub).expect("adders exist");
+//! assert!(fast.delay_ns <= small.delay_ns);
+//! assert!(fast.area >= small.area);
+//! // Lowering the supply from 5 V to 3.3 V slows modules down …
+//! assert!(lib.vdd().delay_factor(3.3) > 1.0);
+//! // … and reduces switched energy quadratically.
+//! assert!(lib.vdd().energy_factor(3.3) < 0.5);
+//! ```
+
+mod library;
+mod variant;
+mod voltage;
+
+pub use library::{LibraryError, ModuleId, ModuleLibrary};
+pub use variant::{DelayScaling, ModuleVariant, REFERENCE_WIDTH};
+pub use voltage::VddScaling;
+
+/// The paper's reference supply voltage (volts).
+pub const VDD_REFERENCE: f64 = 5.0;
+
+/// Default clock period used throughout the experiments (nanoseconds),
+/// matching the 15 ns clock of the multiplexer example in Section 3.2.1.
+pub const DEFAULT_CLOCK_NS: f64 = 15.0;
+
+/// Delay penalty applied to every chained operation after the first in a
+/// clock cycle ("a chained adder incurs 10% delay overhead").
+pub const CHAINING_OVERHEAD: f64 = 0.10;

@@ -1,0 +1,170 @@
+//! A single characterized RT-level module implementation.
+
+use std::fmt;
+
+use impact_cdfg::OpClass;
+
+/// How a module's delay grows with operand bit width.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DelayScaling {
+    /// Delay grows linearly with width (e.g. ripple-carry adders).
+    Linear,
+    /// Delay grows with `log2(width)` (e.g. carry-lookahead adders, trees).
+    Logarithmic,
+    /// Delay is independent of width (e.g. bitwise logic).
+    Constant,
+}
+
+/// One implementation choice for a functional-unit class, characterized at the
+/// reference width of 8 bits and the reference supply of 5 V.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ModuleVariant {
+    /// Library name, e.g. `"cla_adder"` or `"wallace_multiplier"`.
+    pub name: String,
+    /// Functional-unit class the variant implements.
+    pub class: OpClass,
+    /// Propagation delay at 8 bits and 5 V, in nanoseconds.
+    pub delay_ns: f64,
+    /// Area at 8 bits, in equivalent two-input NAND gates.
+    pub area: f64,
+    /// Effective switched capacitance at 8 bits, in picofarads; energy per
+    /// activation is `C · Vdd² · activity`.
+    pub capacitance_pf: f64,
+    /// How delay grows with operand width.
+    pub scaling: DelayScaling,
+}
+
+/// Reference operand width the characterization numbers are quoted at.
+pub const REFERENCE_WIDTH: u8 = 8;
+
+impl ModuleVariant {
+    /// Creates a variant description.
+    pub fn new(
+        name: &str,
+        class: OpClass,
+        delay_ns: f64,
+        area: f64,
+        capacitance_pf: f64,
+        scaling: DelayScaling,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            class,
+            delay_ns,
+            area,
+            capacitance_pf,
+            scaling,
+        }
+    }
+
+    /// Delay at the given operand width (5 V supply), in nanoseconds.
+    pub fn delay_for_width(&self, width: u8) -> f64 {
+        let w = f64::from(width.max(1));
+        let r = f64::from(REFERENCE_WIDTH);
+        match self.scaling {
+            DelayScaling::Linear => self.delay_ns * w / r,
+            DelayScaling::Logarithmic => self.delay_ns * (w.log2().max(1.0) / r.log2()),
+            DelayScaling::Constant => self.delay_ns,
+        }
+    }
+
+    /// Effective switched capacitance at the given width, in picofarads.
+    /// Capacitance grows linearly with the number of bits for every variant.
+    pub fn capacitance_for_width(&self, width: u8) -> f64 {
+        self.capacitance_pf * f64::from(width.max(1)) / f64::from(REFERENCE_WIDTH)
+    }
+
+    /// Area at the given width, in equivalent gates.
+    pub fn area_for_width(&self, width: u8) -> f64 {
+        let w = f64::from(width.max(1)) / f64::from(REFERENCE_WIDTH);
+        match self.class {
+            // Multipliers and dividers grow quadratically with width.
+            OpClass::Mul | OpClass::Div => self.area * w * w,
+            _ => self.area * w,
+        }
+    }
+}
+
+impl fmt::Display for ModuleVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}; {:.1} ns, {:.0} gates, {:.2} pF)",
+            self.name, self.class, self.delay_ns, self.area, self.capacitance_pf
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ripple() -> ModuleVariant {
+        ModuleVariant::new("ripple_adder", OpClass::AddSub, 18.0, 48.0, 0.20, DelayScaling::Linear)
+    }
+
+    #[test]
+    fn linear_delay_scales_with_width() {
+        let v = ripple();
+        assert!((v.delay_for_width(8) - 18.0).abs() < 1e-9);
+        assert!((v.delay_for_width(16) - 36.0).abs() < 1e-9);
+        assert!((v.delay_for_width(4) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn logarithmic_delay_scales_slower_than_linear() {
+        let v = ModuleVariant::new(
+            "cla_adder",
+            OpClass::AddSub,
+            10.0,
+            90.0,
+            0.32,
+            DelayScaling::Logarithmic,
+        );
+        assert!((v.delay_for_width(8) - 10.0).abs() < 1e-9);
+        let d16 = v.delay_for_width(16);
+        assert!(d16 > 10.0 && d16 < 20.0, "log scaling grows sub-linearly: {d16}");
+    }
+
+    #[test]
+    fn constant_delay_ignores_width() {
+        let v = ModuleVariant::new("logic_unit", OpClass::Logic, 3.0, 16.0, 0.06, DelayScaling::Constant);
+        assert_eq!(v.delay_for_width(1), v.delay_for_width(64));
+    }
+
+    #[test]
+    fn capacitance_scales_linearly_with_width() {
+        let v = ripple();
+        assert!((v.capacitance_for_width(16) - 0.40).abs() < 1e-9);
+        assert!((v.capacitance_for_width(4) - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiplier_area_grows_quadratically() {
+        let v = ModuleVariant::new(
+            "array_multiplier",
+            OpClass::Mul,
+            36.0,
+            400.0,
+            1.8,
+            DelayScaling::Linear,
+        );
+        assert!((v.area_for_width(16) - 1600.0).abs() < 1e-9);
+        let add = ripple();
+        assert!((add.area_for_width(16) - 96.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_name_and_class() {
+        let s = ripple().to_string();
+        assert!(s.contains("ripple_adder"));
+        assert!(s.contains("add/sub"));
+    }
+
+    #[test]
+    fn zero_width_is_treated_as_one_bit() {
+        let v = ripple();
+        assert!(v.delay_for_width(0) > 0.0);
+        assert!(v.capacitance_for_width(0) > 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Supply-voltage scaling model.
+//!
+//! The paper converts schedule slack (laxity above 1.0) into power savings by
+//! lowering the supply voltage: "saving a cycle and hence enabling Vdd
+//! scaling". Delay follows the classic alpha-power-law approximation
+//! `t_d ∝ Vdd / (Vdd − Vt)²` and dynamic energy scales with `Vdd²`.
+
+use crate::VDD_REFERENCE;
+
+/// Supply-voltage scaling model with a discrete grid of allowed voltages.
+#[derive(Clone, PartialEq, Debug)]
+pub struct VddScaling {
+    reference: f64,
+    threshold: f64,
+    levels: Vec<f64>,
+}
+
+impl VddScaling {
+    /// Creates a scaling model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold voltage is not below every allowed level or if
+    /// no levels are provided.
+    pub fn new(reference: f64, threshold: f64, mut levels: Vec<f64>) -> Self {
+        assert!(!levels.is_empty(), "at least one Vdd level is required");
+        levels.sort_by(|a, b| a.partial_cmp(b).expect("voltage levels are finite"));
+        assert!(
+            levels.iter().all(|&v| v > threshold),
+            "every Vdd level must exceed the threshold voltage"
+        );
+        Self {
+            reference,
+            threshold,
+            levels,
+        }
+    }
+
+    /// The standard grid used in the experiments: 5.0 V reference, 0.8 V
+    /// threshold, levels from 1.2 V to 5.0 V in 0.1 V steps.
+    pub fn standard() -> Self {
+        let levels = (12..=50).map(|tenths| f64::from(tenths) / 10.0).collect();
+        Self::new(VDD_REFERENCE, 0.8, levels)
+    }
+
+    /// Reference (maximum) supply voltage.
+    pub fn reference(&self) -> f64 {
+        self.reference
+    }
+
+    /// Device threshold voltage.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Allowed supply levels, ascending.
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// Multiplicative factor on module delay when operating at `vdd` instead
+    /// of the reference supply (`≥ 1` for `vdd` below the reference).
+    pub fn delay_factor(&self, vdd: f64) -> f64 {
+        let num = vdd / (vdd - self.threshold).powi(2);
+        let den = self.reference / (self.reference - self.threshold).powi(2);
+        num / den
+    }
+
+    /// Multiplicative factor on switched energy at `vdd` relative to the
+    /// reference supply (`Vdd²` scaling).
+    pub fn energy_factor(&self, vdd: f64) -> f64 {
+        (vdd / self.reference).powi(2)
+    }
+
+    /// The lowest allowed supply whose delay factor does not exceed
+    /// `max_delay_factor`, or `None` if even the reference supply violates it.
+    pub fn lowest_feasible(&self, max_delay_factor: f64) -> Option<f64> {
+        self.levels
+            .iter()
+            .copied()
+            .find(|&v| self.delay_factor(v) <= max_delay_factor)
+    }
+}
+
+impl Default for VddScaling {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_voltage_has_unit_factors() {
+        let s = VddScaling::standard();
+        assert!((s.delay_factor(5.0) - 1.0).abs() < 1e-12);
+        assert!((s.energy_factor(5.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_voltage_is_slower_but_cheaper() {
+        let s = VddScaling::standard();
+        assert!(s.delay_factor(3.3) > 1.0);
+        assert!(s.delay_factor(2.0) > s.delay_factor(3.3));
+        assert!(s.energy_factor(3.3) < 1.0);
+        assert!(s.energy_factor(2.0) < s.energy_factor(3.3));
+    }
+
+    #[test]
+    fn energy_factor_is_quadratic() {
+        let s = VddScaling::standard();
+        assert!((s.energy_factor(2.5) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lowest_feasible_respects_the_delay_budget() {
+        let s = VddScaling::standard();
+        // With no slack only the reference supply fits.
+        let v = s.lowest_feasible(1.0).expect("reference supply is feasible");
+        assert!((v - 5.0).abs() < 1e-9);
+        // With 3x delay budget a much lower supply becomes feasible.
+        let v3 = s.lowest_feasible(3.0).expect("a lower supply is feasible");
+        assert!(v3 < 3.0);
+        // The returned level is indeed feasible and the next lower one is not.
+        assert!(s.delay_factor(v3) <= 3.0);
+        let idx = s.levels().iter().position(|&l| (l - v3).abs() < 1e-9).unwrap();
+        if idx > 0 {
+            assert!(s.delay_factor(s.levels()[idx - 1]) > 3.0);
+        }
+    }
+
+    #[test]
+    fn infeasible_budget_returns_none() {
+        let s = VddScaling::standard();
+        assert!(s.lowest_feasible(0.5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn levels_below_threshold_are_rejected() {
+        let _ = VddScaling::new(5.0, 0.8, vec![0.5, 3.3]);
+    }
+
+    #[test]
+    fn standard_grid_covers_1_2_to_5_volts() {
+        let s = VddScaling::standard();
+        assert!((s.levels()[0] - 1.2).abs() < 1e-9);
+        assert!((s.levels().last().unwrap() - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,883 @@
+//! Allocation, binding and module selection: the mutable RT-level design the
+//! IMPACT moves operate on.
+
+use std::collections::{BTreeMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+use impact_cdfg::{Cdfg, NodeId, OpClass, Operation, ValueRef, VarId};
+use impact_modlib::{ModuleId, ModuleLibrary};
+
+/// Identifier of a functional-unit instance.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FuId(usize);
+
+impl FuId {
+    /// Raw index of the unit.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for FuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fu{}", self.0)
+    }
+}
+
+/// Identifier of a register instance.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RegId(usize);
+
+impl RegId {
+    /// Raw index of the register.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One functional-unit instance.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FunctionalUnit {
+    /// Functional class of the operations it executes.
+    pub class: OpClass,
+    /// Selected module-library variant.
+    pub module: ModuleId,
+    /// Bit width of the instance (the widest operation bound to it).
+    pub width: u8,
+}
+
+/// One register instance, possibly shared by several variables.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Register {
+    /// Variables stored in this register.
+    pub variables: Vec<VarId>,
+    /// Bit width (the widest variable stored).
+    pub width: u8,
+}
+
+/// A physical signal source feeding a multiplexer site.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SignalKey {
+    /// Output of a register.
+    Register(RegId),
+    /// Output of a functional unit.
+    FuOutput(FuId),
+    /// A hard-wired constant.
+    Constant(i64),
+}
+
+/// Where a multiplexer tree sits in the datapath.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum MuxSink {
+    /// In front of data input port `port` of a functional unit.
+    FuInput {
+        /// The functional unit.
+        fu: FuId,
+        /// The data port index.
+        port: u8,
+    },
+    /// In front of a register's data input.
+    RegisterInput {
+        /// The register.
+        reg: RegId,
+    },
+}
+
+impl fmt::Display for MuxSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MuxSink::FuInput { fu, port } => write!(f, "{fu}.in{port}"),
+            MuxSink::RegisterInput { reg } => write!(f, "{reg}.d"),
+        }
+    }
+}
+
+/// One source of a multiplexer site together with the operations whose values
+/// are routed through it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SignalSource {
+    /// The physical source.
+    pub key: SignalKey,
+    /// CDFG nodes routed through this source at this site.
+    pub ops: Vec<NodeId>,
+}
+
+/// A multiplexer site: a sink plus every source that can reach it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MuxSite {
+    /// Where the tree sits.
+    pub sink: MuxSink,
+    /// The signals it selects between.
+    pub sources: Vec<SignalSource>,
+    /// Bit width of the routed data.
+    pub width: u8,
+}
+
+impl MuxSite {
+    /// Number of selectable sources (1 means no mux is needed).
+    pub fn fan_in(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of 2-to-1 multiplexers the site needs.
+    pub fn mux_count(&self) -> usize {
+        self.fan_in().saturating_sub(1)
+    }
+}
+
+/// Errors reported by [`RtlDesign`] mutations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RtlError {
+    /// A functional unit or register id is unknown or was removed by an
+    /// earlier sharing move.
+    UnknownResource {
+        /// Description of the missing resource.
+        what: String,
+    },
+    /// Two units of different functional classes cannot be shared.
+    ClassMismatch {
+        /// Class of the unit kept.
+        keep: OpClass,
+        /// Class of the unit removed.
+        remove: OpClass,
+    },
+    /// A module variant of the wrong class was requested for a unit.
+    WrongModuleClass {
+        /// Class of the unit.
+        unit: OpClass,
+        /// Class of the requested variant.
+        variant: OpClass,
+    },
+    /// A split was requested that would leave one side empty.
+    EmptySplit,
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::UnknownResource { what } => write!(f, "unknown resource: {what}"),
+            RtlError::ClassMismatch { keep, remove } => {
+                write!(f, "cannot share a {remove} unit into a {keep} unit")
+            }
+            RtlError::WrongModuleClass { unit, variant } => {
+                write!(f, "cannot put a {variant} module on a {unit} unit")
+            }
+            RtlError::EmptySplit => write!(f, "a split must move at least one operation or variable"),
+        }
+    }
+}
+
+impl Error for RtlError {}
+
+/// The RT-level design: allocation, binding, module selection and mux-tree
+/// shape annotations.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RtlDesign {
+    fus: Vec<Option<FunctionalUnit>>,
+    registers: Vec<Option<Register>>,
+    op_binding: Vec<Option<FuId>>,
+    var_binding: Vec<RegId>,
+    restructured: HashSet<MuxSink>,
+}
+
+impl RtlDesign {
+    /// Builds the paper's initial architecture: "a parallel architecture, in
+    /// which each node is assigned to a separate functional unit, each
+    /// functional unit is chosen to be the fastest module available in the
+    /// library, and each variable is assigned to a separate register".
+    pub fn initial_parallel(cdfg: &Cdfg, library: &ModuleLibrary) -> Self {
+        let mut fus = Vec::new();
+        let mut op_binding = vec![None; cdfg.node_count()];
+        for (id, node) in cdfg.nodes() {
+            let class = node.operation.class();
+            if class == OpClass::None {
+                continue;
+            }
+            let module = library
+                .fastest_id(class)
+                .expect("library covers every functional class");
+            let width = node
+                .defines
+                .map(|v| cdfg.variable(v).width)
+                .unwrap_or(impact_modlib::REFERENCE_WIDTH);
+            op_binding[id.index()] = Some(FuId(fus.len()));
+            fus.push(Some(FunctionalUnit {
+                class,
+                module,
+                width,
+            }));
+        }
+        let mut registers = Vec::new();
+        let mut var_binding = Vec::with_capacity(cdfg.variable_count());
+        for (_, var) in cdfg.variables() {
+            var_binding.push(RegId(registers.len()));
+            registers.push(Some(Register {
+                variables: vec![VarId::new(var_binding.len() - 1)],
+                width: var.width,
+            }));
+        }
+        Self {
+            fus,
+            registers,
+            op_binding,
+            var_binding,
+            restructured: HashSet::new(),
+        }
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// Active functional units as `(id, unit)` pairs.
+    pub fn functional_units(&self) -> impl Iterator<Item = (FuId, &FunctionalUnit)> {
+        self.fus
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.as_ref().map(|f| (FuId(i), f)))
+    }
+
+    /// Number of active functional units.
+    pub fn fu_count(&self) -> usize {
+        self.functional_units().count()
+    }
+
+    /// Returns an active functional unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnknownResource`] for removed or out-of-range ids.
+    pub fn functional_unit(&self, id: FuId) -> Result<&FunctionalUnit, RtlError> {
+        self.fus
+            .get(id.0)
+            .and_then(Option::as_ref)
+            .ok_or_else(|| RtlError::UnknownResource {
+                what: id.to_string(),
+            })
+    }
+
+    /// Active registers as `(id, register)` pairs.
+    pub fn registers(&self) -> impl Iterator<Item = (RegId, &Register)> {
+        self.registers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|r| (RegId(i), r)))
+    }
+
+    /// Number of active registers.
+    pub fn register_count(&self) -> usize {
+        self.registers().count()
+    }
+
+    /// Returns an active register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnknownResource`] for removed or out-of-range ids.
+    pub fn register(&self, id: RegId) -> Result<&Register, RtlError> {
+        self.registers
+            .get(id.0)
+            .and_then(Option::as_ref)
+            .ok_or_else(|| RtlError::UnknownResource {
+                what: id.to_string(),
+            })
+    }
+
+    /// Functional unit executing `node`, if it needs one.
+    pub fn fu_of(&self, node: NodeId) -> Option<FuId> {
+        self.op_binding.get(node.index()).copied().flatten()
+    }
+
+    /// Register holding `var`.
+    pub fn register_of(&self, var: VarId) -> RegId {
+        self.var_binding[var.index()]
+    }
+
+    /// Operations bound to a functional unit.
+    pub fn ops_on(&self, fu: FuId) -> Vec<NodeId> {
+        self.op_binding
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| (*b == Some(fu)).then(|| NodeId::new(i)))
+            .collect()
+    }
+
+    /// Active units of a given class.
+    pub fn units_of_class(&self, class: OpClass) -> Vec<FuId> {
+        self.functional_units()
+            .filter(|(_, f)| f.class == class)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Per-node functional-unit binding in the form the schedulers expect.
+    pub fn scheduler_binding(&self) -> Vec<Option<usize>> {
+        self.op_binding
+            .iter()
+            .map(|b| b.map(|f| f.0))
+            .collect()
+    }
+
+    /// Marks or unmarks a mux site as restructured (activity-probability
+    /// ordered instead of balanced).
+    pub fn set_restructured(&mut self, sink: MuxSink, restructured: bool) {
+        if restructured {
+            self.restructured.insert(sink);
+        } else {
+            self.restructured.remove(&sink);
+        }
+    }
+
+    /// Returns `true` if the site was restructured.
+    pub fn is_restructured(&self, sink: MuxSink) -> bool {
+        self.restructured.contains(&sink)
+    }
+
+    /// All sites currently marked as restructured.
+    pub fn restructured_sites(&self) -> impl Iterator<Item = MuxSink> + '_ {
+        self.restructured.iter().copied()
+    }
+
+    // ------------------------------------------------------------ mutations
+
+    /// Resource sharing: every operation of `remove` is rebound onto `keep`
+    /// and `remove` disappears from the allocation.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either unit is unknown, the units are the same, or their
+    /// classes differ.
+    pub fn share_fus(&mut self, keep: FuId, remove: FuId) -> Result<(), RtlError> {
+        if keep == remove {
+            return Err(RtlError::UnknownResource {
+                what: format!("sharing {keep} with itself"),
+            });
+        }
+        let keep_unit = self.functional_unit(keep)?.clone();
+        let remove_unit = self.functional_unit(remove)?.clone();
+        if keep_unit.class != remove_unit.class {
+            return Err(RtlError::ClassMismatch {
+                keep: keep_unit.class,
+                remove: remove_unit.class,
+            });
+        }
+        for binding in self.op_binding.iter_mut() {
+            if *binding == Some(remove) {
+                *binding = Some(keep);
+            }
+        }
+        if let Some(Some(unit)) = self.fus.get_mut(keep.0) {
+            unit.width = unit.width.max(remove_unit.width);
+        }
+        self.fus[remove.0] = None;
+        self.drop_stale_sites();
+        Ok(())
+    }
+
+    /// Resource splitting: the listed operations move from `fu` onto a new
+    /// unit of the same class and module variant.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `fu` is unknown, the list is empty, no listed operation is
+    /// bound to `fu`, or every operation of `fu` would move (which would just
+    /// rename the unit).
+    pub fn split_fu(&mut self, cdfg: &Cdfg, fu: FuId, ops: &[NodeId]) -> Result<FuId, RtlError> {
+        let unit = self.functional_unit(fu)?.clone();
+        let moving: Vec<NodeId> = ops
+            .iter()
+            .copied()
+            .filter(|&n| self.fu_of(n) == Some(fu))
+            .collect();
+        let staying = self.ops_on(fu).len() - moving.len();
+        if moving.is_empty() || staying == 0 {
+            return Err(RtlError::EmptySplit);
+        }
+        let width = moving
+            .iter()
+            .map(|&n| {
+                cdfg.node(n)
+                    .defines
+                    .map(|v| cdfg.variable(v).width)
+                    .unwrap_or(unit.width)
+            })
+            .max()
+            .unwrap_or(unit.width);
+        let new_id = FuId(self.fus.len());
+        self.fus.push(Some(FunctionalUnit {
+            class: unit.class,
+            module: unit.module,
+            width,
+        }));
+        for node in moving {
+            self.op_binding[node.index()] = Some(new_id);
+        }
+        Ok(new_id)
+    }
+
+    /// Module substitution: `fu` switches to a different library variant of
+    /// the same class.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the unit is unknown or the variant implements another class.
+    pub fn substitute_module(
+        &mut self,
+        library: &ModuleLibrary,
+        fu: FuId,
+        module: ModuleId,
+    ) -> Result<(), RtlError> {
+        let unit_class = self.functional_unit(fu)?.class;
+        let variant_class = library.variant(module).class;
+        if unit_class != variant_class {
+            return Err(RtlError::WrongModuleClass {
+                unit: unit_class,
+                variant: variant_class,
+            });
+        }
+        if let Some(Some(unit)) = self.fus.get_mut(fu.0) {
+            unit.module = module;
+        }
+        Ok(())
+    }
+
+    /// Register sharing: the variables of `remove` move into `keep`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either register is unknown or they are the same register.
+    pub fn share_registers(&mut self, keep: RegId, remove: RegId) -> Result<(), RtlError> {
+        if keep == remove {
+            return Err(RtlError::UnknownResource {
+                what: format!("sharing {keep} with itself"),
+            });
+        }
+        let removed = self.register(remove)?.clone();
+        self.register(keep)?;
+        for binding in self.var_binding.iter_mut() {
+            if *binding == remove {
+                *binding = keep;
+            }
+        }
+        if let Some(Some(reg)) = self.registers.get_mut(keep.0) {
+            reg.variables.extend(removed.variables.iter().copied());
+            reg.width = reg.width.max(removed.width);
+        }
+        self.registers[remove.0] = None;
+        self.drop_stale_sites();
+        Ok(())
+    }
+
+    /// Register splitting: the listed variables move out of `reg` into a new
+    /// register.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `reg` is unknown, no listed variable lives in it, or all of
+    /// them would move.
+    pub fn split_register(
+        &mut self,
+        cdfg: &Cdfg,
+        reg: RegId,
+        vars: &[VarId],
+    ) -> Result<RegId, RtlError> {
+        let current = self.register(reg)?.clone();
+        let moving: Vec<VarId> = vars
+            .iter()
+            .copied()
+            .filter(|&v| self.register_of(v) == reg)
+            .collect();
+        if moving.is_empty() || moving.len() == current.variables.len() {
+            return Err(RtlError::EmptySplit);
+        }
+        let width = moving
+            .iter()
+            .map(|&v| cdfg.variable(v).width)
+            .max()
+            .unwrap_or(current.width);
+        let new_id = RegId(self.registers.len());
+        self.registers.push(Some(Register {
+            variables: moving.clone(),
+            width,
+        }));
+        for &v in &moving {
+            self.var_binding[v.index()] = new_id;
+        }
+        if let Some(Some(old)) = self.registers.get_mut(reg.0) {
+            old.variables.retain(|v| !moving.contains(v));
+        }
+        Ok(new_id)
+    }
+
+    /// Mux-shape annotations for sinks that no longer exist are dropped after
+    /// sharing moves so stale entries never accumulate.
+    fn drop_stale_sites(&mut self) {
+        let fus: HashSet<usize> = self
+            .fus
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.as_ref().map(|_| i))
+            .collect();
+        let regs: HashSet<usize> = self
+            .registers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|_| i))
+            .collect();
+        self.restructured.retain(|sink| match sink {
+            MuxSink::FuInput { fu, .. } => fus.contains(&fu.0),
+            MuxSink::RegisterInput { reg } => regs.contains(&reg.0),
+        });
+    }
+
+    // ------------------------------------------------------------ analyses
+
+    /// Per-node module delays (no interconnect), in nanoseconds, at the
+    /// reference supply. Structural nodes cost one mux delay, `EndLoop` is
+    /// free.
+    pub fn node_module_delays(&self, cdfg: &Cdfg, library: &ModuleLibrary) -> Vec<f64> {
+        cdfg.nodes()
+            .map(|(id, node)| match self.fu_of(id) {
+                Some(fu) => {
+                    let unit = self.functional_unit(fu).expect("binding references active units");
+                    library.variant(unit.module).delay_for_width(unit.width)
+                }
+                None => {
+                    if node.operation == Operation::EndLoop {
+                        0.0
+                    } else {
+                        library.mux2().delay_ns
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Enumerates every multiplexer site of the datapath: one per
+    /// functional-unit data input port and one per register written from more
+    /// than one distinct source.
+    pub fn mux_sites(&self, cdfg: &Cdfg) -> Vec<MuxSite> {
+        let mut sites = Vec::new();
+
+        // Functional-unit input ports.
+        for (fu_id, unit) in self.functional_units() {
+            let ops = self.ops_on(fu_id);
+            let max_ports = ops
+                .iter()
+                .map(|&n| cdfg.node(n).operation.arity())
+                .max()
+                .unwrap_or(0);
+            for port in 0..max_ports {
+                let mut by_key: BTreeMap<SignalKey, Vec<NodeId>> = BTreeMap::new();
+                for &op in &ops {
+                    let node = cdfg.node(op);
+                    let Some(&edge_id) = node.inputs.get(port) else {
+                        continue;
+                    };
+                    let key = self.signal_key(cdfg, cdfg.edge(edge_id).value);
+                    by_key.entry(key).or_default().push(op);
+                }
+                if by_key.is_empty() {
+                    continue;
+                }
+                sites.push(MuxSite {
+                    sink: MuxSink::FuInput {
+                        fu: fu_id,
+                        port: port as u8,
+                    },
+                    sources: by_key
+                        .into_iter()
+                        .map(|(key, ops)| SignalSource { key, ops })
+                        .collect(),
+                    width: unit.width,
+                });
+            }
+        }
+
+        // Register inputs.
+        for (reg_id, reg) in self.registers() {
+            let mut by_key: BTreeMap<SignalKey, Vec<NodeId>> = BTreeMap::new();
+            for (node_id, node) in cdfg.nodes() {
+                let Some(defined) = node.defines else { continue };
+                if self.register_of(defined) != reg_id {
+                    continue;
+                }
+                match self.fu_of(node_id) {
+                    Some(fu) => {
+                        by_key
+                            .entry(SignalKey::FuOutput(fu))
+                            .or_default()
+                            .push(node_id);
+                    }
+                    None => {
+                        // Structural writers route existing signals: take the
+                        // source(s) of their data inputs.
+                        for &edge in &node.inputs {
+                            let key = self.signal_key(cdfg, cdfg.edge(edge).value);
+                            by_key.entry(key).or_default().push(node_id);
+                        }
+                    }
+                }
+            }
+            if by_key.len() < 2 {
+                continue;
+            }
+            sites.push(MuxSite {
+                sink: MuxSink::RegisterInput { reg: reg_id },
+                sources: by_key
+                    .into_iter()
+                    .map(|(key, ops)| SignalSource { key, ops })
+                    .collect(),
+                width: reg.width,
+            });
+        }
+        sites
+    }
+
+    fn signal_key(&self, _cdfg: &Cdfg, value: ValueRef) -> SignalKey {
+        match value {
+            ValueRef::Const(c) => SignalKey::Constant(c),
+            ValueRef::Var(v) => SignalKey::Register(self.register_of(v)),
+        }
+    }
+
+    /// Datapath area in equivalent gates: functional units, registers and
+    /// 2-to-1 multiplexers (the controller is modelled separately, on top of
+    /// the STG).
+    pub fn datapath_area(&self, cdfg: &Cdfg, library: &ModuleLibrary) -> f64 {
+        let fu_area: f64 = self
+            .functional_units()
+            .map(|(_, f)| library.variant(f.module).area_for_width(f.width))
+            .sum();
+        let reg_area: f64 = self
+            .registers()
+            .map(|(_, r)| library.register().area_for_width(r.width))
+            .sum();
+        let mux_area: f64 = self
+            .mux_sites(cdfg)
+            .iter()
+            .map(|site| site.mux_count() as f64 * library.mux2().area_for_width(site.width))
+            .sum();
+        fu_area + reg_area + mux_area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impact_hdl::compile;
+
+    fn gcd() -> Cdfg {
+        compile(
+            "design gcd { input a: 8, b: 8; output r: 8; var x: 8; var y: 8;
+               x = a; y = b;
+               while (x != y) { if (x > y) { x = x - y; } else { y = y - x; } }
+               r = x; }",
+        )
+        .unwrap()
+    }
+
+    fn adders(design: &RtlDesign) -> Vec<FuId> {
+        design.units_of_class(OpClass::AddSub)
+    }
+
+    #[test]
+    fn initial_parallel_gives_one_unit_per_operation_and_register_per_variable() {
+        let cdfg = gcd();
+        let lib = ModuleLibrary::standard();
+        let design = RtlDesign::initial_parallel(&cdfg, &lib);
+        let fu_ops = cdfg
+            .nodes()
+            .filter(|(_, n)| n.operation.needs_functional_unit())
+            .count();
+        assert_eq!(design.fu_count(), fu_ops);
+        assert_eq!(design.register_count(), cdfg.variable_count());
+        // Every unit uses the fastest variant for its class.
+        for (_, unit) in design.functional_units() {
+            assert_eq!(
+                lib.variant(unit.module).name,
+                lib.fastest(unit.class).unwrap().name
+            );
+        }
+    }
+
+    #[test]
+    fn sharing_units_rebinds_operations_and_shrinks_the_allocation() {
+        let cdfg = gcd();
+        let lib = ModuleLibrary::standard();
+        let mut design = RtlDesign::initial_parallel(&cdfg, &lib);
+        let adds = adders(&design);
+        assert!(adds.len() >= 2, "GCD has two subtractions");
+        let before_area = design.datapath_area(&cdfg, &lib);
+        design.share_fus(adds[0], adds[1]).unwrap();
+        assert_eq!(design.fu_count(), cdfg
+            .nodes()
+            .filter(|(_, n)| n.operation.needs_functional_unit())
+            .count() - 1);
+        assert_eq!(design.ops_on(adds[0]).len(), 2);
+        assert!(design.functional_unit(adds[1]).is_err());
+        let after_area = design.datapath_area(&cdfg, &lib);
+        assert!(after_area < before_area, "one fewer adder means less area");
+    }
+
+    #[test]
+    fn sharing_different_classes_is_rejected() {
+        let cdfg = gcd();
+        let lib = ModuleLibrary::standard();
+        let mut design = RtlDesign::initial_parallel(&cdfg, &lib);
+        let add = adders(&design)[0];
+        let cmp = design.units_of_class(OpClass::Compare)[0];
+        assert!(matches!(
+            design.share_fus(add, cmp),
+            Err(RtlError::ClassMismatch { .. })
+        ));
+        assert!(matches!(
+            design.share_fus(add, add),
+            Err(RtlError::UnknownResource { .. })
+        ));
+    }
+
+    #[test]
+    fn splitting_reverses_sharing() {
+        let cdfg = gcd();
+        let lib = ModuleLibrary::standard();
+        let mut design = RtlDesign::initial_parallel(&cdfg, &lib);
+        let adds = adders(&design);
+        design.share_fus(adds[0], adds[1]).unwrap();
+        let shared_ops = design.ops_on(adds[0]);
+        assert_eq!(shared_ops.len(), 2);
+        let new_fu = design.split_fu(&cdfg, adds[0], &shared_ops[1..]).unwrap();
+        assert_eq!(design.ops_on(adds[0]).len(), 1);
+        assert_eq!(design.ops_on(new_fu).len(), 1);
+        assert!(matches!(
+            design.split_fu(&cdfg, adds[0], &[]),
+            Err(RtlError::EmptySplit)
+        ));
+    }
+
+    #[test]
+    fn module_substitution_swaps_variants_of_the_same_class_only() {
+        let cdfg = gcd();
+        let lib = ModuleLibrary::standard();
+        let mut design = RtlDesign::initial_parallel(&cdfg, &lib);
+        let add = adders(&design)[0];
+        let ripple = lib.variant_by_name("ripple_adder").unwrap();
+        design.substitute_module(&lib, add, ripple).unwrap();
+        assert_eq!(design.functional_unit(add).unwrap().module, ripple);
+        let wallace = lib.variant_by_name("wallace_multiplier").unwrap();
+        assert!(matches!(
+            design.substitute_module(&lib, add, wallace),
+            Err(RtlError::WrongModuleClass { .. })
+        ));
+    }
+
+    #[test]
+    fn register_sharing_and_splitting_track_variables() {
+        let cdfg = gcd();
+        let lib = ModuleLibrary::standard();
+        let mut design = RtlDesign::initial_parallel(&cdfg, &lib);
+        let x = cdfg.variable_by_name("x").unwrap();
+        let y = cdfg.variable_by_name("y").unwrap();
+        let rx = design.register_of(x);
+        let ry = design.register_of(y);
+        design.share_registers(rx, ry).unwrap();
+        assert_eq!(design.register_of(y), rx);
+        assert_eq!(design.register(rx).unwrap().variables.len(), 2);
+        assert!(design.register(ry).is_err());
+        let new_reg = design.split_register(&cdfg, rx, &[y]).unwrap();
+        assert_eq!(design.register_of(y), new_reg);
+        assert_eq!(design.register(rx).unwrap().variables, vec![x]);
+    }
+
+    #[test]
+    fn sharing_units_increases_mux_fan_in() {
+        let cdfg = gcd();
+        let lib = ModuleLibrary::standard();
+        let mut design = RtlDesign::initial_parallel(&cdfg, &lib);
+        let adds = adders(&design);
+        let fan_in_before: usize = design
+            .mux_sites(&cdfg)
+            .iter()
+            .filter(|s| matches!(s.sink, MuxSink::FuInput { fu, .. } if fu == adds[0]))
+            .map(MuxSite::fan_in)
+            .sum();
+        design.share_fus(adds[0], adds[1]).unwrap();
+        let fan_in_after: usize = design
+            .mux_sites(&cdfg)
+            .iter()
+            .filter(|s| matches!(s.sink, MuxSink::FuInput { fu, .. } if fu == adds[0]))
+            .map(MuxSite::fan_in)
+            .sum();
+        assert!(
+            fan_in_after > fan_in_before,
+            "sharing routes more signals into the kept unit ({fan_in_before} -> {fan_in_after})"
+        );
+    }
+
+    #[test]
+    fn register_mux_sites_appear_for_multiply_written_registers() {
+        let cdfg = gcd();
+        let lib = ModuleLibrary::standard();
+        let design = RtlDesign::initial_parallel(&cdfg, &lib);
+        // x is written by the initial move, the subtraction and the Sel, so
+        // its register needs a mux.
+        let x = cdfg.variable_by_name("x").unwrap();
+        let rx = design.register_of(x);
+        let sites = design.mux_sites(&cdfg);
+        assert!(sites
+            .iter()
+            .any(|s| s.sink == MuxSink::RegisterInput { reg: rx } && s.fan_in() >= 2));
+    }
+
+    #[test]
+    fn restructure_annotations_follow_their_sites() {
+        let cdfg = gcd();
+        let lib = ModuleLibrary::standard();
+        let mut design = RtlDesign::initial_parallel(&cdfg, &lib);
+        let adds = adders(&design);
+        let sink = MuxSink::FuInput {
+            fu: adds[1],
+            port: 0,
+        };
+        design.set_restructured(sink, true);
+        assert!(design.is_restructured(sink));
+        // Sharing away the unit drops the stale annotation.
+        design.share_fus(adds[0], adds[1]).unwrap();
+        assert!(!design.is_restructured(sink));
+        assert_eq!(design.restructured_sites().count(), 0);
+    }
+
+    #[test]
+    fn scheduler_binding_matches_fu_assignment() {
+        let cdfg = gcd();
+        let lib = ModuleLibrary::standard();
+        let design = RtlDesign::initial_parallel(&cdfg, &lib);
+        let binding = design.scheduler_binding();
+        for (id, node) in cdfg.nodes() {
+            assert_eq!(
+                binding[id.index()].is_some(),
+                node.operation.needs_functional_unit()
+            );
+        }
+    }
+
+    #[test]
+    fn node_module_delays_reflect_module_choice() {
+        let cdfg = gcd();
+        let lib = ModuleLibrary::standard();
+        let mut design = RtlDesign::initial_parallel(&cdfg, &lib);
+        let add = adders(&design)[0];
+        let fast = design.node_module_delays(&cdfg, &lib);
+        design
+            .substitute_module(&lib, add, lib.variant_by_name("ripple_adder").unwrap())
+            .unwrap();
+        let slow = design.node_module_delays(&cdfg, &lib);
+        let op = design.ops_on(add)[0];
+        assert!(slow[op.index()] > fast[op.index()]);
+    }
+}

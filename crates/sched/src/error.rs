@@ -1,0 +1,86 @@
+//! Error type for scheduling.
+
+use std::error::Error;
+use std::fmt;
+
+use impact_cdfg::NodeId;
+
+/// Errors reported by the schedulers.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SchedError {
+    /// An operation cannot fit in the clock period even alone in a state.
+    /// Its functional unit is too slow for the requested clock (for example
+    /// after aggressive Vdd scaling); the caller must either slow the clock,
+    /// pick a faster module or raise the supply voltage.
+    OperationTooSlow {
+        /// The offending node.
+        node: NodeId,
+        /// Its effective delay in nanoseconds.
+        delay_ns: f64,
+        /// The clock period in nanoseconds.
+        clock_ns: f64,
+        /// The number of states a multi-cycle implementation would need.
+        states_needed: u32,
+    },
+    /// The per-node delay or binding tables do not cover every node.
+    IncompleteProblem {
+        /// Number of nodes in the CDFG.
+        nodes: usize,
+        /// Number of entries provided.
+        provided: usize,
+    },
+    /// A dependence cycle was found among the operations of one basic block,
+    /// which means the CDFG is malformed.
+    DependenceCycle {
+        /// A node on the cycle.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::OperationTooSlow {
+                node,
+                delay_ns,
+                clock_ns,
+                states_needed,
+            } => write!(
+                f,
+                "node {node} needs {delay_ns:.1} ns which exceeds the {clock_ns:.1} ns clock ({states_needed} states as a multi-cycle operation)"
+            ),
+            SchedError::IncompleteProblem { nodes, provided } => write!(
+                f,
+                "scheduling problem provides {provided} per-node entries for a CDFG with {nodes} nodes"
+            ),
+            SchedError::DependenceCycle { node } => {
+                write!(f, "dependence cycle detected within a basic block at node {node}")
+            }
+        }
+    }
+}
+
+impl Error for SchedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_node() {
+        let e = SchedError::OperationTooSlow {
+            node: NodeId::new(3),
+            delay_ns: 40.0,
+            clock_ns: 15.0,
+            states_needed: 3,
+        };
+        assert!(e.to_string().contains("n3"));
+        assert!(e.to_string().contains("40.0"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<SchedError>();
+    }
+}

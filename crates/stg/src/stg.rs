@@ -1,0 +1,345 @@
+//! The state transition graph container.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use impact_cdfg::NodeId;
+
+use crate::state::{ScheduledOp, State, StateId};
+
+/// Condition attached to a transition.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Guard {
+    /// Unconditional transition.
+    Always,
+    /// Transition taken when the branch with the given preorder index
+    /// evaluated to `taken`.
+    Branch {
+        /// Preorder index of the branch (see `impact_behsim::branch_count`).
+        index: usize,
+        /// Required outcome of the branch condition.
+        taken: bool,
+    },
+    /// Loop back-edge (or exit edge) of the loop with the given label.
+    Loop {
+        /// The loop label.
+        label: String,
+        /// `true` for the back-edge (another iteration), `false` for the exit.
+        continues: bool,
+    },
+}
+
+impl Guard {
+    /// Convenience constructor for a loop guard.
+    pub fn loop_back(label: &str, continues: bool) -> Self {
+        Guard::Loop {
+            label: label.to_string(),
+            continues,
+        }
+    }
+}
+
+impl fmt::Display for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Guard::Always => write!(f, "1"),
+            Guard::Branch { index, taken } => {
+                write!(f, "{}b{index}", if *taken { "" } else { "!" })
+            }
+            Guard::Loop { label, continues } => {
+                write!(f, "{}{label}", if *continues { "" } else { "!" })
+            }
+        }
+    }
+}
+
+/// A guarded, probabilistic transition between two states.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Transition {
+    /// Source state.
+    pub from: StateId,
+    /// Destination state.
+    pub to: StateId,
+    /// Condition under which the transition is taken.
+    pub guard: Guard,
+    /// Probability of taking the transition when leaving `from`.
+    pub probability: f64,
+}
+
+/// Errors reported by [`Stg::validate`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum StgError {
+    /// A transition references a state that does not exist.
+    DanglingState {
+        /// The missing state.
+        state: StateId,
+    },
+    /// The outgoing probability mass of a state differs from 1 by more than
+    /// the tolerance.
+    ProbabilityMass {
+        /// The offending state.
+        state: StateId,
+        /// Total outgoing + exit probability found.
+        total: f64,
+    },
+    /// The graph has no states.
+    Empty,
+}
+
+impl fmt::Display for StgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StgError::DanglingState { state } => {
+                write!(f, "transition references missing state {state}")
+            }
+            StgError::ProbabilityMass { state, total } => write!(
+                f,
+                "state {state} has outgoing probability mass {total:.4}, expected 1.0"
+            ),
+            StgError::Empty => write!(f, "state transition graph has no states"),
+        }
+    }
+}
+
+impl Error for StgError {}
+
+/// A state transition graph: the output of scheduling.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Stg {
+    design: String,
+    clock_ns: f64,
+    states: Vec<State>,
+    transitions: Vec<Transition>,
+    entry: StateId,
+}
+
+impl Stg {
+    /// Creates an empty STG for `design` with the given clock period.
+    pub fn new(design: impl Into<String>, clock_ns: f64) -> Self {
+        Self {
+            design: design.into(),
+            clock_ns,
+            states: Vec::new(),
+            transitions: Vec::new(),
+            entry: StateId(0),
+        }
+    }
+
+    /// Design name.
+    pub fn design(&self) -> &str {
+        &self.design
+    }
+
+    /// Clock period in nanoseconds.
+    pub fn clock_ns(&self) -> f64 {
+        self.clock_ns
+    }
+
+    /// Adds an empty state and returns its id.
+    pub fn add_state(&mut self) -> StateId {
+        let id = StateId(self.states.len());
+        self.states.push(State::default());
+        id
+    }
+
+    /// Adds a scheduled operation to a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state does not exist.
+    pub fn add_op(&mut self, state: StateId, op: ScheduledOp) {
+        self.states[state.0].ops.push(op);
+    }
+
+    /// Adds a transition.
+    pub fn add_transition(&mut self, from: StateId, to: StateId, guard: Guard, probability: f64) {
+        self.transitions.push(Transition {
+            from,
+            to,
+            guard,
+            probability,
+        });
+    }
+
+    /// Marks `state` as terminating the pass with the given probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state does not exist.
+    pub fn set_exit_probability(&mut self, state: StateId, probability: f64) {
+        self.states[state.0].exit_probability = probability;
+    }
+
+    /// Sets the entry state (defaults to the first state added).
+    pub fn set_entry(&mut self, state: StateId) {
+        self.entry = state;
+    }
+
+    /// The entry state.
+    pub fn entry(&self) -> StateId {
+        self.entry
+    }
+
+    /// All states, indexable by [`StateId::index`].
+    pub fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    /// Returns one state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state does not exist.
+    pub fn state(&self, id: StateId) -> &State {
+        &self.states[id.0]
+    }
+
+    /// All transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Number of states (the controller's state count).
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of transitions (the controller's next-state logic size).
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Total number of scheduled operation instances.
+    pub fn scheduled_op_count(&self) -> usize {
+        self.states.iter().map(State::op_count).sum()
+    }
+
+    /// The state in which `node` is scheduled, if any.
+    pub fn state_of(&self, node: NodeId) -> Option<StateId> {
+        self.states
+            .iter()
+            .position(|s| s.contains(node))
+            .map(StateId)
+    }
+
+    /// Outgoing transitions of a state.
+    pub fn outgoing(&self, state: StateId) -> Vec<&Transition> {
+        self.transitions.iter().filter(|t| t.from == state).collect()
+    }
+
+    /// Average number of operations per state, a rough measure of datapath
+    /// utilization.
+    pub fn average_ops_per_state(&self) -> f64 {
+        if self.states.is_empty() {
+            0.0
+        } else {
+            self.scheduled_op_count() as f64 / self.states.len() as f64
+        }
+    }
+
+    /// Checks structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation: dangling transition endpoints or states
+    /// whose outgoing probability mass is not 1 (within 1 %).
+    pub fn validate(&self) -> Result<(), StgError> {
+        if self.states.is_empty() {
+            return Err(StgError::Empty);
+        }
+        for t in &self.transitions {
+            for state in [t.from, t.to] {
+                if state.0 >= self.states.len() {
+                    return Err(StgError::DanglingState { state });
+                }
+            }
+        }
+        let mut mass: HashMap<usize, f64> = HashMap::new();
+        for t in &self.transitions {
+            *mass.entry(t.from.0).or_insert(0.0) += t.probability;
+        }
+        for (index, state) in self.states.iter().enumerate() {
+            let total = mass.get(&index).copied().unwrap_or(0.0) + state.exit_probability;
+            // States with no outgoing transitions and no exit probability are
+            // implicit exits; anything else must sum to one.
+            if total > 1e-9 && (total - 1.0).abs() > 0.01 {
+                return Err(StgError::ProbabilityMass {
+                    state: StateId(index),
+                    total,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state() -> Stg {
+        let mut stg = Stg::new("t", 15.0);
+        let s0 = stg.add_state();
+        let s1 = stg.add_state();
+        stg.add_op(s0, ScheduledOp::new(NodeId::new(0), 0.0, 10.0));
+        stg.add_op(s1, ScheduledOp::new(NodeId::new(1), 0.0, 10.0));
+        stg.add_transition(s0, s1, Guard::Always, 1.0);
+        stg.set_exit_probability(s1, 1.0);
+        stg
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let stg = two_state();
+        assert_eq!(stg.state_count(), 2);
+        assert_eq!(stg.transition_count(), 1);
+        assert_eq!(stg.scheduled_op_count(), 2);
+        assert_eq!(stg.entry().index(), 0);
+        assert_eq!(stg.state_of(NodeId::new(1)), Some(StateId(1)));
+        assert_eq!(stg.state_of(NodeId::new(9)), None);
+        assert!((stg.average_ops_per_state() - 1.0).abs() < 1e-12);
+        assert_eq!(stg.outgoing(StateId(0)).len(), 1);
+    }
+
+    #[test]
+    fn validation_accepts_well_formed_graphs() {
+        assert!(two_state().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_dangling_states() {
+        let mut stg = two_state();
+        stg.add_transition(StateId(0), StateId(9), Guard::Always, 0.0);
+        assert!(matches!(
+            stg.validate(),
+            Err(StgError::DanglingState { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_bad_probability_mass() {
+        let mut stg = Stg::new("bad", 15.0);
+        let s0 = stg.add_state();
+        let s1 = stg.add_state();
+        stg.add_transition(s0, s1, Guard::Always, 0.4);
+        // 0.4 total outgoing mass with no exit probability: invalid.
+        assert!(matches!(
+            stg.validate(),
+            Err(StgError::ProbabilityMass { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_graph_is_invalid() {
+        assert!(matches!(Stg::new("e", 15.0).validate(), Err(StgError::Empty)));
+    }
+
+    #[test]
+    fn guard_display() {
+        assert_eq!(Guard::Always.to_string(), "1");
+        assert_eq!(Guard::Branch { index: 2, taken: true }.to_string(), "b2");
+        assert_eq!(Guard::Branch { index: 2, taken: false }.to_string(), "!b2");
+        assert_eq!(Guard::loop_back("l0", false).to_string(), "!l0");
+    }
+}

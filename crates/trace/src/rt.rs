@@ -1,0 +1,418 @@
+//! RT-level unit traces derived by trace manipulation.
+
+use impact_behsim::{ExecutionTrace, OpEvent};
+use impact_cdfg::{Cdfg, NodeId, VariableKind};
+use impact_rtl::{FuId, MuxSite, MuxSource, RegId, RtlDesign, SignalKey};
+
+use crate::activity::sequence_activity;
+
+/// View over one behavioral [`ExecutionTrace`] through the lens of one
+/// RT-level design: per-unit merged traces, register value sequences and
+/// multiplexer statistics.
+#[derive(Clone, Copy, Debug)]
+pub struct RtTraces<'a> {
+    cdfg: &'a Cdfg,
+    design: &'a RtlDesign,
+    trace: &'a ExecutionTrace,
+}
+
+impl<'a> RtTraces<'a> {
+    /// Creates the view. The trace must have been recorded on the same CDFG
+    /// the design binds.
+    pub fn new(cdfg: &'a Cdfg, design: &'a RtlDesign, trace: &'a ExecutionTrace) -> Self {
+        Self {
+            cdfg,
+            design,
+            trace,
+        }
+    }
+
+    /// The underlying behavioral trace.
+    pub fn execution(&self) -> &ExecutionTrace {
+        self.trace
+    }
+
+    // ------------------------------------------------------------ functional units
+
+    /// The merged trace of a functional unit: the events of every operation
+    /// bound to it, in dynamic execution order (the paper's `TR(Du)`).
+    pub fn merged_fu_events(&self, fu: FuId) -> Vec<&OpEvent> {
+        let ops = self.design.ops_on(fu);
+        let mut events: Vec<&OpEvent> = ops
+            .iter()
+            .flat_map(|&op| self.trace.events_for(op))
+            .collect();
+        events.sort_by_key(|e| e.sequence);
+        events
+    }
+
+    /// Average number of activations of the unit per input pass.
+    pub fn fu_activations_per_pass(&self, fu: FuId) -> f64 {
+        self.merged_fu_events(fu).len() as f64 / f64::from(self.trace.passes().max(1))
+    }
+
+    /// Mean input switching activity of the unit: the per-bit toggle rate of
+    /// each input port along the merged trace, averaged over ports.
+    pub fn fu_input_activity(&self, fu: FuId) -> f64 {
+        let events = self.merged_fu_events(fu);
+        if events.len() < 2 {
+            return 0.0;
+        }
+        let width = self
+            .design
+            .functional_unit(fu)
+            .map(|f| f.width)
+            .unwrap_or(8);
+        let ports = events.iter().map(|e| e.inputs.len()).max().unwrap_or(0);
+        if ports == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for port in 0..ports {
+            let values: Vec<i64> = events
+                .iter()
+                .map(|e| e.inputs.get(port).copied().unwrap_or(0))
+                .collect();
+            total += sequence_activity(&values, width);
+        }
+        total / ports as f64
+    }
+
+    /// Mean output switching activity of the unit along its merged trace.
+    pub fn fu_output_activity(&self, fu: FuId) -> f64 {
+        let events = self.merged_fu_events(fu);
+        let width = self
+            .design
+            .functional_unit(fu)
+            .map(|f| f.width)
+            .unwrap_or(8);
+        let values: Vec<i64> = events.iter().map(|e| e.output).collect();
+        sequence_activity(&values, width)
+    }
+
+    // ------------------------------------------------------------ registers
+
+    /// Value sequence seen by a register: every write performed by operations
+    /// defining one of its variables, in dynamic order. Primary-input
+    /// variables contribute their per-pass values.
+    pub fn register_values(&self, reg: RegId) -> Vec<i64> {
+        let Ok(register) = self.design.register(reg) else {
+            return Vec::new();
+        };
+        let mut writes: Vec<(u32, i64)> = Vec::new();
+        for (node_id, node) in self.cdfg.nodes() {
+            let Some(defined) = node.defines else { continue };
+            if !register.variables.contains(&defined) {
+                continue;
+            }
+            for event in self.trace.events_for(node_id) {
+                writes.push((event.sequence, event.output));
+            }
+        }
+        // Primary inputs are loaded at the start of each pass, before any
+        // recorded event of that pass.
+        for &var in &register.variables {
+            if self.cdfg.variable(var).kind == VariableKind::Input {
+                let values = self.trace.variable_writes(var);
+                // Interleave them at the beginning of each pass by giving
+                // them the sequence number of the pass's first event.
+                for (pass, &value) in values.iter().enumerate() {
+                    let first_seq = self
+                        .trace
+                        .events()
+                        .iter()
+                        .find(|e| e.pass == pass as u32)
+                        .map(|e| e.sequence)
+                        .unwrap_or(0);
+                    writes.push((first_seq.saturating_sub(1), value));
+                }
+            }
+        }
+        writes.sort_by_key(|&(seq, _)| seq);
+        writes.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Mean per-write switching activity of a register.
+    pub fn register_activity(&self, reg: RegId) -> f64 {
+        let width = self.design.register(reg).map(|r| r.width).unwrap_or(8);
+        sequence_activity(&self.register_values(reg), width)
+    }
+
+    /// Average number of writes into the register per input pass.
+    pub fn register_writes_per_pass(&self, reg: RegId) -> f64 {
+        self.register_values(reg).len() as f64 / f64::from(self.trace.passes().max(1))
+    }
+
+    // ------------------------------------------------------------ multiplexers
+
+    /// Activity of a physical signal (register output, functional-unit output
+    /// or constant).
+    pub fn signal_activity(&self, key: SignalKey) -> f64 {
+        match key {
+            SignalKey::Register(reg) => self.register_activity(reg),
+            SignalKey::FuOutput(fu) => self.fu_output_activity(fu),
+            SignalKey::Constant(_) => 0.0,
+        }
+    }
+
+    /// Per-source statistics of a multiplexer site: the transition activity
+    /// `a_i` of each source signal and its probability of propagation `p_i`
+    /// (the fraction of the site's traffic routed through it), ready for
+    /// [`impact_rtl::MuxTree`] construction.
+    pub fn mux_source_stats(&self, site: &MuxSite) -> Vec<MuxSource> {
+        let counts: Vec<f64> = site
+            .sources
+            .iter()
+            .map(|src| {
+                src.ops
+                    .iter()
+                    .map(|&op| self.trace.execution_count(op) as f64)
+                    .sum::<f64>()
+            })
+            .collect();
+        let total: f64 = counts.iter().sum();
+        site.sources
+            .iter()
+            .zip(counts)
+            .map(|(src, count)| {
+                let probability = if total > 0.0 {
+                    count / total
+                } else {
+                    1.0 / site.sources.len() as f64
+                };
+                MuxSource::new(
+                    &signal_label(src.key),
+                    self.signal_activity(src.key),
+                    probability,
+                )
+            })
+            .collect()
+    }
+
+    /// Average number of times the site selects a value per input pass.
+    pub fn mux_selections_per_pass(&self, site: &MuxSite) -> f64 {
+        let total: usize = site
+            .sources
+            .iter()
+            .flat_map(|s| s.ops.iter())
+            .map(|&op| self.trace.execution_count(op))
+            .sum();
+        total as f64 / f64::from(self.trace.passes().max(1))
+    }
+
+    // ------------------------------------------------------------ re-simulation
+
+    /// Operations that the recorded inputs never exercised.
+    pub fn unexercised_nodes(&self) -> Vec<NodeId> {
+        self.cdfg
+            .nodes()
+            .filter(|(id, node)| {
+                node.operation.needs_functional_unit() && self.trace.execution_count(*id) == 0
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Returns `true` when some operation was never exercised, in which case
+    /// statistics derived for it are extrapolations and a re-simulation with
+    /// richer inputs is advisable (the paper's "re-simulation is done on an
+    /// as-needed basis").
+    pub fn needs_resimulation(&self) -> bool {
+        !self.unexercised_nodes().is_empty()
+    }
+}
+
+fn signal_label(key: SignalKey) -> String {
+    match key {
+        SignalKey::Register(r) => r.to_string(),
+        SignalKey::FuOutput(f) => f.to_string(),
+        SignalKey::Constant(c) => c.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impact_behsim::simulate;
+    use impact_cdfg::{Operation, OpClass};
+    use impact_hdl::compile;
+    use impact_modlib::ModuleLibrary;
+
+    /// The three-addition CDFG of Figure 3 of the paper:
+    /// `t = b + c; if (a < 8) { out = t + d; } else { out = a + t; }`
+    /// (variable names chosen so the three additions mirror +1, +3, +2).
+    fn three_addition() -> (Cdfg, ExecutionTrace) {
+        let cdfg = compile(
+            "design fig3 { input a: 8, b: 8, c: 8, d: 8; output o: 8; var t: 8;
+               t = b + c;
+               if (a < 8) { o = t + d; } else { o = a + t; }
+             }",
+        )
+        .unwrap();
+        // Four passes with condition outcomes [T, T, F, T] as in the paper.
+        let inputs = vec![
+            vec![1, 10, 20, 3],
+            vec![2, 11, 21, 4],
+            vec![100, 12, 22, 5],
+            vec![3, 13, 23, 6],
+        ];
+        let trace = simulate(&cdfg, &inputs).unwrap();
+        (cdfg, trace)
+    }
+
+    #[test]
+    fn merged_trace_reproduces_the_paper_sharing_example() {
+        let (cdfg, trace) = three_addition();
+        let lib = ModuleLibrary::standard();
+        let mut design = RtlDesign::initial_parallel(&cdfg, &lib);
+        // Share all three additions on one adder (the paper's single-adder
+        // implementation of Figure 5).
+        let adders = design.units_of_class(OpClass::AddSub);
+        assert_eq!(adders.len(), 3);
+        design.share_fus(adders[0], adders[1]).unwrap();
+        design.share_fus(adders[0], adders[2]).unwrap();
+
+        let rt = RtTraces::new(&cdfg, &design, &trace);
+        let merged = rt.merged_fu_events(adders[0]);
+        // Two additions execute per pass (the unconditional one plus the
+        // taken branch's addition): 8 events over 4 passes.
+        assert_eq!(merged.len(), 8);
+        // Dynamic order is monotonically increasing in sequence numbers.
+        assert!(merged.windows(2).all(|w| w[0].sequence < w[1].sequence));
+        // Condition outcomes [T, T, F, T] select +then, +then, +else, +then
+        // as the second addition of each pass.
+        let then_add = cdfg
+            .nodes()
+            .find(|(_, n)| {
+                n.operation == Operation::Add
+                    && n.defines == cdfg.variable_by_name("o")
+                    && n.control.polarity == impact_cdfg::Polarity::ActiveHigh
+            })
+            .map(|(id, _)| id)
+            .unwrap();
+        let else_add = cdfg
+            .nodes()
+            .find(|(_, n)| {
+                n.operation == Operation::Add
+                    && n.defines == cdfg.variable_by_name("o")
+                    && n.control.polarity == impact_cdfg::Polarity::ActiveLow
+            })
+            .map(|(id, _)| id)
+            .unwrap();
+        let second_adds: Vec<NodeId> = merged.iter().skip(1).step_by(2).map(|e| e.node).collect();
+        assert_eq!(second_adds, vec![then_add, then_add, else_add, then_add]);
+    }
+
+    #[test]
+    fn sharing_preserves_total_event_count() {
+        let (cdfg, trace) = three_addition();
+        let lib = ModuleLibrary::standard();
+        let mut design = RtlDesign::initial_parallel(&cdfg, &lib);
+        let adders = design.units_of_class(OpClass::AddSub);
+        let parallel_total: usize = adders
+            .iter()
+            .map(|&f| RtTraces::new(&cdfg, &design, &trace).merged_fu_events(f).len())
+            .sum();
+        design.share_fus(adders[0], adders[1]).unwrap();
+        design.share_fus(adders[0], adders[2]).unwrap();
+        let rt = RtTraces::new(&cdfg, &design, &trace);
+        assert_eq!(rt.merged_fu_events(adders[0]).len(), parallel_total);
+    }
+
+    #[test]
+    fn sharing_unrelated_operations_raises_input_activity() {
+        // Two adders fed with very different operand streams: merging them
+        // onto one unit makes consecutive input vectors jump around, which is
+        // exactly the power cost of over-sharing the paper describes.
+        let cdfg = compile(
+            "design d { input a: 8, b: 8; output y: 8, z: 8;
+               y = a + 1; z = b + 200; }",
+        )
+        .unwrap();
+        let inputs: Vec<Vec<i64>> = (0..16).map(|i| vec![i % 4, 190 + (i % 3)]).collect();
+        let trace = simulate(&cdfg, &inputs).unwrap();
+        let lib = ModuleLibrary::standard();
+        let mut design = RtlDesign::initial_parallel(&cdfg, &lib);
+        let adders = design.units_of_class(OpClass::AddSub);
+        let rt_parallel_activity = {
+            let rt = RtTraces::new(&cdfg, &design, &trace);
+            (rt.fu_input_activity(adders[0]) + rt.fu_input_activity(adders[1])) / 2.0
+        };
+        design.share_fus(adders[0], adders[1]).unwrap();
+        let rt = RtTraces::new(&cdfg, &design, &trace);
+        let shared_activity = rt.fu_input_activity(adders[0]);
+        assert!(
+            shared_activity > rt_parallel_activity,
+            "sharing increases per-activation switching ({rt_parallel_activity:.3} -> {shared_activity:.3})"
+        );
+    }
+
+    #[test]
+    fn register_values_follow_program_order() {
+        let cdfg = compile(
+            "design d { output s: 8; var acc: 8 = 0; var i: 8;
+               for (i = 0; i < 4; i = i + 1) { acc = acc + 1; }
+               s = acc; }",
+        )
+        .unwrap();
+        let trace = simulate(&cdfg, &[vec![]]).unwrap();
+        let lib = ModuleLibrary::standard();
+        let design = RtlDesign::initial_parallel(&cdfg, &lib);
+        let rt = RtTraces::new(&cdfg, &design, &trace);
+        let acc = cdfg.variable_by_name("acc").unwrap();
+        let values = rt.register_values(design.register_of(acc));
+        assert_eq!(values, vec![1, 2, 3, 4]);
+        assert!(rt.register_activity(design.register_of(acc)) > 0.0);
+        assert!((rt.register_writes_per_pass(design.register_of(acc)) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mux_source_probabilities_follow_branch_statistics() {
+        let (cdfg, trace) = three_addition();
+        let lib = ModuleLibrary::standard();
+        let mut design = RtlDesign::initial_parallel(&cdfg, &lib);
+        let adders = design.units_of_class(OpClass::AddSub);
+        design.share_fus(adders[0], adders[1]).unwrap();
+        design.share_fus(adders[0], adders[2]).unwrap();
+        let rt = RtTraces::new(&cdfg, &design, &trace);
+        let sites = design.mux_sites(&cdfg);
+        let site = sites
+            .iter()
+            .find(|s| matches!(s.sink, impact_rtl::MuxSink::FuInput { fu, port: 0 } if fu == adders[0]))
+            .expect("shared adder has a mux on its first input");
+        let stats = rt.mux_source_stats(site);
+        assert_eq!(stats.len(), site.fan_in());
+        let total_p: f64 = stats.iter().map(|s| s.probability).sum();
+        assert!((total_p - 1.0).abs() < 1e-9, "probabilities sum to one");
+        assert!(rt.mux_selections_per_pass(site) > 0.0);
+    }
+
+    #[test]
+    fn unexercised_operations_trigger_resimulation_advice() {
+        let cdfg = compile(
+            "design d { input x: 8; output y: 8;
+               if (x > 50) { y = x * 3; } else { y = x + 1; } }",
+        )
+        .unwrap();
+        // Only the else path is ever exercised.
+        let trace = simulate(&cdfg, &[vec![1], vec![2]]).unwrap();
+        let lib = ModuleLibrary::standard();
+        let design = RtlDesign::initial_parallel(&cdfg, &lib);
+        let rt = RtTraces::new(&cdfg, &design, &trace);
+        assert!(rt.needs_resimulation());
+        assert_eq!(rt.unexercised_nodes().len(), 1);
+        // Exercising both paths clears the flag.
+        let trace2 = simulate(&cdfg, &[vec![1], vec![99]]).unwrap();
+        let rt2 = RtTraces::new(&cdfg, &design, &trace2);
+        assert!(!rt2.needs_resimulation());
+    }
+
+    #[test]
+    fn constants_have_zero_activity() {
+        let (cdfg, trace) = three_addition();
+        let lib = ModuleLibrary::standard();
+        let design = RtlDesign::initial_parallel(&cdfg, &lib);
+        let rt = RtTraces::new(&cdfg, &design, &trace);
+        assert_eq!(rt.signal_activity(SignalKey::Constant(42)), 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Second domain scenario from the paper's introduction: a graphics
+//! controller kernel (CORDIC rotation) — a CFI workload with a fixed-length
+//! loop and a data-dependent branch per iteration. The example contrasts
+//! area-optimized and power-optimized synthesis at the same performance,
+//! which is exactly how Figure 13 compares `A-Power` and `I-Power`.
+//!
+//! Run with `cargo run --release --example graphics_pipeline`.
+
+use impact::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = impact::benchmarks::cordic();
+    let cdfg = bench.compile()?;
+    let inputs = bench.input_sequences(48, 3);
+    let trace = simulate(&cdfg, &inputs)?;
+
+    let laxity = 2.0;
+    let area_opt =
+        Impact::new(SynthesisConfig::area_optimized(laxity).with_effort(3, 4)).synthesize(&cdfg, &trace)?;
+    let power_opt =
+        Impact::new(SynthesisConfig::power_optimized(laxity).with_effort(3, 4)).synthesize(&cdfg, &trace)?;
+
+    println!("CORDIC rotation kernel at laxity {laxity} (equal performance budget):");
+    println!();
+    println!("{:>24} {:>14} {:>14}", "", "area-optimized", "power-optimized");
+    println!(
+        "{:>24} {:>14.4} {:>14.4}",
+        "power at scaled Vdd (mW)", area_opt.report.power_mw, power_opt.report.power_mw
+    );
+    println!(
+        "{:>24} {:>14.4} {:>14.4}",
+        "power at 5 V (mW)", area_opt.report.power_at_reference_mw, power_opt.report.power_at_reference_mw
+    );
+    println!(
+        "{:>24} {:>14.0} {:>14.0}",
+        "area (gates)", area_opt.report.area, power_opt.report.area
+    );
+    println!(
+        "{:>24} {:>14.1} {:>14.1}",
+        "ENC (cycles)", area_opt.report.enc, power_opt.report.enc
+    );
+    println!(
+        "{:>24} {:>14.2} {:>14.2}",
+        "supply voltage (V)", area_opt.report.vdd, power_opt.report.vdd
+    );
+    println!();
+    println!(
+        "Power optimization buys {:.0}% lower power for {:.0}% more area at the same performance.",
+        100.0 * (1.0 - power_opt.report.power_mw / area_opt.report.power_mw),
+        100.0 * (power_opt.report.area / area_opt.report.area - 1.0)
+    );
+    Ok(())
+}

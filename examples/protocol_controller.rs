@@ -1,0 +1,43 @@
+//! Domain scenario from the paper's introduction: a network-protocol handler
+//! (control-flow intensive, many nested conditionals) synthesized across the
+//! whole laxity range to expose the power/performance trade-off.
+//!
+//! Run with `cargo run --release --example protocol_controller`.
+
+use impact::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A simplified link-layer transmit controller: window management,
+    // acknowledgement handling and error retries (the X.25-send benchmark).
+    let bench = impact::benchmarks::x25_send();
+    let cdfg = bench.compile()?;
+    let inputs = bench.input_sequences(48, 7);
+    let trace = simulate(&cdfg, &inputs)?;
+
+    println!("Protocol handler `{}`: {} operations", cdfg.name(), cdfg.node_count());
+    println!();
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "laxity", "power mW", "area", "ENC", "Vdd", "moves"
+    );
+
+    let mut base_power = None;
+    for laxity in [1.0, 1.5, 2.0, 2.5, 3.0] {
+        let outcome =
+            Impact::new(SynthesisConfig::power_optimized(laxity).with_effort(3, 4)).synthesize(&cdfg, &trace)?;
+        let r = &outcome.report;
+        base_power.get_or_insert(r.power_mw);
+        println!(
+            "{:>8.1} {:>10.4} {:>10.0} {:>10.1} {:>8.2} {:>8}",
+            laxity, r.power_mw, r.area, r.enc, r.vdd, r.moves_applied
+        );
+    }
+    if let Some(base) = base_power {
+        println!();
+        println!(
+            "Relaxing the performance constraint from laxity 1.0 to 3.0 trades cycles for supply \
+             voltage and cheaper resources; power falls monotonically from {base:.4} mW."
+        );
+    }
+    Ok(())
+}
