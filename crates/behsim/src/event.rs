@@ -161,7 +161,12 @@ mod tests {
 
     #[test]
     fn executions_per_pass_divides_by_pass_count() {
-        let events = vec![event(0, 0, 1), event(0, 1, 2), event(0, 2, 3), event(0, 3, 4)];
+        let events = vec![
+            event(0, 0, 1),
+            event(0, 1, 2),
+            event(0, 2, 3),
+            event(0, 3, 4),
+        ];
         let trace = ExecutionTrace::new(
             events,
             HashMap::new(),
@@ -174,13 +179,8 @@ mod tests {
 
     #[test]
     fn missing_variable_has_empty_writes() {
-        let trace = ExecutionTrace::new(
-            vec![],
-            HashMap::new(),
-            ControlProfile::default(),
-            vec![],
-            1,
-        );
+        let trace =
+            ExecutionTrace::new(vec![], HashMap::new(), ControlProfile::default(), vec![], 1);
         assert!(trace.variable_writes(VarId::new(0)).is_empty());
         assert!(trace.output(0, VarId::new(0)).is_none());
     }

@@ -88,7 +88,9 @@ impl<'a> Simulator<'a> {
                 }
             }
             self.exec_regions(self.cdfg.regions(), 0, &mut state)?;
-            state.outputs.push(std::mem::take(&mut state.current_outputs));
+            state
+                .outputs
+                .push(std::mem::take(&mut state.current_outputs));
         }
 
         Ok(ExecutionTrace::new(
@@ -148,8 +150,7 @@ impl<'a> Simulator<'a> {
                 let taken = cond_value != 0;
                 state.profile.record_branch(branch_base, taken);
                 let snapshot = state.env.clone();
-                let then_branches =
-                    crate::profile::branch_count(then_regions);
+                let then_branches = crate::profile::branch_count(then_regions);
                 if taken {
                     self.exec_regions(then_regions, branch_base + 1, state)?;
                 } else {
@@ -214,7 +215,12 @@ impl<'a> Simulator<'a> {
             )
         };
         let output = if taken { then_value } else { else_value };
-        self.record_event(node_id, vec![then_value, else_value, cond_value], output, state);
+        self.record_event(
+            node_id,
+            vec![then_value, else_value, cond_value],
+            output,
+            state,
+        );
         if let Some(var) = node.defines {
             state.env.insert(var, output);
             state.var_writes.entry(var).or_default().push(output);
@@ -349,7 +355,11 @@ mod tests {
         assert_eq!(out(&g, &t, 0, "s"), 12);
         // Loop labels are assigned in lowering (program) order: the outer
         // `for` is loop0, the inner one loop1.
-        assert_eq!(t.loop_stats("loop1").iterations, 12, "inner loop runs 12 times in total");
+        assert_eq!(
+            t.loop_stats("loop1").iterations,
+            12,
+            "inner loop runs 12 times in total"
+        );
         assert_eq!(t.loop_stats("loop0").iterations, 3);
     }
 
@@ -428,10 +438,7 @@ mod tests {
         let t = simulate(&g, &[vec![1], vec![2]]).unwrap();
         let add_acc = g
             .nodes()
-            .find(|(_, n)| {
-                n.operation == Operation::Add
-                    && n.defines == g.variable_by_name("acc")
-            })
+            .find(|(_, n)| n.operation == Operation::Add && n.defines == g.variable_by_name("acc"))
             .map(|(id, _)| id)
             .unwrap();
         assert!((t.executions_per_pass(add_acc) - 5.0).abs() < 1e-12);

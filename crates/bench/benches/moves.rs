@@ -14,7 +14,8 @@ fn evaluation(c: &mut Criterion) {
     for name in ["gcd", "loops", "x25_send"] {
         let bench = impact_benchmarks::by_name(name).expect("benchmark exists");
         let (cdfg, trace) = prepare(&bench, 16, 7);
-        let evaluator = Evaluator::new(&cdfg, &trace, SynthesisConfig::power_optimized(2.0)).unwrap();
+        let evaluator =
+            Evaluator::new(&cdfg, &trace, SynthesisConfig::power_optimized(2.0)).unwrap();
         let library = ModuleLibrary::standard();
         let design = RtlDesign::initial_parallel(&cdfg, &library);
         group.bench_function(format!("full_with_vdd_search/{name}"), |b| {

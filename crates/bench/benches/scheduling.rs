@@ -12,7 +12,9 @@ fn schedulers(c: &mut Criterion) {
         let (cdfg, trace) = prepare(&bench, 16, 7);
         let problem = uniform_problem(&cdfg, trace.profile());
         group.bench_function(format!("baseline/{}", bench.name), |b| {
-            b.iter(|| std::hint::black_box(BaselineScheduler::new().schedule(&problem).unwrap().enc))
+            b.iter(|| {
+                std::hint::black_box(BaselineScheduler::new().schedule(&problem).unwrap().enc)
+            })
         });
         group.bench_function(format!("wavesched/{}", bench.name), |b| {
             b.iter(|| std::hint::black_box(WaveScheduler::new().schedule(&problem).unwrap().enc))

@@ -47,9 +47,16 @@ fn main() {
             "== {} ({}) — base power {:.4} mW",
             series.benchmark,
             bench.description,
-            series.points.first().map(|p| p.base_power_mw).unwrap_or(0.0)
+            series
+                .points
+                .first()
+                .map(|p| p.base_power_mw)
+                .unwrap_or(0.0)
         );
-        println!("{:>8} {:>10} {:>10} {:>10} {:>8}", "laxity", "A-Power", "I-Power", "I-Area", "I-Vdd");
+        println!(
+            "{:>8} {:>10} {:>10} {:>10} {:>8}",
+            "laxity", "A-Power", "I-Power", "I-Area", "I-Vdd"
+        );
         for p in &series.points {
             println!(
                 "{:>8.1} {:>10.3} {:>10.3} {:>10.3} {:>8.2}",

@@ -8,7 +8,11 @@ use impact_core::SynthesisConfig;
 
 fn main() {
     let laxities = quick_laxities();
-    println!("IMPACT headline results ({} laxity points, {} passes)", laxities.len(), DEFAULT_PASSES);
+    println!(
+        "IMPACT headline results ({} laxity points, {} passes)",
+        laxities.len(),
+        DEFAULT_PASSES
+    );
     println!(
         "{:>10} {:>16} {:>18} {:>14} {:>12}",
         "benchmark", "vs base (x)", "vs A-Power (x)", "area ovhd (%)", "mux share (%)"

@@ -44,11 +44,15 @@ fn main() {
     // Path-delay consequence: the most probable branch (e1) chains two adders
     // and then traverses the mux tree before reaching the output register.
     let lib = ModuleLibrary::standard();
-    let adder = lib.fastest(impact_cdfg::OpClass::AddSub).expect("adders exist").delay_ns;
+    let adder = lib
+        .fastest(impact_cdfg::OpClass::AddSub)
+        .expect("adders exist")
+        .delay_ns;
     let mux = lib.mux2().delay_ns;
     let chained_adder = adder * CHAINING_OVERHEAD;
     let balanced_path = adder + chained_adder + mux * balanced.depth_of(0).unwrap_or(0) as f64;
-    let restructured_path = adder + chained_adder + mux * restructured.depth_of(0).unwrap_or(0) as f64;
+    let restructured_path =
+        adder + chained_adder + mux * restructured.depth_of(0).unwrap_or(0) as f64;
     println!();
     println!("most probable path, balanced     : {balanced_path:.1} ns (clock {DEFAULT_CLOCK_NS} ns) -> {} cycle(s)",
         (balanced_path / DEFAULT_CLOCK_NS).ceil());

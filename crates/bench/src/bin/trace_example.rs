@@ -29,7 +29,10 @@ fn main() {
     let library = ModuleLibrary::standard();
     let mut design = RtlDesign::initial_parallel(&cdfg, &library);
     let adders = design.units_of_class(OpClass::AddSub);
-    println!("Fully parallel architecture: {} adders (one per addition).", adders.len());
+    println!(
+        "Fully parallel architecture: {} adders (one per addition).",
+        adders.len()
+    );
     design.share_fus(adders[0], adders[1]).expect("same class");
     design.share_fus(adders[0], adders[2]).expect("same class");
     println!("After resource sharing: 1 adder (the Figure 5 implementation).");
@@ -38,7 +41,10 @@ fn main() {
     let rt = RtTraces::new(&cdfg, &design, &trace);
     let merged = rt.merged_fu_events(adders[0]);
     println!("Merged adder trace TR(A1) obtained by trace manipulation (no re-simulation):");
-    println!("{:>5} {:>6} {:>6} {:>6}   operation", "pass", "In1", "In2", "Out");
+    println!(
+        "{:>5} {:>6} {:>6} {:>6}   operation",
+        "pass", "In1", "In2", "Out"
+    );
     for event in &merged {
         let node = cdfg.node(event.node);
         println!(

@@ -51,7 +51,13 @@ impl Fig13Series {
     pub fn max_reduction_vs_base(&self) -> f64 {
         self.points
             .iter()
-            .map(|p| if p.i_power > 0.0 { 1.0 / p.i_power } else { 0.0 })
+            .map(|p| {
+                if p.i_power > 0.0 {
+                    1.0 / p.i_power
+                } else {
+                    0.0
+                }
+            })
             .fold(0.0, f64::max)
     }
 
@@ -60,14 +66,23 @@ impl Fig13Series {
     pub fn max_reduction_vs_a_power(&self) -> f64 {
         self.points
             .iter()
-            .map(|p| if p.i_power > 0.0 { p.a_power / p.i_power } else { 0.0 })
+            .map(|p| {
+                if p.i_power > 0.0 {
+                    p.a_power / p.i_power
+                } else {
+                    0.0
+                }
+            })
             .fold(0.0, f64::max)
     }
 
     /// Largest area overhead of the power-optimized designs
     /// (the paper's "no more than 30 %" claim).
     pub fn max_area_overhead(&self) -> f64 {
-        self.points.iter().map(|p| p.i_area - 1.0).fold(0.0, f64::max)
+        self.points
+            .iter()
+            .map(|p| p.i_area - 1.0)
+            .fold(0.0, f64::max)
     }
 }
 

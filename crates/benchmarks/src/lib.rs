@@ -210,7 +210,8 @@ design dealer {
 pub fn cordic() -> Benchmark {
     Benchmark {
         name: "cordic",
-        description: "CORDIC coordinate rotation: fixed-count loop with a data-dependent branch per step",
+        description:
+            "CORDIC coordinate rotation: fixed-count loop with a data-dependent branch per step",
         source: r#"
 design cordic {
   input x0: 12, y0: 12, angle: 12;
@@ -291,8 +292,16 @@ mod tests {
             let cdfg = bench
                 .compile()
                 .unwrap_or_else(|e| panic!("{} failed to compile: {e}", bench.name));
-            assert!(cdfg.validate().is_ok(), "{} is structurally invalid", bench.name);
-            assert!(cdfg.node_count() > 5, "{} is suspiciously small", bench.name);
+            assert!(
+                cdfg.validate().is_ok(),
+                "{} is structurally invalid",
+                bench.name
+            );
+            assert!(
+                cdfg.node_count() > 5,
+                "{} is suspiciously small",
+                bench.name
+            );
         }
     }
 

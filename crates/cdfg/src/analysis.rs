@@ -46,7 +46,11 @@ impl DependenceInfo {
             preds[id.index()] = p;
             carried_preds[id.index()] = cdfg.loop_carried_predecessors(id);
         }
-        for list in preds.iter_mut().chain(succs.iter_mut()).chain(carried_preds.iter_mut()) {
+        for list in preds
+            .iter_mut()
+            .chain(succs.iter_mut())
+            .chain(carried_preds.iter_mut())
+        {
             list.sort_unstable();
             list.dedup();
         }
@@ -181,7 +185,11 @@ pub fn asap_levels(cdfg: &Cdfg) -> Vec<u32> {
 
 /// Length (in dependence levels) of the critical path of the graph.
 pub fn critical_path_levels(cdfg: &Cdfg) -> u32 {
-    asap_levels(cdfg).into_iter().max().map(|l| l + 1).unwrap_or(0)
+    asap_levels(cdfg)
+        .into_iter()
+        .max()
+        .map(|l| l + 1)
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

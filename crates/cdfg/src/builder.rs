@@ -100,7 +100,8 @@ impl Frame {
 
     fn flush_block(&mut self) {
         if !self.block.is_empty() {
-            self.regions.push(Region::Block(std::mem::take(&mut self.block)));
+            self.regions
+                .push(Region::Block(std::mem::take(&mut self.block)));
         }
     }
 
@@ -161,7 +162,12 @@ impl CdfgBuilder {
     /// # Errors
     ///
     /// Returns [`CdfgError::DuplicateVariable`] if the name is already in use.
-    pub fn local(&mut self, name: &str, width: u8, initial: Option<i64>) -> Result<VarId, CdfgError> {
+    pub fn local(
+        &mut self,
+        name: &str,
+        width: u8,
+        initial: Option<i64>,
+    ) -> Result<VarId, CdfgError> {
         self.graph.push_variable(Variable {
             name: name.to_string(),
             kind: VariableKind::Local,
@@ -232,7 +238,12 @@ impl CdfgBuilder {
     /// # Errors
     ///
     /// Propagates variable-creation errors.
-    pub fn unary(&mut self, op: Operation, value: ValueRef, defines: &str) -> Result<VarId, CdfgError> {
+    pub fn unary(
+        &mut self,
+        op: Operation,
+        value: ValueRef,
+        defines: &str,
+    ) -> Result<VarId, CdfgError> {
         let dest = self.resolve_dest(defines, self.width_of(value))?;
         self.emit(op, &[value], Some(dest), None);
         Ok(dest)
@@ -260,7 +271,9 @@ impl CdfgBuilder {
     /// then-side until [`begin_else`](Self::begin_else) or
     /// [`end_branch`](Self::end_branch) is called.
     pub fn begin_branch(&mut self, condition: ValueRef) {
-        let condition_node = condition.as_var().and_then(|v| self.current_def.get(&v).copied());
+        let condition_node = condition
+            .as_var()
+            .and_then(|v| self.current_def.get(&v).copied());
         let snapshot = self.current_def.clone();
         self.frames.push(Frame::new(FrameKind::Branch {
             condition,
@@ -322,9 +335,25 @@ impl CdfgBuilder {
                     in_else,
                 } => {
                     if in_else {
-                        (condition, condition_node, then_regions, then_defs, tail_regions, tail_defs, snapshot)
+                        (
+                            condition,
+                            condition_node,
+                            then_regions,
+                            then_defs,
+                            tail_regions,
+                            tail_defs,
+                            snapshot,
+                        )
                     } else {
-                        (condition, condition_node, tail_regions, tail_defs, Vec::new(), HashMap::new(), snapshot)
+                        (
+                            condition,
+                            condition_node,
+                            tail_regions,
+                            tail_defs,
+                            Vec::new(),
+                            HashMap::new(),
+                            snapshot,
+                        )
                     }
                 }
                 _ => panic!("end_branch called outside a branch"),
@@ -351,7 +380,8 @@ impl CdfgBuilder {
                 .copied()
                 .map(EdgeSource::Node)
                 .unwrap_or_else(|| Self::source_from(&snapshot, var));
-            let node_id = self.push_select(var, then_source, else_source, condition, condition_node);
+            let node_id =
+                self.push_select(var, then_source, else_source, condition, condition_node);
             selects.push(node_id);
             self.current_def.insert(var, node_id);
             self.record_definition(var, node_id);
@@ -392,7 +422,9 @@ impl CdfgBuilder {
     ///
     /// Panics if no loop is open or the header was already closed.
     pub fn end_loop_header(&mut self, condition: ValueRef) {
-        let condition_node = condition.as_var().and_then(|v| self.current_def.get(&v).copied());
+        let condition_node = condition
+            .as_var()
+            .and_then(|v| self.current_def.get(&v).copied());
         let frame = self.frames.last_mut().expect("no open frame");
         let regions = frame.take_regions();
         match &mut frame.kind {
@@ -641,11 +673,26 @@ impl CdfgBuilder {
         let node_id = self.graph.push_node(node);
 
         let width = self.graph.variable(var).width;
-        let then_edge = self.push_edge_raw(then_source, node_id, Port::Data(0), ValueRef::Var(var), width);
-        let else_edge = self.push_edge_raw(else_source, node_id, Port::Data(1), ValueRef::Var(var), width);
-        let cond_source = condition_node.map(EdgeSource::Node).unwrap_or(EdgeSource::External);
+        let then_edge = self.push_edge_raw(
+            then_source,
+            node_id,
+            Port::Data(0),
+            ValueRef::Var(var),
+            width,
+        );
+        let else_edge = self.push_edge_raw(
+            else_source,
+            node_id,
+            Port::Data(1),
+            ValueRef::Var(var),
+            width,
+        );
+        let cond_source = condition_node
+            .map(EdgeSource::Node)
+            .unwrap_or(EdgeSource::External);
         let cond_width = self.width_of(condition);
-        let cond_edge = self.push_edge_raw(cond_source, node_id, Port::Control, condition, cond_width);
+        let cond_edge =
+            self.push_edge_raw(cond_source, node_id, Port::Control, condition, cond_width);
 
         {
             let n = self.graph.node_mut(node_id);
@@ -870,10 +917,7 @@ mod tests {
             .binary(Operation::Gt, ValueRef::Var(a), ValueRef::Const(0), "c")
             .unwrap();
         b.begin_branch(ValueRef::Var(c));
-        assert!(matches!(
-            b.finish(),
-            Err(CdfgError::MalformedRegion { .. })
-        ));
+        assert!(matches!(b.finish(), Err(CdfgError::MalformedRegion { .. })));
     }
 
     #[test]

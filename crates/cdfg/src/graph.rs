@@ -394,11 +394,7 @@ impl Cdfg {
 
     fn validate_regions(&self) -> Result<(), CdfgError> {
         let mut seen = vec![false; self.nodes.len()];
-        fn walk(
-            regions: &[Region],
-            nodes_len: usize,
-            seen: &mut [bool],
-        ) -> Result<(), CdfgError> {
+        fn walk(regions: &[Region], nodes_len: usize, seen: &mut [bool]) -> Result<(), CdfgError> {
             for region in regions {
                 match region {
                     Region::Block(nodes) => {

@@ -37,6 +37,7 @@
 //! # }
 //! ```
 
+pub mod analysis;
 mod builder;
 mod dot;
 mod error;
@@ -44,7 +45,6 @@ mod graph;
 mod id;
 mod node;
 mod op;
-pub mod analysis;
 pub mod region;
 
 pub use builder::CdfgBuilder;

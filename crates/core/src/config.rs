@@ -126,8 +126,14 @@ mod tests {
 
     #[test]
     fn presets_set_the_expected_mode() {
-        assert_eq!(SynthesisConfig::power_optimized(2.0).mode, OptimizationMode::Power);
-        assert_eq!(SynthesisConfig::area_optimized(2.0).mode, OptimizationMode::Area);
+        assert_eq!(
+            SynthesisConfig::power_optimized(2.0).mode,
+            OptimizationMode::Power
+        );
+        assert_eq!(
+            SynthesisConfig::area_optimized(2.0).mode,
+            OptimizationMode::Area
+        );
         assert_eq!(SynthesisConfig::default().mode, OptimizationMode::Power);
     }
 

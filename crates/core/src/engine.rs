@@ -169,7 +169,13 @@ impl Impact {
         let mut best_prefix = 0usize;
 
         for _ in 0..self.config.max_sequence_length {
-            let candidates = generate(cdfg, evaluator.library(), &working.design, &self.config, exclusion);
+            let candidates = generate(
+                cdfg,
+                evaluator.library(),
+                &working.design,
+                &self.config,
+                exclusion,
+            );
             if candidates.is_empty() {
                 break;
             }
@@ -243,10 +249,7 @@ mod tests {
     use super::*;
     use impact_behsim::simulate;
 
-    fn setup(
-        bench: impact_benchmarks::Benchmark,
-        passes: usize,
-    ) -> (Cdfg, ExecutionTrace) {
+    fn setup(bench: impact_benchmarks::Benchmark, passes: usize) -> (Cdfg, ExecutionTrace) {
         let cdfg = bench.compile().unwrap();
         let inputs = bench.input_sequences(passes, 17);
         let trace = simulate(&cdfg, &inputs).unwrap();

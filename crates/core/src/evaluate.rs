@@ -193,8 +193,10 @@ impl<'a> Evaluator<'a> {
         let power_at_reference = if (vdd - VDD_REFERENCE).abs() < 1e-9 {
             power
         } else {
-            let ref_estimator =
-                PowerEstimator::new(&self.library, self.config.power.clone().at_vdd(VDD_REFERENCE));
+            let ref_estimator = PowerEstimator::new(
+                &self.library,
+                self.config.power.clone().at_vdd(VDD_REFERENCE),
+            );
             ref_estimator.estimate(self.cdfg, design, &rt, &schedule)
         };
         Ok(Some(DesignPoint {
@@ -303,7 +305,10 @@ mod tests {
         let evaluator = Evaluator::new(&cdfg, &trace, config).unwrap();
         let point = evaluator.initial_point().unwrap();
         assert!(point.enc() <= evaluator.enc_limit() + 1e-9);
-        assert!(point.vdd < VDD_REFERENCE, "slack should be converted into a lower supply");
+        assert!(
+            point.vdd < VDD_REFERENCE,
+            "slack should be converted into a lower supply"
+        );
         assert!(point.power.total_mw() < point.power_at_reference.total_mw());
     }
 
@@ -314,7 +319,11 @@ mod tests {
             Evaluator::new(&cdfg, &trace, SynthesisConfig::power_optimized(1.0)).unwrap();
         let point = evaluator.initial_point().unwrap();
         // With no slack the supply can barely move; it must stay close to 5 V.
-        assert!(point.vdd > 4.0, "vdd {} should stay near the reference", point.vdd);
+        assert!(
+            point.vdd > 4.0,
+            "vdd {} should stay near the reference",
+            point.vdd
+        );
     }
 
     #[test]
@@ -355,7 +364,10 @@ mod tests {
         let (cdfg, trace, config) = gcd_setup(1.5);
         let evaluator = Evaluator::new(&cdfg, &trace, config).unwrap();
         let design = RtlDesign::initial_parallel(&cdfg, evaluator.library());
-        let point = evaluator.evaluate_at_vdd(&design, VDD_REFERENCE).unwrap().unwrap();
+        let point = evaluator
+            .evaluate_at_vdd(&design, VDD_REFERENCE)
+            .unwrap()
+            .unwrap();
         assert!((point.power.total_mw() - point.power_at_reference.total_mw()).abs() < 1e-12);
         assert!(point.cost(OptimizationMode::Area) > 0.0);
         assert!(point.cost(OptimizationMode::Power) > 0.0);

@@ -73,11 +73,15 @@ impl Move {
                 design.set_restructured(*sink, true);
                 Ok(())
             }
-            Move::SubstituteModule { fu, module } => design.substitute_module(library, *fu, *module),
+            Move::SubstituteModule { fu, module } => {
+                design.substitute_module(library, *fu, *module)
+            }
             Move::ShareFus { keep, remove } => design.share_fus(*keep, *remove),
             Move::SplitFu { fu, op } => design.split_fu(cdfg, *fu, &[*op]).map(|_| ()),
             Move::ShareRegisters { keep, remove } => design.share_registers(*keep, *remove),
-            Move::SplitRegister { reg, var } => design.split_register(cdfg, *reg, &[*var]).map(|_| ()),
+            Move::SplitRegister { reg, var } => {
+                design.split_register(cdfg, *reg, &[*var]).map(|_| ())
+            }
         }
     }
 
@@ -137,7 +141,10 @@ pub fn generate(
         for (fu, unit) in design.functional_units() {
             for variant in library.variants_for(unit.class) {
                 if variant != unit.module {
-                    moves.push(Move::SubstituteModule { fu, module: variant });
+                    moves.push(Move::SubstituteModule {
+                        fu,
+                        module: variant,
+                    });
                 }
             }
         }
@@ -171,7 +178,10 @@ pub fn generate(
         for (fu, _) in design.functional_units() {
             let ops = design.ops_on(fu);
             if ops.len() >= 2 {
-                moves.push(Move::SplitFu { fu, op: ops[ops.len() - 1] });
+                moves.push(Move::SplitFu {
+                    fu,
+                    op: ops[ops.len() - 1],
+                });
             }
         }
     }
@@ -222,9 +232,15 @@ mod tests {
         let config = SynthesisConfig::power_optimized(2.0);
         let moves = generate(&cdfg, &lib, &design, &config, &excl);
         assert!(moves.iter().any(|m| matches!(m, Move::ShareFus { .. })));
-        assert!(moves.iter().any(|m| matches!(m, Move::SubstituteModule { .. })));
-        assert!(moves.iter().any(|m| matches!(m, Move::ShareRegisters { .. })));
-        assert!(moves.iter().any(|m| matches!(m, Move::RestructureMux { .. })));
+        assert!(moves
+            .iter()
+            .any(|m| matches!(m, Move::SubstituteModule { .. })));
+        assert!(moves
+            .iter()
+            .any(|m| matches!(m, Move::ShareRegisters { .. })));
+        assert!(moves
+            .iter()
+            .any(|m| matches!(m, Move::RestructureMux { .. })));
         // No shared unit or register exists yet, so no splits.
         assert!(!moves.iter().any(|m| matches!(m, Move::SplitFu { .. })));
     }

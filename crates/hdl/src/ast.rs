@@ -191,10 +191,7 @@ impl Stmt {
             }
             Stmt::While { body, .. } => 1 + body.iter().map(Stmt::statement_count).sum::<usize>(),
             Stmt::For {
-                init,
-                update,
-                body,
-                ..
+                init, update, body, ..
             } => {
                 1 + init.statement_count()
                     + update.statement_count()

@@ -411,7 +411,11 @@ mod tests {
     fn unexpected_character_is_reported_with_position() {
         let err = Lexer::new("a @ b").tokenize().unwrap_err();
         match err {
-            HdlError::Lex { line, column, found } => {
+            HdlError::Lex {
+                line,
+                column,
+                found,
+            } => {
                 assert_eq!((line, column, found), (1, 3, '@'));
             }
             other => panic!("expected lex error, found {other:?}"),
@@ -421,7 +425,10 @@ mod tests {
     #[test]
     fn token_kind_display_is_human_readable() {
         assert_eq!(TokenKind::Assign.to_string(), "`=`");
-        assert_eq!(TokenKind::Ident("x".to_string()).to_string(), "identifier `x`");
+        assert_eq!(
+            TokenKind::Ident("x".to_string()).to_string(),
+            "identifier `x`"
+        );
         assert_eq!(TokenKind::Int(3).to_string(), "integer `3`");
     }
 }

@@ -353,9 +353,8 @@ mod tests {
 
     #[test]
     fn duplicate_declarations_are_rejected() {
-        let err =
-            lower(&parse("design d { input a: 8; var a: 8; output y: 8; y = a; }").unwrap())
-                .unwrap_err();
+        let err = lower(&parse("design d { input a: 8; var a: 8; output y: 8; y = a; }").unwrap())
+            .unwrap_err();
         assert!(matches!(err, HdlError::Semantic { .. }));
     }
 

@@ -448,8 +448,18 @@ mod tests {
         let d = parse("design p { input a: 8; var x: 8; x = a + 2 * 3; }").unwrap();
         match &d.body[0] {
             Stmt::Assign { value, .. } => match value {
-                Expr::Binary { op: BinaryOp::Add, rhs, .. } => {
-                    assert!(matches!(**rhs, Expr::Binary { op: BinaryOp::Mul, .. }));
+                Expr::Binary {
+                    op: BinaryOp::Add,
+                    rhs,
+                    ..
+                } => {
+                    assert!(matches!(
+                        **rhs,
+                        Expr::Binary {
+                            op: BinaryOp::Mul,
+                            ..
+                        }
+                    ));
                 }
                 other => panic!("expected addition at the top, found {other:?}"),
             },

@@ -217,7 +217,12 @@ mod tests {
     #[test]
     fn standard_library_has_at_least_two_variants_per_arithmetic_class() {
         let lib = ModuleLibrary::standard();
-        for class in [OpClass::AddSub, OpClass::Mul, OpClass::Div, OpClass::Compare] {
+        for class in [
+            OpClass::AddSub,
+            OpClass::Mul,
+            OpClass::Div,
+            OpClass::Compare,
+        ] {
             assert!(
                 lib.variants_for(class).len() >= 2,
                 "class {class} needs at least two variants for module selection"
@@ -228,7 +233,12 @@ mod tests {
     #[test]
     fn fastest_and_smallest_trade_off() {
         let lib = ModuleLibrary::standard();
-        for class in [OpClass::AddSub, OpClass::Mul, OpClass::Div, OpClass::Compare] {
+        for class in [
+            OpClass::AddSub,
+            OpClass::Mul,
+            OpClass::Div,
+            OpClass::Compare,
+        ] {
             let fast = lib.fastest(class).unwrap();
             let small = lib.smallest(class).unwrap();
             assert!(fast.delay_ns <= small.delay_ns);

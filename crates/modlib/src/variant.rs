@@ -100,7 +100,14 @@ mod tests {
     use super::*;
 
     fn ripple() -> ModuleVariant {
-        ModuleVariant::new("ripple_adder", OpClass::AddSub, 18.0, 48.0, 0.20, DelayScaling::Linear)
+        ModuleVariant::new(
+            "ripple_adder",
+            OpClass::AddSub,
+            18.0,
+            48.0,
+            0.20,
+            DelayScaling::Linear,
+        )
     }
 
     #[test]
@@ -123,12 +130,22 @@ mod tests {
         );
         assert!((v.delay_for_width(8) - 10.0).abs() < 1e-9);
         let d16 = v.delay_for_width(16);
-        assert!(d16 > 10.0 && d16 < 20.0, "log scaling grows sub-linearly: {d16}");
+        assert!(
+            d16 > 10.0 && d16 < 20.0,
+            "log scaling grows sub-linearly: {d16}"
+        );
     }
 
     #[test]
     fn constant_delay_ignores_width() {
-        let v = ModuleVariant::new("logic_unit", OpClass::Logic, 3.0, 16.0, 0.06, DelayScaling::Constant);
+        let v = ModuleVariant::new(
+            "logic_unit",
+            OpClass::Logic,
+            3.0,
+            16.0,
+            0.06,
+            DelayScaling::Constant,
+        );
         assert_eq!(v.delay_for_width(1), v.delay_for_width(64));
     }
 

@@ -118,14 +118,20 @@ mod tests {
     fn lowest_feasible_respects_the_delay_budget() {
         let s = VddScaling::standard();
         // With no slack only the reference supply fits.
-        let v = s.lowest_feasible(1.0).expect("reference supply is feasible");
+        let v = s
+            .lowest_feasible(1.0)
+            .expect("reference supply is feasible");
         assert!((v - 5.0).abs() < 1e-9);
         // With 3x delay budget a much lower supply becomes feasible.
         let v3 = s.lowest_feasible(3.0).expect("a lower supply is feasible");
         assert!(v3 < 3.0);
         // The returned level is indeed feasible and the next lower one is not.
         assert!(s.delay_factor(v3) <= 3.0);
-        let idx = s.levels().iter().position(|&l| (l - v3).abs() < 1e-9).unwrap();
+        let idx = s
+            .levels()
+            .iter()
+            .position(|&l| (l - v3).abs() < 1e-9)
+            .unwrap();
         if idx > 0 {
             assert!(s.delay_factor(s.levels()[idx - 1]) > 3.0);
         }

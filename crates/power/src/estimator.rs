@@ -128,7 +128,10 @@ impl<'lib> PowerEstimator<'lib> {
         // while its operand registers toggle.
         let mut fu_energy_pj = 0.0;
         for (fu_id, unit) in design.functional_units() {
-            let c = self.library.variant(unit.module).capacitance_for_width(unit.width);
+            let c = self
+                .library
+                .variant(unit.module)
+                .capacitance_for_width(unit.width);
             let activity = traces.fu_input_activity(fu_id).max(0.01);
             let activations = traces.fu_activations_per_pass(fu_id);
             let idle_cycles = (enc - activations).max(0.0);
@@ -274,13 +277,17 @@ mod tests {
         let estimator = PowerEstimator::new(&lib, PowerConfig::default());
         let baseline = {
             let rt = RtTraces::new(&cdfg, &design, &trace);
-            estimator.estimate(&cdfg, &design, &rt, &schedule).multiplexers_mw
+            estimator
+                .estimate(&cdfg, &design, &rt, &schedule)
+                .multiplexers_mw
         };
         let mut current = baseline;
         for site in design.mux_sites(&cdfg) {
             design.set_restructured(site.sink, true);
             let rt = RtTraces::new(&cdfg, &design, &trace);
-            let candidate = estimator.estimate(&cdfg, &design, &rt, &schedule).multiplexers_mw;
+            let candidate = estimator
+                .estimate(&cdfg, &design, &rt, &schedule)
+                .multiplexers_mw;
             if candidate <= current {
                 current = candidate;
             } else {
@@ -298,7 +305,9 @@ mod tests {
         let estimator = PowerEstimator::new(&lib, PowerConfig::default());
         let fast = {
             let rt = RtTraces::new(&cdfg, &design, &trace);
-            estimator.estimate(&cdfg, &design, &rt, &schedule).functional_units_mw
+            estimator
+                .estimate(&cdfg, &design, &rt, &schedule)
+                .functional_units_mw
         };
         // Swap every adder to the low-capacitance ripple implementation.
         let ripple = lib.variant_by_name("ripple_adder").unwrap();
@@ -306,7 +315,9 @@ mod tests {
             design.substitute_module(&lib, fu, ripple).unwrap();
         }
         let rt = RtTraces::new(&cdfg, &design, &trace);
-        let slow = estimator.estimate(&cdfg, &design, &rt, &schedule).functional_units_mw;
+        let slow = estimator
+            .estimate(&cdfg, &design, &rt, &schedule)
+            .functional_units_mw;
         assert!(slow < fast, "ripple adders switch less capacitance");
     }
 
@@ -351,7 +362,8 @@ mod tests {
         let comps = design.units_of_class(OpClass::Compare);
         design.share_fus(comps[0], comps[1]).unwrap();
         let rt = RtTraces::new(&cdfg, &design, &trace);
-        let b = PowerEstimator::new(&lib, PowerConfig::default()).estimate(&cdfg, &design, &rt, &schedule);
+        let b = PowerEstimator::new(&lib, PowerConfig::default())
+            .estimate(&cdfg, &design, &rt, &schedule);
         assert!(
             b.mux_share() > 0.15,
             "mux share should be substantial in a shared CFI datapath, got {:.3}",

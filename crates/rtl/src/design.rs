@@ -169,7 +169,9 @@ impl fmt::Display for RtlError {
             RtlError::WrongModuleClass { unit, variant } => {
                 write!(f, "cannot put a {variant} module on a {unit} unit")
             }
-            RtlError::EmptySplit => write!(f, "a split must move at least one operation or variable"),
+            RtlError::EmptySplit => {
+                write!(f, "a split must move at least one operation or variable")
+            }
         }
     }
 }
@@ -303,7 +305,8 @@ impl RtlDesign {
         self.op_binding
             .iter()
             .enumerate()
-            .filter_map(|(i, b)| (*b == Some(fu)).then(|| NodeId::new(i)))
+            .filter(|&(_, b)| *b == Some(fu))
+            .map(|(i, _)| NodeId::new(i))
             .collect()
     }
 
@@ -317,10 +320,7 @@ impl RtlDesign {
 
     /// Per-node functional-unit binding in the form the schedulers expect.
     pub fn scheduler_binding(&self) -> Vec<Option<usize>> {
-        self.op_binding
-            .iter()
-            .map(|b| b.map(|f| f.0))
-            .collect()
+        self.op_binding.iter().map(|b| b.map(|f| f.0)).collect()
     }
 
     /// Marks or unmarks a mux site as restructured (activity-probability
@@ -544,7 +544,9 @@ impl RtlDesign {
         cdfg.nodes()
             .map(|(id, node)| match self.fu_of(id) {
                 Some(fu) => {
-                    let unit = self.functional_unit(fu).expect("binding references active units");
+                    let unit = self
+                        .functional_unit(fu)
+                        .expect("binding references active units");
                     library.variant(unit.module).delay_for_width(unit.width)
                 }
                 None => {
@@ -603,7 +605,9 @@ impl RtlDesign {
         for (reg_id, reg) in self.registers() {
             let mut by_key: BTreeMap<SignalKey, Vec<NodeId>> = BTreeMap::new();
             for (node_id, node) in cdfg.nodes() {
-                let Some(defined) = node.defines else { continue };
+                let Some(defined) = node.defines else {
+                    continue;
+                };
                 if self.register_of(defined) != reg_id {
                     continue;
                 }
@@ -715,10 +719,13 @@ mod tests {
         assert!(adds.len() >= 2, "GCD has two subtractions");
         let before_area = design.datapath_area(&cdfg, &lib);
         design.share_fus(adds[0], adds[1]).unwrap();
-        assert_eq!(design.fu_count(), cdfg
-            .nodes()
-            .filter(|(_, n)| n.operation.needs_functional_unit())
-            .count() - 1);
+        assert_eq!(
+            design.fu_count(),
+            cdfg.nodes()
+                .filter(|(_, n)| n.operation.needs_functional_unit())
+                .count()
+                - 1
+        );
         assert_eq!(design.ops_on(adds[0]).len(), 2);
         assert!(design.functional_unit(adds[1]).is_err());
         let after_area = design.datapath_area(&cdfg, &lib);

@@ -39,7 +39,7 @@ mod design;
 mod mux;
 
 pub use design::{
-    FuId, FunctionalUnit, MuxSink, MuxSite, Register, RegId, RtlDesign, RtlError, SignalKey,
+    FuId, FunctionalUnit, MuxSink, MuxSite, RegId, Register, RtlDesign, RtlError, SignalKey,
     SignalSource,
 };
 pub use mux::{MuxSource, MuxTree};

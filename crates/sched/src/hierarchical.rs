@@ -281,8 +281,11 @@ impl<'p, 'a> Builder<'p, 'a> {
                 ..
             } => self.schedule_branch(then_regions, else_regions, selects, incoming, branch_base),
             Region::Loop(info) => {
-                let expected_iterations =
-                    self.problem.profile.loop_stats(&info.label).average_iterations();
+                let expected_iterations = self
+                    .problem
+                    .profile
+                    .loop_stats(&info.label)
+                    .average_iterations();
                 self.schedule_loop(
                     &info.header,
                     &info.body,
@@ -489,9 +492,8 @@ impl<'p, 'a> Builder<'p, 'a> {
                     probability: e.probability * (1.0 - p_continue),
                 });
             }
-            let expected = header_result.expected
-                + elp_extra
-                + expected_iterations * body_result.expected;
+            let expected =
+                header_result.expected + elp_extra + expected_iterations * body_result.expected;
             Ok(SeqResult {
                 outgoing,
                 expected,
@@ -534,7 +536,11 @@ impl<'p, 'a> Builder<'p, 'a> {
             header_nodes.extend(impact_cdfg::region::collect_all_nodes(&info.header));
             body_nodes.extend(impact_cdfg::region::collect_all_nodes(&info.body));
             end_nodes.extend_from_slice(&info.end_nodes);
-            let e = self.problem.profile.loop_stats(&info.label).average_iterations();
+            let e = self
+                .problem
+                .profile
+                .loop_stats(&info.label)
+                .average_iterations();
             if e >= expected_iterations {
                 expected_iterations = e;
                 label = info.label.clone();
@@ -613,8 +619,10 @@ impl<'p, 'a> Builder<'p, 'a> {
                     } else {
                         delay
                     };
-                    self.stg
-                        .add_op(state, ScheduledOp::new(node, occupancy, occupancy + effective));
+                    self.stg.add_op(
+                        state,
+                        ScheduledOp::new(node, occupancy, occupancy + effective),
+                    );
                     occupancy += effective;
                 }
             }
@@ -630,8 +638,10 @@ impl<'p, 'a> Builder<'p, 'a> {
                 } else {
                     delay
                 };
-                self.stg
-                    .add_op(state, ScheduledOp::new(node, occupancy, occupancy + effective));
+                self.stg.add_op(
+                    state,
+                    ScheduledOp::new(node, occupancy, occupancy + effective),
+                );
                 occupancy += effective;
             }
             self.connect(edges, state);
@@ -765,7 +775,11 @@ mod tests {
         let wave = WaveScheduler::new().schedule(&problem).unwrap();
         // Both loops must still execute their iterations sequentially: the
         // ENC reflects at least 8 body executions.
-        assert!(wave.enc >= 8.0, "dependent loops must not be merged (ENC {})", wave.enc);
+        assert!(
+            wave.enc >= 8.0,
+            "dependent loops must not be merged (ENC {})",
+            wave.enc
+        );
     }
 
     #[test]

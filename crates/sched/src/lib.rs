@@ -47,6 +47,4 @@ mod problem;
 pub use block::{schedule_block, BlockSchedule, PlacedOp};
 pub use error::SchedError;
 pub use hierarchical::{BaselineScheduler, Scheduler, WaveScheduler};
-pub use problem::{
-    uniform_problem, ScheduleConfig, SchedulingProblem, SchedulingResult,
-};
+pub use problem::{uniform_problem, ScheduleConfig, SchedulingProblem, SchedulingResult};

@@ -48,12 +48,18 @@ impl Stg {
         // Gaussian elimination with partial pivoting on the augmented matrix.
         for col in 0..n {
             let pivot = (col..n)
-                .max_by(|&x, &y| a[x][col].abs().partial_cmp(&a[y][col].abs()).expect("finite"))
+                .max_by(|&x, &y| {
+                    a[x][col]
+                        .abs()
+                        .partial_cmp(&a[y][col].abs())
+                        .expect("finite")
+                })
                 .expect("rows remain");
             if a[pivot][col].abs() < 1e-12 {
                 return f64::INFINITY;
             }
             a.swap(col, pivot);
+            let pivot_row = a[col][col..=n].to_vec();
             for row in 0..n {
                 if row == col {
                     continue;
@@ -62,8 +68,8 @@ impl Stg {
                 if factor == 0.0 {
                     continue;
                 }
-                for k in col..=n {
-                    a[row][k] -= factor * a[col][k];
+                for (x, &p) in a[row][col..=n].iter_mut().zip(&pivot_row) {
+                    *x -= factor * p;
                 }
             }
         }
@@ -165,8 +171,24 @@ mod tests {
         let slow1 = stg.add_state();
         let slow2 = stg.add_state();
         let slow3 = stg.add_state();
-        stg.add_transition(s0, fast, Guard::Branch { index: 0, taken: true }, 0.75);
-        stg.add_transition(s0, slow1, Guard::Branch { index: 0, taken: false }, 0.25);
+        stg.add_transition(
+            s0,
+            fast,
+            Guard::Branch {
+                index: 0,
+                taken: true,
+            },
+            0.75,
+        );
+        stg.add_transition(
+            s0,
+            slow1,
+            Guard::Branch {
+                index: 0,
+                taken: false,
+            },
+            0.25,
+        );
         stg.add_transition(slow1, slow2, Guard::Always, 1.0);
         stg.add_transition(slow2, slow3, Guard::Always, 1.0);
         stg.set_exit_probability(fast, 1.0);

@@ -225,7 +225,10 @@ impl Stg {
 
     /// Outgoing transitions of a state.
     pub fn outgoing(&self, state: StateId) -> Vec<&Transition> {
-        self.transitions.iter().filter(|t| t.from == state).collect()
+        self.transitions
+            .iter()
+            .filter(|t| t.from == state)
+            .collect()
     }
 
     /// Average number of operations per state, a rough measure of datapath
@@ -332,14 +335,31 @@ mod tests {
 
     #[test]
     fn empty_graph_is_invalid() {
-        assert!(matches!(Stg::new("e", 15.0).validate(), Err(StgError::Empty)));
+        assert!(matches!(
+            Stg::new("e", 15.0).validate(),
+            Err(StgError::Empty)
+        ));
     }
 
     #[test]
     fn guard_display() {
         assert_eq!(Guard::Always.to_string(), "1");
-        assert_eq!(Guard::Branch { index: 2, taken: true }.to_string(), "b2");
-        assert_eq!(Guard::Branch { index: 2, taken: false }.to_string(), "!b2");
+        assert_eq!(
+            Guard::Branch {
+                index: 2,
+                taken: true
+            }
+            .to_string(),
+            "b2"
+        );
+        assert_eq!(
+            Guard::Branch {
+                index: 2,
+                taken: false
+            }
+            .to_string(),
+            "!b2"
+        );
         assert_eq!(Guard::loop_back("l0", false).to_string(), "!l0");
     }
 }

@@ -101,7 +101,9 @@ impl<'a> RtTraces<'a> {
         };
         let mut writes: Vec<(u32, i64)> = Vec::new();
         for (node_id, node) in self.cdfg.nodes() {
-            let Some(defined) = node.defines else { continue };
+            let Some(defined) = node.defines else {
+                continue;
+            };
             if !register.variables.contains(&defined) {
                 continue;
             }
@@ -234,7 +236,7 @@ fn signal_label(key: SignalKey) -> String {
 mod tests {
     use super::*;
     use impact_behsim::simulate;
-    use impact_cdfg::{Operation, OpClass};
+    use impact_cdfg::{OpClass, Operation};
     use impact_hdl::compile;
     use impact_modlib::ModuleLibrary;
 
@@ -311,7 +313,11 @@ mod tests {
         let adders = design.units_of_class(OpClass::AddSub);
         let parallel_total: usize = adders
             .iter()
-            .map(|&f| RtTraces::new(&cdfg, &design, &trace).merged_fu_events(f).len())
+            .map(|&f| {
+                RtTraces::new(&cdfg, &design, &trace)
+                    .merged_fu_events(f)
+                    .len()
+            })
             .sum();
         design.share_fus(adders[0], adders[1]).unwrap();
         design.share_fus(adders[0], adders[2]).unwrap();

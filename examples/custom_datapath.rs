@@ -29,19 +29,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.begin_loop("mac");
     let cond = b.binary(Operation::Lt, ValueRef::Var(i), ValueRef::Const(12), "c")?;
     b.end_loop_header(ValueRef::Var(cond));
-    let product = b.binary(Operation::Mul, ValueRef::Var(sample), ValueRef::Var(gain), "%p")?;
-    b.binary(Operation::Add, ValueRef::Var(acc), ValueRef::Var(product), "acc")?;
+    let product = b.binary(
+        Operation::Mul,
+        ValueRef::Var(sample),
+        ValueRef::Var(gain),
+        "%p",
+    )?;
+    b.binary(
+        Operation::Add,
+        ValueRef::Var(acc),
+        ValueRef::Var(product),
+        "acc",
+    )?;
     b.binary(Operation::Add, ValueRef::Var(i), ValueRef::Const(1), "i")?;
     b.end_loop();
 
-    let sat = b.binary(Operation::Gt, ValueRef::Var(acc), ValueRef::Const(200), "sat")?;
+    let sat = b.binary(
+        Operation::Gt,
+        ValueRef::Var(acc),
+        ValueRef::Const(200),
+        "sat",
+    )?;
     b.begin_branch(ValueRef::Var(sat));
     b.assign(ValueRef::Const(200), "acc")?;
     b.end_branch();
     b.emit_output(ValueRef::Var(acc), out);
     let cdfg = b.finish()?;
-    println!("Built `{}` with {} nodes and {} edges", cdfg.name(), cdfg.node_count(), cdfg.edge_count());
-    println!("Graphviz dump available via Cdfg::to_dot ({} characters)", cdfg.to_dot().len());
+    println!(
+        "Built `{}` with {} nodes and {} edges",
+        cdfg.name(),
+        cdfg.node_count(),
+        cdfg.edge_count()
+    );
+    println!(
+        "Graphviz dump available via Cdfg::to_dot ({} characters)",
+        cdfg.to_dot().len()
+    );
 
     // Simulate over a pulse-like input stream.
     let inputs: Vec<Vec<i64>> = (0..32).map(|k| vec![(k * 7) % 64, 1 + k % 4]).collect();
@@ -52,8 +75,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let baseline = BaselineScheduler::new().schedule(&problem)?;
     let wave = WaveScheduler::new().schedule(&problem)?;
     println!();
-    println!("Baseline scheduler : ENC {:.1}, {} states", baseline.enc, baseline.stg.state_count());
-    println!("Wavesched          : ENC {:.1}, {} states", wave.enc, wave.stg.state_count());
+    println!(
+        "Baseline scheduler : ENC {:.1}, {} states",
+        baseline.enc,
+        baseline.stg.state_count()
+    );
+    println!(
+        "Wavesched          : ENC {:.1}, {} states",
+        wave.enc,
+        wave.stg.state_count()
+    );
 
     // Estimate the power of the fully parallel RT architecture by hand.
     let library = ModuleLibrary::standard();
@@ -63,9 +94,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let breakdown = estimator.estimate(&cdfg, &design, &rt, &wave);
     println!();
     println!("Fully parallel architecture at 5 V:");
-    println!("  functional units : {:.4} mW", breakdown.functional_units_mw);
+    println!(
+        "  functional units : {:.4} mW",
+        breakdown.functional_units_mw
+    );
     println!("  registers        : {:.4} mW", breakdown.registers_mw);
-    println!("  mux networks     : {:.4} mW ({:.0}% of total)", breakdown.multiplexers_mw, 100.0 * breakdown.mux_share());
+    println!(
+        "  mux networks     : {:.4} mW ({:.0}% of total)",
+        breakdown.multiplexers_mw,
+        100.0 * breakdown.mux_share()
+    );
     println!("  controller       : {:.4} mW", breakdown.controller_mw);
     println!("  clock            : {:.4} mW", breakdown.clock_mw);
     println!("  total            : {:.4} mW", breakdown.total_mw());

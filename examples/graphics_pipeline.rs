@@ -15,21 +15,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = simulate(&cdfg, &inputs)?;
 
     let laxity = 2.0;
-    let area_opt =
-        Impact::new(SynthesisConfig::area_optimized(laxity).with_effort(3, 4)).synthesize(&cdfg, &trace)?;
-    let power_opt =
-        Impact::new(SynthesisConfig::power_optimized(laxity).with_effort(3, 4)).synthesize(&cdfg, &trace)?;
+    let area_opt = Impact::new(SynthesisConfig::area_optimized(laxity).with_effort(3, 4))
+        .synthesize(&cdfg, &trace)?;
+    let power_opt = Impact::new(SynthesisConfig::power_optimized(laxity).with_effort(3, 4))
+        .synthesize(&cdfg, &trace)?;
 
     println!("CORDIC rotation kernel at laxity {laxity} (equal performance budget):");
     println!();
-    println!("{:>24} {:>14} {:>14}", "", "area-optimized", "power-optimized");
+    println!(
+        "{:>24} {:>14} {:>14}",
+        "", "area-optimized", "power-optimized"
+    );
     println!(
         "{:>24} {:>14.4} {:>14.4}",
         "power at scaled Vdd (mW)", area_opt.report.power_mw, power_opt.report.power_mw
     );
     println!(
         "{:>24} {:>14.4} {:>14.4}",
-        "power at 5 V (mW)", area_opt.report.power_at_reference_mw, power_opt.report.power_at_reference_mw
+        "power at 5 V (mW)",
+        area_opt.report.power_at_reference_mw,
+        power_opt.report.power_at_reference_mw
     );
     println!(
         "{:>24} {:>14.0} {:>14.0}",

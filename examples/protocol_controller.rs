@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let inputs = bench.input_sequences(48, 7);
     let trace = simulate(&cdfg, &inputs)?;
 
-    println!("Protocol handler `{}`: {} operations", cdfg.name(), cdfg.node_count());
+    println!(
+        "Protocol handler `{}`: {} operations",
+        cdfg.name(),
+        cdfg.node_count()
+    );
     println!();
     println!(
         "{:>8} {:>10} {:>10} {:>10} {:>8} {:>8}",
@@ -23,8 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut base_power = None;
     for laxity in [1.0, 1.5, 2.0, 2.5, 3.0] {
-        let outcome =
-            Impact::new(SynthesisConfig::power_optimized(laxity).with_effort(3, 4)).synthesize(&cdfg, &trace)?;
+        let outcome = Impact::new(SynthesisConfig::power_optimized(laxity).with_effort(3, 4))
+            .synthesize(&cdfg, &trace)?;
         let r = &outcome.report;
         base_power.get_or_insert(r.power_mw);
         println!(

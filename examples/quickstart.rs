@@ -47,14 +47,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = &outcome.report;
     println!();
     println!("IMPACT power-optimized design:");
-    println!("  ENC              : {:.1} cycles (budget {:.1})", report.enc, report.enc_limit);
+    println!(
+        "  ENC              : {:.1} cycles (budget {:.1})",
+        report.enc, report.enc_limit
+    );
     println!("  supply voltage   : {:.1} V", report.vdd);
-    println!("  power            : {:.4} mW (initial parallel design at 5 V: {:.4} mW)",
-        report.power_mw, report.initial_power_mw);
-    println!("  area             : {:.0} gates (initial: {:.0})", report.area, report.initial_area);
+    println!(
+        "  power            : {:.4} mW (initial parallel design at 5 V: {:.4} mW)",
+        report.power_mw, report.initial_power_mw
+    );
+    println!(
+        "  area             : {:.0} gates (initial: {:.0})",
+        report.area, report.initial_area
+    );
     println!("  committed moves  : {}", report.moves_applied);
     for record in &outcome.history {
-        println!("    pass {} | {:<18} | gain {:+.5} mW", record.pass, record.applied.kind(), record.gain);
+        println!(
+            "    pass {} | {:<18} | gain {:+.5} mW",
+            record.pass,
+            record.applied.kind(),
+            record.gain
+        );
     }
     Ok(())
 }

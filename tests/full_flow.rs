@@ -124,7 +124,9 @@ fn facade_prelude_exposes_the_full_flow() {
     .expect("facade compile works");
     let trace = simulate(&cdfg, &[vec![5], vec![7]]).expect("facade simulate works");
     let problem = impact::sched::uniform_problem(&cdfg, trace.profile());
-    let schedule = WaveScheduler::new().schedule(&problem).expect("facade scheduling works");
+    let schedule = WaveScheduler::new()
+        .schedule(&problem)
+        .expect("facade scheduling works");
     assert!(schedule.enc > 1.0);
     let library = ModuleLibrary::standard();
     assert!(!library.is_empty());

@@ -16,8 +16,14 @@ fn mux_example_activities_match_the_paper() {
     ];
     let balanced = MuxTree::balanced(sources.clone()).switching_activity();
     let restructured = MuxTree::huffman(sources).switching_activity();
-    assert!((balanced - 1.09).abs() < 0.01, "balanced activity {balanced}");
-    assert!((restructured - 0.72).abs() < 0.01, "restructured activity {restructured}");
+    assert!(
+        (balanced - 1.09).abs() < 0.01,
+        "balanced activity {balanced}"
+    );
+    assert!(
+        (restructured - 0.72).abs() < 0.01,
+        "restructured activity {restructured}"
+    );
     let reduction = 1.0 - restructured / balanced;
     assert!((reduction - 0.34).abs() < 0.02, "reduction {reduction}");
 }
@@ -122,5 +128,8 @@ fn loops_cdfg_matches_figure_one_structure() {
         .count();
     assert_eq!(elp_count, 3, "one Elp node terminates each loop");
     let (pos, neg, _) = cdfg.polarity_histogram();
-    assert!(pos > 0 && neg > 0, "both control-port polarities are present");
+    assert!(
+        pos > 0 && neg > 0,
+        "both control-port polarities are present"
+    );
 }

@@ -42,7 +42,7 @@ proptest! {
             prop_assert_eq!(tree.mux_count(), n - 1);
             for i in 0..n {
                 prop_assert!(tree.depth_of(i).is_some());
-                prop_assert!(tree.depth_of(i).unwrap() <= n - 1);
+                prop_assert!(tree.depth_of(i).unwrap() < n);
             }
             prop_assert!(tree.switching_activity() >= 0.0);
             prop_assert!(tree.switching_activity().is_finite());

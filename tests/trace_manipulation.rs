@@ -41,7 +41,10 @@ fn merged_adder_trace_matches_the_paper_table() {
     assert_eq!(merged.len(), 8);
     for pair in merged.chunks(2) {
         assert_eq!(pair[0].pass, pair[1].pass, "events stay grouped by pass");
-        assert!(pair[0].sequence < pair[1].sequence, "dynamic order is preserved");
+        assert!(
+            pair[0].sequence < pair[1].sequence,
+            "dynamic order is preserved"
+        );
     }
 
     // The per-pass second addition follows the condition sequence [T, T, F, T].
@@ -89,11 +92,14 @@ fn per_operation_traces_concatenate_into_any_sharing_configuration() {
     let rt = RtTraces::new(&cdfg, &design, &trace);
     let merged = rt.merged_fu_events(adders[1]);
     let solo = rt.merged_fu_events(adders[0]);
-    assert_eq!(merged.len() + solo.len(), trace
-        .events()
-        .iter()
-        .filter(|e| cdfg.node(e.node).operation == Operation::Add)
-        .count());
+    assert_eq!(
+        merged.len() + solo.len(),
+        trace
+            .events()
+            .iter()
+            .filter(|e| cdfg.node(e.node).operation == Operation::Add)
+            .count()
+    );
     // The design never needs re-simulation because every operation was
     // exercised by the inputs.
     assert!(!rt.needs_resimulation());
