@@ -1,0 +1,127 @@
+//! Headline benchmark of the incremental evaluation engine: times
+//! `Impact::synthesize` with the brute-force sequential configuration against
+//! the cached + parallel-ranking incremental configuration on the example
+//! designs, verifies both produce bit-identical synthesis reports, and writes
+//! the measurements to `BENCH_engine.json`.
+//!
+//! Usage: `engine_bench [--smoke] [--out PATH]`
+//!
+//! `--smoke` runs a reduced input set (fewer passes, smaller search effort)
+//! so CI can track the perf trajectory in seconds rather than minutes. The
+//! process exits non-zero if any design's reports diverge, making the
+//! equivalence check a hard gate wherever the bench runs.
+
+use std::io::Write as _;
+
+use impact_bench::{engine_comparison, EngineComparison, DEFAULT_EFFORT, DEFAULT_PASSES};
+
+/// The example designs the comparison runs on, smallest first.
+fn designs() -> Vec<impact_benchmarks::Benchmark> {
+    vec![
+        impact_benchmarks::gcd(),
+        impact_benchmarks::x25_send(),
+        impact_benchmarks::dealer(),
+        impact_benchmarks::paulin(),
+    ]
+}
+
+fn json_for(results: &[EngineComparison], mode: &str, laxity: f64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"laxity\": {laxity},\n"));
+    out.push_str("  \"designs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"nodes\": {}, \"sequential_ms\": {:.3}, \
+             \"incremental_ms\": {:.3}, \"speedup\": {:.3}, \"identical\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}}}{}\n",
+            r.benchmark,
+            r.nodes,
+            r.sequential_ms,
+            r.incremental_ms,
+            r.speedup(),
+            r.identical,
+            r.cache.hits,
+            r.cache.misses,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    let largest = results.iter().max_by_key(|r| r.nodes);
+    if let Some(largest) = largest {
+        out.push_str(&format!(
+            "  \"headline\": {{\"design\": \"{}\", \"speedup\": {:.3}}}\n",
+            largest.benchmark,
+            largest.speedup()
+        ));
+    } else {
+        out.push_str("  \"headline\": null\n");
+    }
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    let (passes, effort) = if smoke {
+        (12, (2, 3))
+    } else {
+        (DEFAULT_PASSES, DEFAULT_EFFORT)
+    };
+    let laxity = 2.0;
+    let mode = if smoke { "smoke" } else { "full" };
+
+    println!(
+        "engine bench ({mode}): {} passes, effort {:?}, laxity {laxity}",
+        passes, effort
+    );
+    println!(
+        "{:>10} {:>7} {:>14} {:>14} {:>9} {:>10} {:>12}",
+        "design", "nodes", "seq (ms)", "inc (ms)", "speedup", "identical", "hit rate (%)"
+    );
+
+    let mut results = Vec::new();
+    for bench in designs() {
+        let result = engine_comparison(&bench, passes, effort, laxity);
+        let hit_rate = 100.0 * result.cache.hit_rate();
+        println!(
+            "{:>10} {:>7} {:>14.1} {:>14.1} {:>9.2} {:>10} {:>12.1}",
+            result.benchmark,
+            result.nodes,
+            result.sequential_ms,
+            result.incremental_ms,
+            result.speedup(),
+            result.identical,
+            hit_rate,
+        );
+        results.push(result);
+    }
+
+    let json = json_for(&results, mode, laxity);
+    let mut file = std::fs::File::create(&out_path).expect("bench output file is writable");
+    file.write_all(json.as_bytes())
+        .expect("bench output writes");
+    println!("wrote {out_path}");
+
+    if let Some(largest) = results.iter().max_by_key(|r| r.nodes) {
+        println!(
+            "headline: {:.2}x speedup of Impact::synthesize on {} ({} nodes)",
+            largest.speedup(),
+            largest.benchmark,
+            largest.nodes
+        );
+    }
+
+    if results.iter().any(|r| !r.identical) {
+        eprintln!("FAIL: sequential and incremental engines diverged");
+        std::process::exit(1);
+    }
+}

@@ -2,10 +2,14 @@
 //! paper. The binaries in `src/bin/` print the series; the Criterion benches
 //! in `benches/` time the underlying computations.
 
+use std::time::Instant;
+
 use impact_behsim::{simulate, ExecutionTrace};
 use impact_benchmarks::Benchmark;
 use impact_cdfg::Cdfg;
-use impact_core::{Impact, SynthesisConfig, SynthesisOutcome};
+use impact_core::{
+    CacheStats, EngineConfig, Impact, SynthesisConfig, SynthesisOutcome, SynthesisReport,
+};
 use impact_sched::{uniform_problem, BaselineScheduler, Scheduler, WaveScheduler};
 
 /// Number of input passes used by the experiment drivers ("typical input
@@ -185,6 +189,77 @@ pub fn fmt3(value: f64) -> String {
     format!("{value:.3}")
 }
 
+/// One benchmark's sequential-vs-incremental engine comparison: wall-clock of
+/// both engine configurations on the same synthesis run, whether the reports
+/// agree bit-for-bit, and the incremental engine's cache counters.
+#[derive(Clone, Debug)]
+pub struct EngineComparison {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// CDFG size (nodes), the rough proxy for design size.
+    pub nodes: usize,
+    /// Wall-clock of `Impact::synthesize` with the brute-force sequential
+    /// engine, in milliseconds.
+    pub sequential_ms: f64,
+    /// Wall-clock with the incremental (cached + parallel-ranking) engine, in
+    /// milliseconds.
+    pub incremental_ms: f64,
+    /// Whether both engines produced bit-identical synthesis reports.
+    pub identical: bool,
+    /// Evaluation-cache counters of the incremental run.
+    pub cache: CacheStats,
+}
+
+impl EngineComparison {
+    /// Sequential over incremental wall-clock.
+    pub fn speedup(&self) -> f64 {
+        if self.incremental_ms > 0.0 {
+            self.sequential_ms / self.incremental_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Exact (bit-for-bit) equality of two synthesis reports.
+pub fn reports_identical(a: &SynthesisReport, b: &SynthesisReport) -> bool {
+    a == b
+}
+
+/// Runs one benchmark through both engine configurations and times them.
+/// `effort` is `(max_passes, max_sequence_length)`.
+pub fn engine_comparison(
+    bench: &Benchmark,
+    passes: usize,
+    effort: (usize, usize),
+    laxity: f64,
+) -> EngineComparison {
+    let (cdfg, trace) = prepare(bench, passes, DEFAULT_SEED);
+    let config = SynthesisConfig::power_optimized(laxity).with_effort(effort.0, effort.1);
+
+    let sequential_config = config.clone().with_engine(EngineConfig::sequential());
+    let started = Instant::now();
+    let sequential = Impact::new(sequential_config)
+        .synthesize(&cdfg, &trace)
+        .expect("sequential synthesis succeeds");
+    let sequential_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let started = Instant::now();
+    let incremental = Impact::new(config.with_engine(EngineConfig::incremental()))
+        .synthesize(&cdfg, &trace)
+        .expect("incremental synthesis succeeds");
+    let incremental_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    EngineComparison {
+        benchmark: bench.name.to_string(),
+        nodes: cdfg.node_count(),
+        sequential_ms,
+        incremental_ms,
+        identical: reports_identical(&sequential.report, &incremental.report),
+        cache: incremental.cache_stats,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +272,17 @@ mod tests {
         assert!((paper[10] - 3.0).abs() < 1e-12);
         let quick = quick_laxities();
         assert_eq!(quick.len(), 5);
+    }
+
+    #[test]
+    fn engine_comparison_reports_identical_results_and_counts_cache_traffic() {
+        let cmp = engine_comparison(&impact_benchmarks::gcd(), 8, (1, 2), 2.0);
+        assert!(cmp.identical, "engines must agree bit-for-bit");
+        assert!(cmp.sequential_ms > 0.0 && cmp.incremental_ms > 0.0);
+        assert!(cmp.cache.hits + cmp.cache.misses > 0);
+        assert!(cmp.cache.hit_rate() > 0.0);
+        assert!(cmp.nodes > 0);
+        assert!(cmp.speedup() > 0.0);
     }
 
     #[test]

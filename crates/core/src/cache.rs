@@ -1,0 +1,202 @@
+//! The evaluation cache of the incremental engine.
+//!
+//! One [`EvalCache`] lives inside each [`Evaluator`](crate::Evaluator) and
+//! memoizes, from cheapest to most expensive to recompute:
+//!
+//! * trace statistics (per-unit, per-register and per-mux-site activity),
+//!   keyed by structural *content* so candidate designs share them,
+//! * per-design evaluation contexts (base delays, binding and power profile),
+//! * fully evaluated [`DesignPoint`]s per `(design, vdd)` pair, and the
+//!   Vdd-scaled result of the full supply search per design.
+//!
+//! All maps sit behind one mutex; computations never run under the lock, so
+//! parallel ranking threads can race to fill the same entry — both sides
+//! compute identical values, and the last store wins. Design points are
+//! stored behind `Arc`, so the per-level entries of the Vdd search and the
+//! fully-scaled entry share allocations and a hit clones a pointer, not the
+//! design. When a map outgrows its capacity bound it is cleared wholesale;
+//! the evictions are counted and the simple policy keeps hit paths
+//! branch-light.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use impact_power::PowerProfile;
+use impact_rtl::DesignFingerprint;
+use impact_trace::{FuStats, RegStats};
+
+use crate::evaluate::DesignPoint;
+use crate::fingerprint::{FuStatsKey, MuxStatsKey, PointKey, RegStatsKey};
+
+/// Everything about one design that the Vdd search reuses across supply
+/// levels: effective node delays at the reference supply, the scheduler
+/// binding and the supply-independent power profile.
+#[derive(Clone, Debug)]
+pub(crate) struct DesignContext {
+    /// Effective per-node delays at delay factor 1.0 (module + interconnect).
+    pub base_delays: Vec<f64>,
+    /// Per-node functional-unit binding in scheduler form.
+    pub binding: Vec<Option<usize>>,
+    /// Supply-independent power/area coefficients.
+    pub profile: PowerProfile,
+}
+
+/// Memoized statistics of one mux site: the tree's switching activity, the
+/// depth of every source in the tree, and the selection rate.
+#[derive(Clone, PartialEq, Debug)]
+pub(crate) struct MuxEntry {
+    pub tree_activity: f64,
+    pub depths: Vec<usize>,
+    pub selections_per_pass: f64,
+}
+
+/// Snapshot of the cache's effectiveness counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Times a full map was dropped because it outgrew its capacity bound.
+    pub evictions: u64,
+    /// Memoized design points currently held.
+    pub points: usize,
+    /// Memoized per-design contexts currently held.
+    pub contexts: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total > 0 {
+            self.hits as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    points: HashMap<PointKey, Option<Arc<DesignPoint>>>,
+    scaled: HashMap<DesignFingerprint, Option<Arc<DesignPoint>>>,
+    contexts: HashMap<DesignFingerprint, Arc<DesignContext>>,
+    fu_stats: HashMap<FuStatsKey, FuStats>,
+    reg_stats: HashMap<RegStatsKey, RegStats>,
+    mux_stats: HashMap<MuxStatsKey, MuxEntry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Capacity bounds; a map exceeding its bound on insert is cleared.
+const MAX_POINTS: usize = 16_384;
+const MAX_CONTEXTS: usize = 4_096;
+const MAX_STATS: usize = 65_536;
+
+/// The memoization store of one [`Evaluator`](crate::Evaluator).
+#[derive(Debug)]
+pub(crate) struct EvalCache {
+    enabled: bool,
+    inner: Mutex<CacheInner>,
+}
+
+macro_rules! cached_lookup {
+    ($name:ident, $store:ident, $field:ident, $key:ty, $value:ty, $cap:expr) => {
+        pub(crate) fn $name(&self, key: &$key) -> Option<$value> {
+            if !self.enabled {
+                return None;
+            }
+            let mut inner = self.inner.lock().expect("evaluation cache poisoned");
+            let found = inner.$field.get(key).cloned();
+            if found.is_some() {
+                inner.hits += 1;
+            } else {
+                inner.misses += 1;
+            }
+            found
+        }
+
+        pub(crate) fn $store(&self, key: $key, value: $value) {
+            if !self.enabled {
+                return;
+            }
+            let mut inner = self.inner.lock().expect("evaluation cache poisoned");
+            if inner.$field.len() >= $cap {
+                inner.$field.clear();
+                inner.evictions += 1;
+            }
+            inner.$field.insert(key, value);
+        }
+    };
+}
+
+impl EvalCache {
+    pub(crate) fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            inner: Mutex::new(CacheInner::default()),
+        }
+    }
+
+    /// Whether memoization is active (`false` reproduces the brute-force
+    /// evaluation loop).
+    pub(crate) fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    cached_lookup!(
+        lookup_point,
+        store_point,
+        points,
+        PointKey,
+        Option<Arc<DesignPoint>>,
+        MAX_POINTS
+    );
+    cached_lookup!(
+        lookup_scaled,
+        store_scaled,
+        scaled,
+        DesignFingerprint,
+        Option<Arc<DesignPoint>>,
+        MAX_POINTS
+    );
+    cached_lookup!(
+        lookup_context,
+        store_context,
+        contexts,
+        DesignFingerprint,
+        Arc<DesignContext>,
+        MAX_CONTEXTS
+    );
+    cached_lookup!(lookup_fu, store_fu, fu_stats, FuStatsKey, FuStats, MAX_STATS);
+    cached_lookup!(
+        lookup_reg,
+        store_reg,
+        reg_stats,
+        RegStatsKey,
+        RegStats,
+        MAX_STATS
+    );
+    cached_lookup!(
+        lookup_mux,
+        store_mux,
+        mux_stats,
+        MuxStatsKey,
+        MuxEntry,
+        MAX_STATS
+    );
+
+    /// Snapshot of the effectiveness counters.
+    pub(crate) fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("evaluation cache poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            points: inner.points.len(),
+            contexts: inner.contexts.len(),
+        }
+    }
+}

@@ -12,6 +12,51 @@ pub enum OptimizationMode {
     Area,
 }
 
+/// Tuning of the incremental evaluation engine: memoization and parallel
+/// candidate ranking. The default is the fully incremental engine; the
+/// sequential configuration reproduces the brute-force evaluation loop
+/// (every candidate rescheduled and re-profiled from scratch) and exists for
+/// benchmarking and differential testing — both configurations produce
+/// bit-identical synthesis results.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EngineConfig {
+    /// Memoize evaluated design points, per-design contexts and trace
+    /// statistics by structural fingerprint.
+    pub cache: bool,
+    /// Rank candidate moves on scoped worker threads.
+    pub parallel_ranking: bool,
+    /// Worker threads used for ranking; `0` means one per available CPU.
+    pub ranking_threads: usize,
+}
+
+impl EngineConfig {
+    /// The incremental engine: caching on, ranking parallelized over the
+    /// available CPUs.
+    pub fn incremental() -> Self {
+        Self {
+            cache: true,
+            parallel_ranking: true,
+            ranking_threads: 0,
+        }
+    }
+
+    /// The brute-force reference engine: no memoization, single-threaded
+    /// ranking.
+    pub fn sequential() -> Self {
+        Self {
+            cache: false,
+            parallel_ranking: false,
+            ranking_threads: 0,
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::incremental()
+    }
+}
+
 /// Knobs of one synthesis run.
 #[derive(Clone, PartialEq, Debug)]
 pub struct SynthesisConfig {
@@ -39,6 +84,8 @@ pub struct SynthesisConfig {
     pub vdd_scaling: bool,
     /// Power-estimator technology parameters.
     pub power: PowerConfig,
+    /// Evaluation-engine tuning (caching, parallel ranking).
+    pub engine: EngineConfig,
 }
 
 impl SynthesisConfig {
@@ -57,6 +104,7 @@ impl SynthesisConfig {
             register_sharing: true,
             vdd_scaling: true,
             power: PowerConfig::default(),
+            engine: EngineConfig::default(),
         }
     }
 
@@ -112,6 +160,12 @@ impl SynthesisConfig {
         self.max_sequence_length = max_sequence_length;
         self
     }
+
+    /// Returns a copy with a different evaluation-engine configuration.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
 }
 
 impl Default for SynthesisConfig {
@@ -151,6 +205,20 @@ mod tests {
         assert!(!c.register_sharing);
         assert!(!c.vdd_scaling);
         assert!(SynthesisConfig::power_optimized(1.5).mux_restructuring);
+    }
+
+    #[test]
+    fn engine_presets_and_builder() {
+        assert!(EngineConfig::default().cache);
+        assert!(EngineConfig::default().parallel_ranking);
+        let seq = EngineConfig::sequential();
+        assert!(!seq.cache && !seq.parallel_ranking);
+        let c = SynthesisConfig::power_optimized(2.0).with_engine(seq);
+        assert_eq!(c.engine, seq);
+        assert_eq!(
+            SynthesisConfig::power_optimized(2.0).engine,
+            EngineConfig::incremental()
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@ use impact_power::PowerBreakdown;
 use impact_rtl::RtlDesign;
 use impact_sched::SchedulingResult;
 
+use crate::cache::CacheStats;
 use crate::config::{OptimizationMode, SynthesisConfig};
 use crate::error::SynthesisError;
 use crate::evaluate::{DesignPoint, Evaluator};
@@ -24,7 +25,7 @@ pub struct MoveRecord {
 }
 
 /// Summary metrics of a finished synthesis run.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct SynthesisReport {
     /// Estimated average power at the selected supply, in milliwatts.
     pub power_mw: f64,
@@ -67,6 +68,9 @@ pub struct SynthesisOutcome {
     pub report: SynthesisReport,
     /// Committed moves in application order.
     pub history: Vec<MoveRecord>,
+    /// Evaluation-cache counters of the run (all zero for the sequential
+    /// engine configuration).
+    pub cache_stats: CacheStats,
 }
 
 /// The IMPACT synthesis engine.
@@ -101,7 +105,6 @@ impl Impact {
     ) -> Result<SynthesisOutcome, SynthesisError> {
         let evaluator = Evaluator::new(cdfg, trace, self.config.clone())?;
         let exclusion = ExclusionInfo::compute(cdfg);
-        let mode = self.config.mode;
 
         let initial = evaluator.initial_point()?;
         let initial_power_mw = initial.power_at_reference.total_mw();
@@ -141,12 +144,12 @@ impl Impact {
             moves_applied: history.len(),
             passes: passes_run,
         };
-        let _ = mode;
         Ok(SynthesisOutcome {
             design: current.design,
             schedule: current.schedule,
             report,
             history,
+            cache_stats: evaluator.cache_stats(),
         })
     }
 
@@ -181,36 +184,24 @@ impl Impact {
             }
 
             // Rank candidates with a cheap single-schedule evaluation at the
-            // reference supply, then fully evaluate the winner (including Vdd
-            // scaling).
-            let working_reference_cost = reference_cost(&working, mode);
-            let mut ranked: Option<(Move, f64)> = None;
-            for candidate in candidates {
+            // reference supply, then fully evaluate (including Vdd scaling)
+            // in rank order until a candidate survives — a top-ranked
+            // candidate that turns out infeasible under full evaluation no
+            // longer discards the rest of the sequence.
+            let ranked = self.rank_candidates(cdfg, evaluator, &working, &candidates)?;
+            let advanced = first_feasible(&ranked, |index| {
                 let mut mutated = working.design.clone();
-                if candidate
+                if candidates[index]
                     .apply(cdfg, evaluator.library(), &mut mutated)
                     .is_err()
                 {
-                    continue;
+                    return Ok(None);
                 }
-                let Some(point) =
-                    evaluator.evaluate_at_vdd(&mutated, impact_modlib::VDD_REFERENCE)?
-                else {
-                    continue;
-                };
-                let gain = working_reference_cost - reference_cost(&point, mode);
-                match &ranked {
-                    Some((_, best)) if *best >= gain => {}
-                    _ => ranked = Some((candidate, gain)),
-                }
-            }
-            let Some((chosen, _)) = ranked else { break };
+                evaluator.evaluate(&mutated)
+            })?;
+            let Some((index, full)) = advanced else { break };
+            let chosen = candidates[index].clone();
 
-            let mut mutated = working.design.clone();
-            chosen.apply(cdfg, evaluator.library(), &mut mutated)?;
-            let Some(full) = evaluator.evaluate(&mutated)? else {
-                break;
-            };
             let gain = working.cost(mode) - full.cost(mode);
             cumulative_gain += gain;
             working = full.clone();
@@ -235,6 +226,102 @@ impl Impact {
         *current = sequence[best_prefix - 1].1.clone();
         Ok(true)
     }
+
+    /// Scores every applicable candidate at the reference supply and returns
+    /// `(candidate index, gain)` pairs sorted best-first.
+    ///
+    /// The ordering is deterministic and independent of the thread count:
+    /// higher gain first, and among equal gains the earliest-generated
+    /// candidate wins (move generation orders candidates by preference, e.g.
+    /// mutually exclusive sharing pairs first, so the tie-break preserves that
+    /// intent — and matches the winner the historical first-strictly-greater
+    /// scan selected).
+    fn rank_candidates(
+        &self,
+        cdfg: &Cdfg,
+        evaluator: &Evaluator<'_>,
+        working: &DesignPoint,
+        candidates: &[Move],
+    ) -> Result<Vec<(usize, f64)>, SynthesisError> {
+        let mode = self.config.mode;
+        let working_reference_cost = reference_cost(working, mode);
+        let score = |index: usize| -> Result<Option<f64>, SynthesisError> {
+            let mut mutated = working.design.clone();
+            if candidates[index]
+                .apply(cdfg, evaluator.library(), &mut mutated)
+                .is_err()
+            {
+                return Ok(None);
+            }
+            let Some(point) =
+                evaluator.evaluate_at_vdd_shared(&mutated, impact_modlib::VDD_REFERENCE)?
+            else {
+                return Ok(None);
+            };
+            Ok(Some(
+                working_reference_cost - reference_cost(point.as_ref(), mode),
+            ))
+        };
+
+        let threads = self.ranking_threads(candidates.len());
+        let mut gains: Vec<Option<f64>> = vec![None; candidates.len()];
+        if threads <= 1 {
+            for (index, slot) in gains.iter_mut().enumerate() {
+                *slot = score(index)?;
+            }
+        } else {
+            // Scoped worker threads strided over the candidate set; results
+            // land in per-index slots, so scheduling order cannot influence
+            // the outcome.
+            type ScoredChunk = Result<Vec<(usize, Option<f64>)>, SynthesisError>;
+            let chunks: Vec<ScoredChunk> = std::thread::scope(|scope| {
+                let score = &score;
+                let handles: Vec<_> = (0..threads)
+                    .map(|offset| {
+                        scope.spawn(move || {
+                            (offset..candidates.len())
+                                .step_by(threads)
+                                .map(|index| Ok((index, score(index)?)))
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("ranking worker panicked"))
+                    .collect()
+            });
+            for chunk in chunks {
+                for (index, gain) in chunk? {
+                    gains[index] = gain;
+                }
+            }
+        }
+
+        let mut ranked: Vec<(usize, f64)> = gains
+            .into_iter()
+            .enumerate()
+            .filter_map(|(index, gain)| gain.map(|gain| (index, gain)))
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        Ok(ranked)
+    }
+
+    /// Worker-thread count for one ranking stage.
+    fn ranking_threads(&self, candidate_count: usize) -> usize {
+        if !self.config.engine.parallel_ranking {
+            return 1;
+        }
+        let configured = self.config.engine.ranking_threads;
+        let available = if configured > 0 {
+            configured
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        };
+        available.min(candidate_count).max(1)
+    }
 }
 
 fn reference_cost(point: &DesignPoint, mode: OptimizationMode) -> f64 {
@@ -242,6 +329,22 @@ fn reference_cost(point: &DesignPoint, mode: OptimizationMode) -> f64 {
         OptimizationMode::Power => point.power_at_reference.total_mw(),
         OptimizationMode::Area => point.area,
     }
+}
+
+/// Walks a ranked candidate list and returns the first candidate that
+/// survives full evaluation, together with its design point. A top-ranked
+/// candidate whose full Vdd-scaled evaluation is infeasible no longer aborts
+/// the caller's sequence — lower-ranked feasible candidates get their turn.
+fn first_feasible<E>(
+    ranked: &[(usize, f64)],
+    mut evaluate: impl FnMut(usize) -> Result<Option<DesignPoint>, E>,
+) -> Result<Option<(usize, DesignPoint)>, E> {
+    for &(index, _) in ranked {
+        if let Some(point) = evaluate(index)? {
+            return Ok(Some((index, point)));
+        }
+    }
+    Ok(None)
 }
 
 #[cfg(test)]
@@ -335,6 +438,108 @@ mod tests {
             .unwrap();
         assert!(outcome.report.power_mw > 0.0);
         assert!(outcome.report.enc <= outcome.report.enc_limit + 1e-6);
+    }
+
+    #[test]
+    fn infeasible_top_candidate_falls_through_to_the_next_ranked_one() {
+        // Regression for the pass-abort bug: the engine used to `break` the
+        // whole sequence when the top-ranked candidate's full evaluation came
+        // back infeasible, discarding feasible lower-ranked candidates.
+        let (cdfg, trace) = setup(impact_benchmarks::gcd(), 8);
+        let evaluator = Evaluator::new(
+            &cdfg,
+            &trace,
+            SynthesisConfig::power_optimized(2.0).with_effort(1, 1),
+        )
+        .unwrap();
+        let template = evaluator.initial_point().unwrap();
+        let ranked = vec![(0usize, 3.0), (1, 2.0), (2, 1.0)];
+        let mut probed = Vec::new();
+        let result = first_feasible(&ranked, |index| -> Result<_, SynthesisError> {
+            probed.push(index);
+            // The best-gain candidate is infeasible under full evaluation.
+            Ok((index != 0).then(|| template.clone()))
+        })
+        .unwrap();
+        let (chosen, _) = result.expect("a lower-ranked feasible candidate is committed");
+        assert_eq!(chosen, 1, "the next-ranked candidate is chosen");
+        assert_eq!(probed, vec![0, 1], "ranking order is respected");
+        // When every candidate is infeasible the step (not the whole pass
+        // machinery) reports exhaustion.
+        let none = first_feasible(&ranked, |_| -> Result<_, SynthesisError> { Ok(None) }).unwrap();
+        assert!(none.is_none());
+        // Errors propagate immediately.
+        let err = first_feasible(
+            &ranked,
+            |_| -> Result<Option<DesignPoint>, SynthesisError> {
+                Err(SynthesisError::InfeasibleLaxity { laxity: 0.0 })
+            },
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn ranking_is_deterministic_across_thread_counts() {
+        // The parallel ranking stage must not let scheduling order leak into
+        // candidate choice: any thread count yields the same winner and the
+        // same synthesis result.
+        let (cdfg, trace) = setup(impact_benchmarks::gcd(), 10);
+        let mut configs = Vec::new();
+        for threads in [1usize, 2, 5] {
+            let mut engine = crate::EngineConfig::incremental();
+            engine.ranking_threads = threads;
+            configs.push(quick(SynthesisConfig::power_optimized(2.0)).with_engine(engine));
+        }
+        let baseline = Impact::new(configs[0].clone())
+            .synthesize(&cdfg, &trace)
+            .unwrap();
+        for config in &configs[1..] {
+            let outcome = Impact::new(config.clone())
+                .synthesize(&cdfg, &trace)
+                .unwrap();
+            assert_eq!(outcome.report.power_mw, baseline.report.power_mw);
+            assert_eq!(outcome.report.vdd, baseline.report.vdd);
+            assert_eq!(outcome.history.len(), baseline.history.len());
+            for (a, b) in outcome.history.iter().zip(&baseline.history) {
+                assert_eq!(a.applied, b.applied);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_and_incremental_engines_agree_bit_for_bit() {
+        let (cdfg, trace) = setup(impact_benchmarks::gcd(), 12);
+        let config = quick(SynthesisConfig::power_optimized(2.0));
+        let sequential = Impact::new(
+            config
+                .clone()
+                .with_engine(crate::EngineConfig::sequential()),
+        )
+        .synthesize(&cdfg, &trace)
+        .unwrap();
+        let incremental = Impact::new(config.with_engine(crate::EngineConfig::incremental()))
+            .synthesize(&cdfg, &trace)
+            .unwrap();
+        assert_eq!(sequential.report.power_mw, incremental.report.power_mw);
+        assert_eq!(
+            sequential.report.power_at_reference_mw,
+            incremental.report.power_at_reference_mw
+        );
+        assert_eq!(sequential.report.area, incremental.report.area);
+        assert_eq!(sequential.report.vdd, incremental.report.vdd);
+        assert_eq!(sequential.report.enc, incremental.report.enc);
+        assert_eq!(sequential.design, incremental.design);
+        assert_eq!(
+            sequential.report.moves_applied,
+            incremental.report.moves_applied
+        );
+        // The sequential engine never touches the cache; the incremental one
+        // uses it heavily.
+        assert_eq!(
+            sequential.cache_stats.hits + sequential.cache_stats.misses,
+            0
+        );
+        assert!(incremental.cache_stats.hits > 0);
     }
 
     #[test]

@@ -1,20 +1,35 @@
 //! Cost evaluation of RT-level designs: scheduling, power, area and supply
 //! scaling against the laxity constraint.
+//!
+//! Evaluation is *incremental* by default: every [`Evaluator`] owns an
+//! evaluation cache that memoizes trace statistics by structural content,
+//! per-design contexts (base delays + power profile) by design fingerprint,
+//! and full [`DesignPoint`]s by `(fingerprint, vdd)`. The Vdd binary search
+//! therefore schedules each `(design, level)` pair at most once per run, and
+//! re-probes are hash lookups. With the cache disabled
+//! ([`EngineConfig::sequential`](crate::EngineConfig::sequential)) the same
+//! code path recomputes everything from scratch per call, which reproduces
+//! the brute-force loop bit-identically — the cache only memoizes pure
+//! functions.
+
+use std::sync::Arc;
 
 use impact_behsim::ExecutionTrace;
 use impact_cdfg::Cdfg;
 use impact_modlib::{ModuleLibrary, VDD_REFERENCE};
-use impact_power::{PowerBreakdown, PowerEstimator};
-use impact_rtl::{MuxTree, RtlDesign};
+use impact_power::{PowerBreakdown, PowerEstimator, PowerProfile};
+use impact_rtl::{MuxSite, MuxTree, RtlDesign};
 use impact_sched::{ScheduleConfig, Scheduler, SchedulingProblem, SchedulingResult, WaveScheduler};
 use impact_trace::RtTraces;
 
+use crate::cache::{CacheStats, DesignContext, EvalCache, MuxEntry};
 use crate::config::{OptimizationMode, SynthesisConfig};
 use crate::error::SynthesisError;
+use crate::fingerprint::{FuStatsKey, MuxStatsKey, PointKey, RegStatsKey};
 
 /// A fully evaluated design: architecture, schedule, operating point and the
 /// resulting cost metrics.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct DesignPoint {
     /// The RT-level architecture.
     pub design: RtlDesign,
@@ -58,6 +73,8 @@ pub struct Evaluator<'a> {
     config: SynthesisConfig,
     enc_min: f64,
     enc_limit: f64,
+    /// Shared evaluation cache; clones of the evaluator share one store.
+    cache: Arc<EvalCache>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -78,6 +95,7 @@ impl<'a> Evaluator<'a> {
             });
         }
         let library = ModuleLibrary::standard();
+        let cache = Arc::new(EvalCache::new(config.engine.cache));
         let mut evaluator = Self {
             cdfg,
             trace,
@@ -85,6 +103,7 @@ impl<'a> Evaluator<'a> {
             config,
             enc_min: 0.0,
             enc_limit: f64::INFINITY,
+            cache,
         };
         let initial = RtlDesign::initial_parallel(cdfg, &evaluator.library);
         let schedule = evaluator.schedule(&initial, VDD_REFERENCE)?;
@@ -127,6 +146,11 @@ impl<'a> Evaluator<'a> {
             })
     }
 
+    /// Snapshot of the evaluation-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
     /// Fully evaluates a design: checks feasibility at the reference supply,
     /// then (when enabled) scales the supply down as far as the ENC budget
     /// allows. Returns `None` when the design violates the ENC budget even at
@@ -137,38 +161,55 @@ impl<'a> Evaluator<'a> {
     /// Propagates scheduler failures (which indicate malformed inputs, not
     /// infeasibility).
     pub fn evaluate(&self, design: &RtlDesign) -> Result<Option<DesignPoint>, SynthesisError> {
-        let reference = self.evaluate_at_vdd(design, VDD_REFERENCE)?;
-        let Some(reference_point) = reference else {
+        Ok(self.evaluate_shared(design)?.map(|point| (*point).clone()))
+    }
+
+    /// [`Self::evaluate`] returning the cache's shared allocation, for
+    /// callers that only inspect the point.
+    pub(crate) fn evaluate_shared(
+        &self,
+        design: &RtlDesign,
+    ) -> Result<Option<Arc<DesignPoint>>, SynthesisError> {
+        if self.cache.is_enabled() {
+            let fingerprint = design.fingerprint();
+            if let Some(cached) = self.cache.lookup_scaled(&fingerprint) {
+                return Ok(cached);
+            }
+            let result = self.evaluate_scaled(design, Some(fingerprint))?;
+            self.cache.store_scaled(fingerprint, result.clone());
+            Ok(result)
+        } else {
+            self.evaluate_scaled(design, None)
+        }
+    }
+
+    /// The supply search. The design's fingerprint is computed once by the
+    /// caller and threaded through every probe (`None` when the cache is
+    /// off).
+    fn evaluate_scaled(
+        &self,
+        design: &RtlDesign,
+        fingerprint: Option<impact_rtl::DesignFingerprint>,
+    ) -> Result<Option<Arc<DesignPoint>>, SynthesisError> {
+        let probe = |vdd: f64| -> Result<Option<Arc<DesignPoint>>, SynthesisError> {
+            match fingerprint {
+                Some(fingerprint) => self.point_at(design, fingerprint, vdd),
+                None => {
+                    let context = self.build_context(design);
+                    Ok(self
+                        .evaluate_with_context(&context, design, vdd)?
+                        .map(Arc::new))
+                }
+            }
+        };
+        let Some(reference_point) = probe(VDD_REFERENCE)? else {
             return Ok(None);
         };
         if !self.config.vdd_scaling {
             return Ok(Some(reference_point));
         }
-        // Binary search for the lowest feasible supply on the discrete grid;
-        // ENC grows monotonically as the supply (and hence speed) drops.
         let levels = self.library.vdd().levels().to_vec();
-        let mut lo = 0usize;
-        let mut hi = levels.len() - 1; // the reference level, known feasible
-        let mut best = reference_point.clone();
-        while lo < hi {
-            let mid = (lo + hi) / 2;
-            match self.evaluate_at_vdd(design, levels[mid])? {
-                Some(point) => {
-                    best = point;
-                    hi = mid;
-                }
-                None => lo = mid + 1,
-            }
-        }
-        // `best` holds the point for the lowest feasible level probed; make
-        // sure it matches `levels[hi]` exactly (it might be a higher level if
-        // the last probe was infeasible).
-        if (best.vdd - levels[hi]).abs() > 1e-9 {
-            if let Some(point) = self.evaluate_at_vdd(design, levels[hi])? {
-                best = point;
-            }
-        }
-        Ok(Some(best))
+        lowest_feasible_point(&levels, reference_point, probe).map(Some)
     }
 
     /// Evaluates a design at one fixed supply voltage (a single scheduling),
@@ -182,14 +223,63 @@ impl<'a> Evaluator<'a> {
         design: &RtlDesign,
         vdd: f64,
     ) -> Result<Option<DesignPoint>, SynthesisError> {
-        let schedule = self.schedule(design, vdd)?;
+        Ok(self
+            .evaluate_at_vdd_shared(design, vdd)?
+            .map(|point| (*point).clone()))
+    }
+
+    /// [`Self::evaluate_at_vdd`] returning the cache's shared allocation, for
+    /// callers (like the ranking stage) that only read the point.
+    pub(crate) fn evaluate_at_vdd_shared(
+        &self,
+        design: &RtlDesign,
+        vdd: f64,
+    ) -> Result<Option<Arc<DesignPoint>>, SynthesisError> {
+        if self.cache.is_enabled() {
+            self.point_at(design, design.fingerprint(), vdd)
+        } else {
+            let context = self.build_context(design);
+            Ok(self
+                .evaluate_with_context(&context, design, vdd)?
+                .map(Arc::new))
+        }
+    }
+
+    /// Cache-enabled single-level evaluation with a precomputed fingerprint.
+    fn point_at(
+        &self,
+        design: &RtlDesign,
+        fingerprint: impact_rtl::DesignFingerprint,
+        vdd: f64,
+    ) -> Result<Option<Arc<DesignPoint>>, SynthesisError> {
+        let key = PointKey::new(fingerprint, vdd);
+        if let Some(cached) = self.cache.lookup_point(&key) {
+            return Ok(cached);
+        }
+        let context = self.context_for(design, fingerprint);
+        let point = self
+            .evaluate_with_context(&context, design, vdd)?
+            .map(Arc::new);
+        self.cache.store_point(key, point.clone());
+        Ok(point)
+    }
+
+    /// The per-level evaluation: schedule from the context's base delays,
+    /// check the ENC budget, then derive power and area from the context's
+    /// supply-independent profile (pure arithmetic per level).
+    fn evaluate_with_context(
+        &self,
+        context: &DesignContext,
+        design: &RtlDesign,
+        vdd: f64,
+    ) -> Result<Option<DesignPoint>, SynthesisError> {
+        let schedule = self.schedule_with_context(context, vdd)?;
         if schedule.enc > self.enc_limit + 1e-9 {
             return Ok(None);
         }
-        let rt = RtTraces::new(self.cdfg, design, self.trace);
         let estimator = PowerEstimator::new(&self.library, self.config.power.clone().at_vdd(vdd));
-        let power = estimator.estimate(self.cdfg, design, &rt, &schedule);
-        let area = estimator.area(self.cdfg, design, &schedule);
+        let power = estimator.estimate_profiled(&context.profile, &schedule);
+        let area = estimator.area_profiled(&context.profile, &schedule);
         let power_at_reference = if (vdd - VDD_REFERENCE).abs() < 1e-9 {
             power
         } else {
@@ -197,7 +287,7 @@ impl<'a> Evaluator<'a> {
                 &self.library,
                 self.config.power.clone().at_vdd(VDD_REFERENCE),
             );
-            ref_estimator.estimate(self.cdfg, design, &rt, &schedule)
+            ref_estimator.estimate_profiled(&context.profile, &schedule)
         };
         Ok(Some(DesignPoint {
             design: design.clone(),
@@ -209,17 +299,116 @@ impl<'a> Evaluator<'a> {
         }))
     }
 
-    /// Schedules a design at the given supply voltage with the Wavesched
-    /// scheduler, using effective per-node delays that include module delay,
-    /// interconnect (mux-tree) delay and supply-dependent slowdown.
-    fn schedule(&self, design: &RtlDesign, vdd: f64) -> Result<SchedulingResult, SynthesisError> {
+    /// Fetches (or builds and memoizes) the reusable evaluation context of a
+    /// design.
+    fn context_for(
+        &self,
+        design: &RtlDesign,
+        fingerprint: impact_rtl::DesignFingerprint,
+    ) -> Arc<DesignContext> {
+        if let Some(context) = self.cache.lookup_context(&fingerprint) {
+            return context;
+        }
+        let context = Arc::new(self.build_context(design));
+        self.cache.store_context(fingerprint, context.clone());
+        context
+    }
+
+    /// Builds the evaluation context: base delays at the reference supply,
+    /// the scheduler binding and the power profile. With the cache enabled,
+    /// trace statistics are memoized by content, so contexts of sibling
+    /// candidate designs share almost all of the underlying trace traversals;
+    /// with it disabled no keys are even constructed — the brute-force
+    /// baseline pays no cache overhead.
+    fn build_context(&self, design: &RtlDesign) -> DesignContext {
+        let rt = RtTraces::new(self.cdfg, design, self.trace);
+        let base_delays = self.base_delays(design, &rt);
+        let profile = if self.cache.is_enabled() {
+            PowerProfile::assemble(
+                &self.library,
+                self.cdfg,
+                design,
+                |fu, unit| {
+                    let key = FuStatsKey {
+                        ops: design.ops_on(fu),
+                        width: unit.width,
+                    };
+                    let stats = match self.cache.lookup_fu(&key) {
+                        Some(stats) => stats,
+                        None => {
+                            let stats = rt.fu_stats(fu);
+                            self.cache.store_fu(key, stats);
+                            stats
+                        }
+                    };
+                    (stats.input_activity, stats.activations_per_pass)
+                },
+                |reg, register| {
+                    let key = RegStatsKey {
+                        variables: register.variables.clone(),
+                        width: register.width,
+                    };
+                    let stats = match self.cache.lookup_reg(&key) {
+                        Some(stats) => stats,
+                        None => {
+                            let stats = rt.register_stats(reg);
+                            self.cache.store_reg(key, stats);
+                            stats
+                        }
+                    };
+                    (stats.activity, stats.writes_per_pass)
+                },
+                |site, restructured| {
+                    let entry = self.mux_entry(&rt, design, site, restructured);
+                    (entry.tree_activity, entry.selections_per_pass)
+                },
+            )
+        } else {
+            PowerProfile::from_traces(&self.library, self.cdfg, design, &rt)
+        };
+        DesignContext {
+            base_delays,
+            binding: design.scheduler_binding(),
+            profile,
+        }
+    }
+
+    /// Memoized statistics of one mux site (tree activity, source depths,
+    /// selection rate) for the given tree construction.
+    fn mux_entry(
+        &self,
+        rt: &RtTraces<'_>,
+        design: &RtlDesign,
+        site: &MuxSite,
+        restructured: bool,
+    ) -> MuxEntry {
+        if !self.cache.is_enabled() {
+            return compute_mux_entry(rt, site, restructured);
+        }
+        let key = MuxStatsKey::of(design, site, restructured);
+        if let Some(entry) = self.cache.lookup_mux(&key) {
+            return entry;
+        }
+        let entry = compute_mux_entry(rt, site, restructured);
+        self.cache.store_mux(key, entry.clone());
+        entry
+    }
+
+    /// Schedules from a prebuilt context: base delays are scaled by the
+    /// supply-dependent factor, so no trace or mux analysis happens per
+    /// level.
+    fn schedule_with_context(
+        &self,
+        context: &DesignContext,
+        vdd: f64,
+    ) -> Result<SchedulingResult, SynthesisError> {
         let factor = self.library.vdd().delay_factor(vdd);
-        let node_delays = self.effective_node_delays(design, factor);
+        let node_delays = context.base_delays.iter().map(|d| d * factor).collect();
         let problem = SchedulingProblem {
             cdfg: self.cdfg,
             node_delays,
-            node_fu: design.scheduler_binding(),
-            profile: self.trace.profile().clone(),
+            node_fu: context.binding.clone(),
+            profile: self.trace.profile(),
             config: ScheduleConfig::wavesched().with_clock(self.config.clock_ns),
         };
         WaveScheduler::new()
@@ -227,25 +416,45 @@ impl<'a> Evaluator<'a> {
             .map_err(SynthesisError::from)
     }
 
-    /// Effective delay of every node: module delay plus the mux stages its
-    /// operands and result traverse, all scaled by the supply-dependent
-    /// factor. Restructured trees use each operand's actual depth in the
-    /// activity-probability-ordered tree, which is how restructuring can
-    /// shorten the critical path of probable signals (the Figure 9/10
-    /// example).
-    pub fn effective_node_delays(&self, design: &RtlDesign, delay_factor: f64) -> Vec<f64> {
+    /// Schedules a design at the given supply voltage with the Wavesched
+    /// scheduler, using effective per-node delays that include module delay,
+    /// interconnect (mux-tree) delay and supply-dependent slowdown. Builds
+    /// only what scheduling needs (no power profile).
+    fn schedule(&self, design: &RtlDesign, vdd: f64) -> Result<SchedulingResult, SynthesisError> {
+        let rt = RtTraces::new(self.cdfg, design, self.trace);
+        let factor = self.library.vdd().delay_factor(vdd);
+        let node_delays = self
+            .base_delays(design, &rt)
+            .into_iter()
+            .map(|d| d * factor)
+            .collect();
+        let problem = SchedulingProblem {
+            cdfg: self.cdfg,
+            node_delays,
+            node_fu: design.scheduler_binding(),
+            profile: self.trace.profile(),
+            config: ScheduleConfig::wavesched().with_clock(self.config.clock_ns),
+        };
+        WaveScheduler::new()
+            .schedule(&problem)
+            .map_err(SynthesisError::from)
+    }
+
+    /// Effective per-node delays at delay factor 1.0: module delay plus the
+    /// mux stages each operand traverses. Restructured trees use each
+    /// operand's actual depth in the activity-probability-ordered tree, which
+    /// is how restructuring can shorten the critical path of probable signals
+    /// (the Figure 9/10 example); balanced trees depend only on the fan-in,
+    /// so their depths need no trace statistics.
+    fn base_delays(&self, design: &RtlDesign, rt: &RtTraces<'_>) -> Vec<f64> {
         let mut delays = design.node_module_delays(self.cdfg, &self.library);
         let mux_delay = self.library.mux2().delay_ns;
-        let rt = RtTraces::new(self.cdfg, design, self.trace);
         for site in design.mux_sites(self.cdfg) {
             if site.fan_in() < 2 {
                 continue;
             }
             let depth_of: Vec<usize> = if design.is_restructured(site.sink) {
-                let tree = MuxTree::huffman(rt.mux_source_stats(&site));
-                (0..site.sources.len())
-                    .map(|i| tree.depth_of(i).unwrap_or(0))
-                    .collect()
+                self.mux_entry(rt, design, &site, true).depths
             } else {
                 let tree = MuxTree::balanced(
                     site.sources
@@ -264,11 +473,78 @@ impl<'a> Evaluator<'a> {
                 }
             }
         }
+        delays
+    }
+
+    /// Effective delay of every node at the given supply-dependent factor.
+    pub fn effective_node_delays(&self, design: &RtlDesign, delay_factor: f64) -> Vec<f64> {
+        let rt = RtTraces::new(self.cdfg, design, self.trace);
+        let mut delays = self.base_delays(design, &rt);
         for d in delays.iter_mut() {
             *d *= delay_factor;
         }
         delays
     }
+}
+
+/// Statistics of one mux site: the tree's switching activity, every source's
+/// depth in the tree, and the selection rate.
+fn compute_mux_entry(rt: &RtTraces<'_>, site: &MuxSite, restructured: bool) -> MuxEntry {
+    let sources = rt.mux_source_stats(site);
+    let tree = if restructured {
+        MuxTree::huffman(sources)
+    } else {
+        MuxTree::balanced(sources)
+    };
+    MuxEntry {
+        tree_activity: tree.switching_activity(),
+        depths: (0..site.sources.len())
+            .map(|i| tree.depth_of(i).unwrap_or(0))
+            .collect(),
+        selections_per_pass: rt.mux_selections_per_pass(site),
+    }
+}
+
+/// Binary search for the lowest feasible supply on the discrete grid,
+/// tracking the lowest feasible *probed* level explicitly. ENC grows
+/// monotonically as the supply (and hence speed) drops, so the search
+/// converges on the lowest feasible level; the explicit tracking guarantees
+/// the returned point is exactly the best feasible probe even if a probe
+/// behaves non-monotonically, instead of silently returning a stale
+/// higher-Vdd point.
+///
+/// `reference` is the known-feasible point at the reference supply and stands
+/// in for the top grid level (on the standard grid they coincide).
+pub(crate) fn lowest_feasible_point<E>(
+    levels: &[f64],
+    reference: Arc<DesignPoint>,
+    mut probe: impl FnMut(f64) -> Result<Option<Arc<DesignPoint>>, E>,
+) -> Result<Arc<DesignPoint>, E> {
+    let mut lowest: (usize, Arc<DesignPoint>) = (levels.len() - 1, reference);
+    let (mut lo, mut hi) = (0usize, levels.len() - 1);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        match probe(levels[mid])? {
+            Some(point) => {
+                hi = mid;
+                if mid < lowest.0 {
+                    lowest = (mid, point);
+                }
+            }
+            None => lo = mid + 1,
+        }
+    }
+    // The top grid level was never probed directly (the reference point
+    // stands in for it). If the search ended there and the reference supply
+    // is not itself the top grid level, probe it once; when that probe is
+    // infeasible the known-feasible reference point is kept — never a stale
+    // mid-search point.
+    if lowest.0 == levels.len() - 1 && (lowest.1.vdd - levels[lowest.0]).abs() > 1e-9 {
+        if let Some(point) = probe(levels[lowest.0])? {
+            lowest.1 = point;
+        }
+    }
+    Ok(lowest.1)
 }
 
 #[cfg(test)]
@@ -357,6 +633,138 @@ mod tests {
         for (a, b) in at_5v.iter().zip(&slow) {
             assert!(b >= a);
         }
+    }
+
+    /// A template point with its supply stamped, for driving the search core
+    /// with synthetic feasibility patterns.
+    fn stamped(template: &DesignPoint, vdd: f64) -> Arc<DesignPoint> {
+        let mut point = template.clone();
+        point.vdd = vdd;
+        Arc::new(point)
+    }
+
+    #[test]
+    fn vdd_search_returns_exactly_the_lowest_feasible_probed_level() {
+        // Regression for the Vdd-search bug: the search must return the
+        // design point of the lowest feasible grid level it probed — never a
+        // stale higher-Vdd point left over from an earlier probe.
+        let (cdfg, trace, config) = gcd_setup(2.0);
+        let evaluator = Evaluator::new(&cdfg, &trace, config).unwrap();
+        let template = evaluator.initial_point().unwrap();
+        let levels = [1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0];
+
+        // Monotone feasibility with threshold at index 3.
+        let mut probes = Vec::new();
+        let reference = stamped(&template, 5.0);
+        let result = lowest_feasible_point(&levels, reference, |vdd| {
+            probes.push(vdd);
+            Ok::<_, SynthesisError>((vdd >= 3.0 - 1e-9).then(|| stamped(&template, vdd)))
+        })
+        .unwrap();
+        assert_eq!(result.vdd, 3.0, "lowest feasible grid level is returned");
+        assert!(probes.contains(&3.0), "the returned level was probed");
+
+        // Adversarial non-monotone feasibility: whatever the probe pattern
+        // does, the returned point is the lowest feasible level that was
+        // probed, with its vdd exactly on the grid.
+        for feasible_mask in 0u32..128 {
+            let mut feasible_probes = Vec::new();
+            let result = lowest_feasible_point(&levels, stamped(&template, 5.0), |vdd| {
+                let index = levels.iter().position(|&l| l == vdd).unwrap();
+                let ok = feasible_mask & (1 << index) != 0 || index == levels.len() - 1;
+                if ok {
+                    feasible_probes.push(index);
+                }
+                Ok::<_, SynthesisError>(ok.then(|| stamped(&template, vdd)))
+            })
+            .unwrap();
+            let lowest_probed = feasible_probes.iter().copied().min();
+            match lowest_probed {
+                Some(lowest) => assert_eq!(
+                    result.vdd, levels[lowest],
+                    "mask {feasible_mask:#b}: stale point returned"
+                ),
+                None => assert_eq!(result.vdd, 5.0, "reference point is the fallback"),
+            }
+        }
+    }
+
+    #[test]
+    fn vdd_search_probes_the_top_grid_level_when_the_reference_is_off_grid() {
+        // On a custom grid whose top level sits below the reference supply,
+        // an all-infeasible search must still probe the top level once and
+        // keep the known-feasible reference point if that probe fails.
+        let (cdfg, trace, config) = gcd_setup(2.0);
+        let evaluator = Evaluator::new(&cdfg, &trace, config).unwrap();
+        let template = evaluator.initial_point().unwrap();
+        let levels = [2.0, 3.0, 4.0];
+        // Top level feasible: the search must end on it, not on the 5 V
+        // reference stand-in.
+        let result = lowest_feasible_point(&levels, stamped(&template, 5.0), |vdd| {
+            Ok::<_, SynthesisError>((vdd >= 4.0 - 1e-9).then(|| stamped(&template, vdd)))
+        })
+        .unwrap();
+        assert_eq!(result.vdd, 4.0);
+        // Nothing feasible on the grid: the reference point survives instead
+        // of a stale mid-search point.
+        let result = lowest_feasible_point(&levels, stamped(&template, 5.0), |_| {
+            Ok::<_, SynthesisError>(None)
+        })
+        .unwrap();
+        assert_eq!(result.vdd, 5.0);
+    }
+
+    #[test]
+    fn evaluate_matches_a_linear_scan_of_the_grid() {
+        // The binary search must agree with the exhaustive reference
+        // implementation: scan the grid bottom-up and take the first feasible
+        // level.
+        let (cdfg, trace, config) = gcd_setup(1.8);
+        let evaluator = Evaluator::new(&cdfg, &trace, config).unwrap();
+        let mut design = RtlDesign::initial_parallel(&cdfg, evaluator.library());
+        let adders = design.units_of_class(impact_cdfg::OpClass::AddSub);
+        design.share_fus(adders[0], adders[1]).unwrap();
+        let searched = evaluator.evaluate(&design).unwrap().unwrap();
+        let levels = evaluator.library().vdd().levels().to_vec();
+        let scanned = levels
+            .iter()
+            .find_map(|&level| evaluator.evaluate_at_vdd(&design, level).unwrap())
+            .expect("the design is feasible at the reference supply");
+        assert_eq!(searched, scanned);
+    }
+
+    #[test]
+    fn cached_and_uncached_evaluation_are_bit_identical() {
+        let (cdfg, trace, config) = gcd_setup(2.0);
+        let cached = Evaluator::new(&cdfg, &trace, config.clone()).unwrap();
+        let uncached = Evaluator::new(
+            &cdfg,
+            &trace,
+            config.with_engine(crate::EngineConfig::sequential()),
+        )
+        .unwrap();
+        let mut design = RtlDesign::initial_parallel(&cdfg, cached.library());
+        let adders = design.units_of_class(impact_cdfg::OpClass::AddSub);
+        design.share_fus(adders[0], adders[1]).unwrap();
+        for site in design.mux_sites(&cdfg) {
+            design.set_restructured(site.sink, true);
+        }
+        for vdd in [5.0, 3.3, 2.1] {
+            let warm = cached.evaluate_at_vdd(&design, vdd).unwrap();
+            let replay = cached.evaluate_at_vdd(&design, vdd).unwrap();
+            let cold = uncached.evaluate_at_vdd(&design, vdd).unwrap();
+            assert_eq!(warm, replay, "cache replay must be exact");
+            assert_eq!(warm, cold, "cache on/off must be bit-identical");
+        }
+        assert_eq!(
+            cached.evaluate(&design).unwrap(),
+            uncached.evaluate(&design).unwrap()
+        );
+        assert!(cached.cache_stats().hits > 0);
+        assert_eq!(
+            uncached.cache_stats().hits + uncached.cache_stats().misses,
+            0
+        );
     }
 
     #[test]

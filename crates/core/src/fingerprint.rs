@@ -1,0 +1,102 @@
+//! Cache keys of the incremental evaluation engine.
+//!
+//! Evaluation results are memoized at three granularities:
+//!
+//! * whole design points, keyed by [`PointKey`] (design fingerprint plus the
+//!   exact supply-voltage bits),
+//! * per-design contexts (base delays plus power profile), keyed by the
+//!   [`impact_rtl::DesignFingerprint`] alone,
+//! * raw trace statistics, keyed by the *content* of the resource they
+//!   describe ([`FuStatsKey`], [`RegStatsKey`], [`MuxStatsKey`]) rather than
+//!   by resource ids — candidate designs in one ranking stage differ from the
+//!   working design by a single move, so almost every unit, register and mux
+//!   site of a candidate hits statistics already computed for its siblings.
+
+use impact_cdfg::NodeId;
+use impact_cdfg::VarId;
+use impact_rtl::{DesignFingerprint, MuxSite, RtlDesign, SignalKey};
+
+/// Key of one fully evaluated design point.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct PointKey {
+    /// Structural fingerprint of the design.
+    pub design: DesignFingerprint,
+    /// Bit pattern of the supply voltage the point was evaluated at.
+    pub vdd_bits: u64,
+}
+
+impl PointKey {
+    pub(crate) fn new(design: DesignFingerprint, vdd: f64) -> Self {
+        Self {
+            design,
+            vdd_bits: vdd.to_bits(),
+        }
+    }
+}
+
+/// Content identity of a physical signal, stable across designs (raw
+/// [`SignalKey`]s carry allocation indices, which shift as moves add and
+/// remove resources).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub(crate) enum SignalContent {
+    /// A register, identified by the variables it stores (in storage order,
+    /// which determines write interleaving) and its width.
+    Register(Vec<VarId>, u8),
+    /// A functional-unit output, identified by the operations bound to the
+    /// unit and its width.
+    FuOutput(Vec<NodeId>, u8),
+    /// A hard-wired constant.
+    Constant(i64),
+}
+
+/// Key of per-unit trace statistics: the merged operations plus the width the
+/// activity is normalized to.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct FuStatsKey {
+    pub ops: Vec<NodeId>,
+    pub width: u8,
+}
+
+/// Key of per-register trace statistics.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct RegStatsKey {
+    pub variables: Vec<VarId>,
+    pub width: u8,
+}
+
+/// Key of per-mux-site statistics: the site's sources by content identity (in
+/// site order, which fixes the tree shape) plus the tree construction used.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct MuxStatsKey {
+    pub sources: Vec<(SignalContent, Vec<NodeId>)>,
+    pub restructured: bool,
+}
+
+impl SignalContent {
+    pub(crate) fn of(design: &RtlDesign, key: SignalKey) -> Self {
+        match key {
+            SignalKey::Register(reg) => match design.register(reg) {
+                Ok(r) => SignalContent::Register(r.variables.clone(), r.width),
+                Err(_) => SignalContent::Register(Vec::new(), 0),
+            },
+            SignalKey::FuOutput(fu) => {
+                let width = design.functional_unit(fu).map(|f| f.width).unwrap_or(8);
+                SignalContent::FuOutput(design.ops_on(fu), width)
+            }
+            SignalKey::Constant(c) => SignalContent::Constant(c),
+        }
+    }
+}
+
+impl MuxStatsKey {
+    pub(crate) fn of(design: &RtlDesign, site: &MuxSite, restructured: bool) -> Self {
+        Self {
+            sources: site
+                .sources
+                .iter()
+                .map(|src| (SignalContent::of(design, src.key), src.ops.clone()))
+                .collect(),
+            restructured,
+        }
+    }
+}

@@ -34,13 +34,16 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod cache;
 mod config;
 mod engine;
 mod error;
 mod evaluate;
+mod fingerprint;
 mod moves;
 
-pub use config::{OptimizationMode, SynthesisConfig};
+pub use cache::CacheStats;
+pub use config::{EngineConfig, OptimizationMode, SynthesisConfig};
 pub use engine::{Impact, MoveRecord, SynthesisOutcome, SynthesisReport};
 pub use error::SynthesisError;
 pub use evaluate::{DesignPoint, Evaluator};

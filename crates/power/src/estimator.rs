@@ -2,7 +2,7 @@
 
 use impact_cdfg::Cdfg;
 use impact_modlib::{ModuleLibrary, VDD_REFERENCE};
-use impact_rtl::{MuxTree, RtlDesign};
+use impact_rtl::{FuId, FunctionalUnit, MuxSite, MuxTree, RegId, Register, RtlDesign};
 use impact_sched::SchedulingResult;
 use impact_trace::RtTraces;
 
@@ -90,6 +90,159 @@ impl PowerBreakdown {
     }
 }
 
+/// Per-functional-unit slice of a [`PowerProfile`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct FuPowerProfile {
+    /// Effective switched capacitance of the unit, in picofarads.
+    pub capacitance_pf: f64,
+    /// Mean input switching activity (floored at 0.01 as in the estimator).
+    pub activity: f64,
+    /// Average activations per input pass.
+    pub activations_per_pass: f64,
+}
+
+/// Per-register slice of a [`PowerProfile`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RegPowerProfile {
+    /// Effective switched capacitance of the register, in picofarads.
+    pub capacitance_pf: f64,
+    /// Mean per-write switching activity (floored at 0.01).
+    pub activity: f64,
+    /// Average writes per input pass.
+    pub writes_per_pass: f64,
+}
+
+/// Per-mux-site slice of a [`PowerProfile`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct MuxPowerProfile {
+    /// Effective switched capacitance of one 2-to-1 mux at the site's width,
+    /// in picofarads.
+    pub capacitance_pf: f64,
+    /// Total switching activity of the site's mux tree (Equation (7)), using
+    /// the Huffman-restructured shape where the design says so.
+    pub tree_activity: f64,
+    /// Average selections per input pass.
+    pub selections_per_pass: f64,
+}
+
+/// Supply-independent power/area coefficients of one design, derived once
+/// from the traces and reused for every supply level the Vdd search probes.
+///
+/// [`PowerEstimator::estimate`] recomputes these coefficients on every call;
+/// the incremental engine builds the profile once per design (via
+/// [`PowerProfile::from_traces`] or [`PowerProfile::assemble`] with memoized
+/// statistics) and calls [`PowerEstimator::estimate_profiled`] per level,
+/// which is pure arithmetic. Both paths produce bit-identical breakdowns.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PowerProfile {
+    /// One entry per active functional unit, in allocation order.
+    pub fus: Vec<FuPowerProfile>,
+    /// One entry per active register, in allocation order.
+    pub regs: Vec<RegPowerProfile>,
+    /// Total register bits (clock-network load).
+    pub register_bits: f64,
+    /// One entry per mux site with fan-in of at least two.
+    pub muxes: Vec<MuxPowerProfile>,
+    /// Datapath area in equivalent gates (controller area comes from the
+    /// schedule and is added per evaluation).
+    pub datapath_area: f64,
+}
+
+impl PowerProfile {
+    /// Builds the profile directly from the traces (the uncached reference
+    /// path).
+    pub fn from_traces(
+        library: &ModuleLibrary,
+        cdfg: &Cdfg,
+        design: &RtlDesign,
+        traces: &RtTraces<'_>,
+    ) -> Self {
+        Self::assemble(
+            library,
+            cdfg,
+            design,
+            |fu, _| {
+                let stats = traces.fu_stats(fu);
+                (stats.input_activity, stats.activations_per_pass)
+            },
+            |reg, _| {
+                let stats = traces.register_stats(reg);
+                (stats.activity, stats.writes_per_pass)
+            },
+            |site, restructured| {
+                let sources = traces.mux_source_stats(site);
+                let tree = if restructured {
+                    MuxTree::huffman(sources)
+                } else {
+                    MuxTree::balanced(sources)
+                };
+                (
+                    tree.switching_activity(),
+                    traces.mux_selections_per_pass(site),
+                )
+            },
+        )
+    }
+
+    /// Builds the profile from caller-provided statistics: `fu_stats` returns
+    /// `(input_activity, activations_per_pass)`, `reg_stats` returns
+    /// `(activity, writes_per_pass)` and `mux_stats` returns
+    /// `(tree_activity, selections_per_pass)` for a site and its restructured
+    /// flag. This is the hook the evaluation cache uses to memoize trace
+    /// statistics by structural content across candidate designs.
+    pub fn assemble(
+        library: &ModuleLibrary,
+        cdfg: &Cdfg,
+        design: &RtlDesign,
+        mut fu_stats: impl FnMut(FuId, &FunctionalUnit) -> (f64, f64),
+        mut reg_stats: impl FnMut(RegId, &Register) -> (f64, f64),
+        mut mux_stats: impl FnMut(&MuxSite, bool) -> (f64, f64),
+    ) -> Self {
+        let mut fus = Vec::new();
+        for (fu_id, unit) in design.functional_units() {
+            let (activity, activations_per_pass) = fu_stats(fu_id, unit);
+            fus.push(FuPowerProfile {
+                capacitance_pf: library
+                    .variant(unit.module)
+                    .capacitance_for_width(unit.width),
+                activity: activity.max(0.01),
+                activations_per_pass,
+            });
+        }
+        let mut regs = Vec::new();
+        let mut register_bits = 0.0;
+        for (reg_id, reg) in design.registers() {
+            let (activity, writes_per_pass) = reg_stats(reg_id, reg);
+            regs.push(RegPowerProfile {
+                capacitance_pf: library.register().capacitance_for_width(reg.width),
+                activity: activity.max(0.01),
+                writes_per_pass,
+            });
+            register_bits += f64::from(reg.width);
+        }
+        let mut muxes = Vec::new();
+        for site in design.mux_sites(cdfg) {
+            if site.fan_in() < 2 {
+                continue;
+            }
+            let restructured = design.is_restructured(site.sink);
+            let (tree_activity, selections_per_pass) = mux_stats(&site, restructured);
+            muxes.push(MuxPowerProfile {
+                capacitance_pf: library.mux2().capacitance_for_width(site.width),
+                tree_activity,
+                selections_per_pass,
+            });
+        }
+        Self {
+            fus,
+            regs,
+            register_bits,
+            muxes,
+            datapath_area: design.datapath_area(cdfg, library),
+        }
+    }
+}
+
 /// The estimator: library characterization plus operating point.
 #[derive(Clone, Debug)]
 pub struct PowerEstimator<'lib> {
@@ -111,12 +264,26 @@ impl<'lib> PowerEstimator<'lib> {
     /// Estimates the average power of one design point.
     ///
     /// `traces` must view the same CDFG and RTL design; `schedule` provides
-    /// the expected number of cycles per pass and the controller size.
+    /// the expected number of cycles per pass and the controller size. This
+    /// rebuilds the [`PowerProfile`] from the traces on every call; callers
+    /// evaluating one design at several supply levels should build the
+    /// profile once and use [`Self::estimate_profiled`] instead.
     pub fn estimate(
         &self,
         cdfg: &Cdfg,
         design: &RtlDesign,
         traces: &RtTraces<'_>,
+        schedule: &SchedulingResult,
+    ) -> PowerBreakdown {
+        let profile = PowerProfile::from_traces(self.library, cdfg, design, traces);
+        self.estimate_profiled(&profile, schedule)
+    }
+
+    /// Estimates the average power of one design point from a precomputed
+    /// supply-independent profile: pure arithmetic, no trace traversal.
+    pub fn estimate_profiled(
+        &self,
+        profile: &PowerProfile,
         schedule: &SchedulingResult,
     ) -> PowerBreakdown {
         let vdd_sq = self.config.vdd * self.config.vdd;
@@ -127,47 +294,29 @@ impl<'lib> PowerEstimator<'lib> {
         // reduced idle-switching term for every cycle the unit sits unused
         // while its operand registers toggle.
         let mut fu_energy_pj = 0.0;
-        for (fu_id, unit) in design.functional_units() {
-            let c = self
-                .library
-                .variant(unit.module)
-                .capacitance_for_width(unit.width);
-            let activity = traces.fu_input_activity(fu_id).max(0.01);
-            let activations = traces.fu_activations_per_pass(fu_id);
-            let idle_cycles = (enc - activations).max(0.0);
-            fu_energy_pj += c * vdd_sq * activity * activations;
-            fu_energy_pj +=
-                c * vdd_sq * self.config.idle_switching_fraction * activity * idle_cycles;
+        for fu in &profile.fus {
+            let idle_cycles = (enc - fu.activations_per_pass).max(0.0);
+            fu_energy_pj += fu.capacitance_pf * vdd_sq * fu.activity * fu.activations_per_pass;
+            fu_energy_pj += fu.capacitance_pf
+                * vdd_sq
+                * self.config.idle_switching_fraction
+                * fu.activity
+                * idle_cycles;
         }
 
         // Registers.
         let mut reg_energy_pj = 0.0;
-        let mut reg_bits = 0.0;
-        for (reg_id, reg) in design.registers() {
-            let c = self.library.register().capacitance_for_width(reg.width);
-            let activity = traces.register_activity(reg_id).max(0.01);
-            let writes = traces.register_writes_per_pass(reg_id);
-            reg_energy_pj += c * vdd_sq * activity * writes;
-            reg_bits += f64::from(reg.width);
+        for reg in &profile.regs {
+            reg_energy_pj += reg.capacitance_pf * vdd_sq * reg.activity * reg.writes_per_pass;
         }
 
         // Multiplexer networks: the tree activity follows the paper's
         // equations, with the Huffman-restructured shape where the design
         // says so.
         let mut mux_energy_pj = 0.0;
-        for site in design.mux_sites(cdfg) {
-            if site.fan_in() < 2 {
-                continue;
-            }
-            let sources = traces.mux_source_stats(&site);
-            let tree = if design.is_restructured(site.sink) {
-                MuxTree::huffman(sources)
-            } else {
-                MuxTree::balanced(sources)
-            };
-            let c = self.library.mux2().capacitance_for_width(site.width);
-            let selections = traces.mux_selections_per_pass(&site);
-            mux_energy_pj += c * vdd_sq * tree.switching_activity() * selections;
+        for mux in &profile.muxes {
+            mux_energy_pj +=
+                mux.capacitance_pf * vdd_sq * mux.tree_activity * mux.selections_per_pass;
         }
 
         // Controller: switched every cycle, sized by states and transitions.
@@ -179,7 +328,8 @@ impl<'lib> PowerEstimator<'lib> {
                 + self.config.controller_cap_per_transition_pf * transitions);
 
         // Clock network: every register bit is clocked every cycle.
-        let clock_energy_pj = enc * vdd_sq * self.config.clock_cap_per_bit_pf * reg_bits;
+        let clock_energy_pj =
+            enc * vdd_sq * self.config.clock_cap_per_bit_pf * profile.register_bits;
 
         // pJ / ns = mW.
         PowerBreakdown {
@@ -197,6 +347,14 @@ impl<'lib> PowerEstimator<'lib> {
         let controller = self.config.controller_area_per_state * schedule.stg.state_count() as f64
             + self.config.controller_area_per_transition * schedule.stg.transition_count() as f64;
         datapath + controller
+    }
+
+    /// Total area from a precomputed profile (datapath area memoized, the
+    /// schedule-dependent controller term recomputed per evaluation).
+    pub fn area_profiled(&self, profile: &PowerProfile, schedule: &SchedulingResult) -> f64 {
+        let controller = self.config.controller_area_per_state * schedule.stg.state_count() as f64
+            + self.config.controller_area_per_transition * schedule.stg.transition_count() as f64;
+        profile.datapath_area + controller
     }
 }
 
@@ -335,6 +493,30 @@ mod tests {
         // Datapath power halves; only the per-cycle controller/clock terms stay.
         assert!(relaxed.functional_units_mw < normal.functional_units_mw);
         assert!(relaxed.total_mw() < normal.total_mw());
+    }
+
+    #[test]
+    fn profiled_estimate_is_bit_identical_to_the_direct_path() {
+        let (cdfg, trace, schedule) = setup(GCD, &gcd_inputs());
+        let lib = ModuleLibrary::standard();
+        let mut design = RtlDesign::initial_parallel(&cdfg, &lib);
+        let adders = design.units_of_class(OpClass::AddSub);
+        design.share_fus(adders[0], adders[1]).unwrap();
+        for site in design.mux_sites(&cdfg) {
+            design.set_restructured(site.sink, true);
+        }
+        let rt = RtTraces::new(&cdfg, &design, &trace);
+        let profile = PowerProfile::from_traces(&lib, &cdfg, &design, &rt);
+        for vdd in [5.0, 3.3, 1.5] {
+            let estimator = PowerEstimator::new(&lib, PowerConfig::default().at_vdd(vdd));
+            let direct = estimator.estimate(&cdfg, &design, &rt, &schedule);
+            let profiled = estimator.estimate_profiled(&profile, &schedule);
+            assert_eq!(direct, profiled);
+            assert_eq!(
+                estimator.area(&cdfg, &design, &schedule),
+                estimator.area_profiled(&profile, &schedule)
+            );
+        }
     }
 
     #[test]

@@ -43,4 +43,7 @@
 
 mod estimator;
 
-pub use estimator::{PowerBreakdown, PowerConfig, PowerEstimator};
+pub use estimator::{
+    FuPowerProfile, MuxPowerProfile, PowerBreakdown, PowerConfig, PowerEstimator, PowerProfile,
+    RegPowerProfile,
+};

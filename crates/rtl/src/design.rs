@@ -537,6 +537,59 @@ impl RtlDesign {
 
     // ------------------------------------------------------------ analyses
 
+    /// Structural fingerprint of the design: a deterministic digest of the
+    /// allocation, binding, module selection and mux-shape annotations. Two
+    /// designs with equal fingerprints evaluate identically, which is what
+    /// lets the engine memoize scheduling and power results by design.
+    pub fn fingerprint(&self) -> crate::DesignFingerprint {
+        let mut h = crate::FingerprintHasher::new();
+        h.write_tag(1);
+        for (index, slot) in self.fus.iter().enumerate() {
+            if let Some(unit) = slot {
+                h.write_u64(index as u64);
+                h.write_u64(unit.class as u64);
+                h.write_u64(unit.module.index() as u64);
+                h.write_u64(u64::from(unit.width));
+            }
+        }
+        h.write_tag(2);
+        for (index, slot) in self.registers.iter().enumerate() {
+            if let Some(reg) = slot {
+                h.write_u64(index as u64);
+                h.write_u64(u64::from(reg.width));
+                h.write_u64(reg.variables.len() as u64);
+                for &var in &reg.variables {
+                    h.write_u64(var.index() as u64);
+                }
+            }
+        }
+        h.write_tag(3);
+        for binding in &self.op_binding {
+            h.write_u64(binding.map_or(0, |fu| fu.0 as u64 + 1));
+        }
+        h.write_tag(4);
+        for &reg in &self.var_binding {
+            h.write_u64(reg.0 as u64);
+        }
+        h.write_tag(5);
+        let mut restructured: Vec<MuxSink> = self.restructured.iter().copied().collect();
+        restructured.sort_unstable();
+        for sink in restructured {
+            match sink {
+                MuxSink::FuInput { fu, port } => {
+                    h.write_u64(1);
+                    h.write_u64(fu.0 as u64);
+                    h.write_u64(u64::from(port));
+                }
+                MuxSink::RegisterInput { reg } => {
+                    h.write_u64(2);
+                    h.write_u64(reg.0 as u64);
+                }
+            }
+        }
+        h.finish()
+    }
+
     /// Per-node module delays (no interconnect), in nanoseconds, at the
     /// reference supply. Structural nodes cost one mux delay, `EndLoop` is
     /// free.
@@ -871,6 +924,47 @@ mod tests {
                 node.operation.needs_functional_unit()
             );
         }
+    }
+
+    #[test]
+    fn fingerprints_identify_structural_identity() {
+        let cdfg = gcd();
+        let lib = ModuleLibrary::standard();
+        let design = RtlDesign::initial_parallel(&cdfg, &lib);
+        // Identical construction gives identical fingerprints.
+        assert_eq!(
+            design.fingerprint(),
+            RtlDesign::initial_parallel(&cdfg, &lib).fingerprint()
+        );
+        // Every mutation kind changes the digest.
+        let base = design.fingerprint();
+        let mut shared = design.clone();
+        let adds = adders(&shared);
+        shared.share_fus(adds[0], adds[1]).unwrap();
+        assert_ne!(shared.fingerprint(), base);
+        let mut substituted = design.clone();
+        substituted
+            .substitute_module(&lib, adds[0], lib.variant_by_name("ripple_adder").unwrap())
+            .unwrap();
+        assert_ne!(substituted.fingerprint(), base);
+        let mut restructured = design.clone();
+        restructured.set_restructured(
+            MuxSink::FuInput {
+                fu: adds[0],
+                port: 0,
+            },
+            true,
+        );
+        assert_ne!(restructured.fingerprint(), base);
+        // Undoing the annotation restores the original digest.
+        restructured.set_restructured(
+            MuxSink::FuInput {
+                fu: adds[0],
+                port: 0,
+            },
+            false,
+        );
+        assert_eq!(restructured.fingerprint(), base);
     }
 
     #[test]

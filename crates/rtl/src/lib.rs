@@ -36,10 +36,12 @@
 //! ```
 
 mod design;
+mod fingerprint;
 mod mux;
 
 pub use design::{
     FuId, FunctionalUnit, MuxSink, MuxSite, RegId, Register, RtlDesign, RtlError, SignalKey,
     SignalSource,
 };
+pub use fingerprint::{DesignFingerprint, FingerprintHasher};
 pub use mux::{MuxSource, MuxTree};

@@ -71,13 +71,15 @@ pub struct SchedulingProblem<'a> {
     /// never share a state.
     pub node_fu: Vec<Option<usize>>,
     /// Branch probabilities and loop trip counts from behavioral simulation.
-    pub profile: ControlProfile,
+    /// Borrowed, so constructing a problem per candidate design (the engine
+    /// does this thousands of times per run) never copies the profile.
+    pub profile: &'a ControlProfile,
     /// Scheduler knobs.
     pub config: ScheduleConfig,
 }
 
 /// Output of a scheduler: the STG plus its headline metrics.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct SchedulingResult {
     /// The state transition graph.
     pub stg: Stg,
@@ -96,7 +98,7 @@ pub struct SchedulingResult {
 /// variant for its class, `Select`/`Mov`/`Output` cost one mux delay and
 /// `EndLoop` is free. This is the "initial RT level architecture" the IMPACT
 /// algorithm starts from, and a convenient starting point for tests.
-pub fn uniform_problem<'a>(cdfg: &'a Cdfg, profile: &ControlProfile) -> SchedulingProblem<'a> {
+pub fn uniform_problem<'a>(cdfg: &'a Cdfg, profile: &'a ControlProfile) -> SchedulingProblem<'a> {
     let lib = ModuleLibrary::standard();
     let mut node_delays = Vec::with_capacity(cdfg.node_count());
     let mut node_fu = Vec::with_capacity(cdfg.node_count());
@@ -129,7 +131,7 @@ pub fn uniform_problem<'a>(cdfg: &'a Cdfg, profile: &ControlProfile) -> Scheduli
         cdfg,
         node_delays,
         node_fu,
-        profile: profile.clone(),
+        profile,
         config: ScheduleConfig::wavesched(),
     }
 }

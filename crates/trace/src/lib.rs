@@ -28,4 +28,4 @@ mod activity;
 mod rt;
 
 pub use activity::{hamming_distance, sequence_activity, toggle_count};
-pub use rt::RtTraces;
+pub use rt::{FuStats, RegStats, RtTraces};

@@ -16,6 +16,29 @@ pub struct RtTraces<'a> {
     trace: &'a ExecutionTrace,
 }
 
+/// Activity statistics of one functional unit, derived from a single merge of
+/// its trace (cheaper than querying each metric separately, which re-merges
+/// the event streams every time).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct FuStats {
+    /// Mean input switching activity along the merged trace.
+    pub input_activity: f64,
+    /// Mean output switching activity along the merged trace.
+    pub output_activity: f64,
+    /// Average activations per input pass.
+    pub activations_per_pass: f64,
+}
+
+/// Activity statistics of one register, derived from a single reconstruction
+/// of its value sequence.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RegStats {
+    /// Mean per-write switching activity.
+    pub activity: f64,
+    /// Average writes per input pass.
+    pub writes_per_pass: f64,
+}
+
 impl<'a> RtTraces<'a> {
     /// Creates the view. The trace must have been recorded on the same CDFG
     /// the design binds.
@@ -54,15 +77,36 @@ impl<'a> RtTraces<'a> {
     /// Mean input switching activity of the unit: the per-bit toggle rate of
     /// each input port along the merged trace, averaged over ports.
     pub fn fu_input_activity(&self, fu: FuId) -> f64 {
+        self.input_activity_of(fu, &self.merged_fu_events(fu))
+    }
+
+    /// Mean output switching activity of the unit along its merged trace.
+    pub fn fu_output_activity(&self, fu: FuId) -> f64 {
+        self.output_activity_of(fu, &self.merged_fu_events(fu))
+    }
+
+    /// Every per-unit statistic from one merge of the unit's event streams.
+    pub fn fu_stats(&self, fu: FuId) -> FuStats {
         let events = self.merged_fu_events(fu);
+        FuStats {
+            input_activity: self.input_activity_of(fu, &events),
+            output_activity: self.output_activity_of(fu, &events),
+            activations_per_pass: events.len() as f64 / f64::from(self.trace.passes().max(1)),
+        }
+    }
+
+    fn fu_width(&self, fu: FuId) -> u8 {
+        self.design
+            .functional_unit(fu)
+            .map(|f| f.width)
+            .unwrap_or(8)
+    }
+
+    fn input_activity_of(&self, fu: FuId, events: &[&OpEvent]) -> f64 {
         if events.len() < 2 {
             return 0.0;
         }
-        let width = self
-            .design
-            .functional_unit(fu)
-            .map(|f| f.width)
-            .unwrap_or(8);
+        let width = self.fu_width(fu);
         let ports = events.iter().map(|e| e.inputs.len()).max().unwrap_or(0);
         if ports == 0 {
             return 0.0;
@@ -78,16 +122,9 @@ impl<'a> RtTraces<'a> {
         total / ports as f64
     }
 
-    /// Mean output switching activity of the unit along its merged trace.
-    pub fn fu_output_activity(&self, fu: FuId) -> f64 {
-        let events = self.merged_fu_events(fu);
-        let width = self
-            .design
-            .functional_unit(fu)
-            .map(|f| f.width)
-            .unwrap_or(8);
+    fn output_activity_of(&self, fu: FuId, events: &[&OpEvent]) -> f64 {
         let values: Vec<i64> = events.iter().map(|e| e.output).collect();
-        sequence_activity(&values, width)
+        sequence_activity(&values, self.fu_width(fu))
     }
 
     // ------------------------------------------------------------ registers
@@ -143,6 +180,17 @@ impl<'a> RtTraces<'a> {
     /// Average number of writes into the register per input pass.
     pub fn register_writes_per_pass(&self, reg: RegId) -> f64 {
         self.register_values(reg).len() as f64 / f64::from(self.trace.passes().max(1))
+    }
+
+    /// Every per-register statistic from one reconstruction of the register's
+    /// value sequence.
+    pub fn register_stats(&self, reg: RegId) -> RegStats {
+        let width = self.design.register(reg).map(|r| r.width).unwrap_or(8);
+        let values = self.register_values(reg);
+        RegStats {
+            activity: sequence_activity(&values, width),
+            writes_per_pass: values.len() as f64 / f64::from(self.trace.passes().max(1)),
+        }
     }
 
     // ------------------------------------------------------------ multiplexers
@@ -411,6 +459,27 @@ mod tests {
         let trace2 = simulate(&cdfg, &[vec![1], vec![99]]).unwrap();
         let rt2 = RtTraces::new(&cdfg, &design, &trace2);
         assert!(!rt2.needs_resimulation());
+    }
+
+    #[test]
+    fn combined_stats_match_the_individual_metrics_exactly() {
+        let (cdfg, trace) = three_addition();
+        let lib = ModuleLibrary::standard();
+        let mut design = RtlDesign::initial_parallel(&cdfg, &lib);
+        let adders = design.units_of_class(OpClass::AddSub);
+        design.share_fus(adders[0], adders[1]).unwrap();
+        let rt = RtTraces::new(&cdfg, &design, &trace);
+        for (fu, _) in design.functional_units() {
+            let stats = rt.fu_stats(fu);
+            assert_eq!(stats.input_activity, rt.fu_input_activity(fu));
+            assert_eq!(stats.output_activity, rt.fu_output_activity(fu));
+            assert_eq!(stats.activations_per_pass, rt.fu_activations_per_pass(fu));
+        }
+        for (reg, _) in design.registers() {
+            let stats = rt.register_stats(reg);
+            assert_eq!(stats.activity, rt.register_activity(reg));
+            assert_eq!(stats.writes_per_pass, rt.register_writes_per_pass(reg));
+        }
     }
 
     #[test]
