@@ -1,0 +1,171 @@
+//! Headline benchmark of the sweep-session cache layer: runs the Figure 13
+//! laxity sweep of every example design cold (independent per-laxity runs,
+//! fresh caches — the historical sweep cost), then with one shared
+//! [`SweepSession`](impact_core::SweepSession) over the batch driver's worker
+//! pool, and finally replays it over two merged half-sweep shard sessions.
+//! Reports must agree bit-for-bit across all three; the measurements go to
+//! `BENCH_sweep.json`.
+//!
+//! Usage: `sweep_bench [--smoke] [--paper] [--workers N] [--out PATH]`
+//!
+//! `--smoke` runs a reduced input set (fewer passes, smaller search effort,
+//! the coarse 5-point laxity grid) so CI can track the trajectory in seconds.
+//! `--paper` sweeps the full 11-point grid of the figure. The process exits
+//! non-zero if any design's cold, shared and merged-shard reports diverge,
+//! making the equivalence check a hard gate wherever the bench runs.
+
+use std::io::Write as _;
+
+use impact_bench::{
+    paper_laxities, quick_laxities, sweep_comparison, SweepComparison, DEFAULT_EFFORT,
+    DEFAULT_PASSES,
+};
+
+/// The example designs the comparison runs on, smallest first.
+fn designs() -> Vec<impact_benchmarks::Benchmark> {
+    vec![
+        impact_benchmarks::gcd(),
+        impact_benchmarks::x25_send(),
+        impact_benchmarks::dealer(),
+        impact_benchmarks::paulin(),
+    ]
+}
+
+fn json_for(results: &[SweepComparison], mode: &str, laxity_points: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"laxity_points\": {laxity_points},\n"));
+    out.push_str("  \"designs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cold_ms\": {:.3}, \"cold_parallel_ms\": {:.3}, \
+             \"shared_ms\": {:.3}, \"speedup\": {:.3}, \"cache_speedup\": {:.3}, \
+             \"identical\": {}, \"merged_identical\": {}, \
+             \"shared_hit_rate\": {:.4}, \"merged_hit_rate\": {:.4}}}{}\n",
+            r.benchmark,
+            r.cold_ms,
+            r.cold_parallel_ms,
+            r.shared_ms,
+            r.speedup(),
+            r.cache_speedup(),
+            r.identical,
+            r.merged_identical,
+            r.shared_cache.hit_rate(),
+            r.merged_cache.hit_rate(),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    let min_of = |metric: fn(&SweepComparison) -> f64| {
+        let min = results.iter().map(metric).fold(f64::INFINITY, f64::min);
+        if min.is_finite() {
+            min
+        } else {
+            0.0
+        }
+    };
+    out.push_str(&format!(
+        "  \"headline\": {{\"min_speedup\": {:.3}, \"min_cache_speedup\": {:.3}, \
+         \"all_identical\": {}}}\n",
+        min_of(SweepComparison::speedup),
+        min_of(SweepComparison::cache_speedup),
+        results.iter().all(|r| r.identical && r.merged_identical),
+    ));
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let paper = args.iter().any(|a| a == "--paper");
+    let workers = arg_value(&args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0usize);
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_sweep.json".to_string());
+
+    let (passes, effort) = if smoke {
+        (10, (2, 3))
+    } else {
+        (DEFAULT_PASSES, DEFAULT_EFFORT)
+    };
+    let laxities = if paper {
+        paper_laxities()
+    } else {
+        quick_laxities()
+    };
+    let mode = if smoke { "smoke" } else { "full" };
+
+    println!(
+        "sweep bench ({mode}): {} laxity points, {passes} passes, effort {effort:?}, \
+         {} jobs per sweep",
+        laxities.len(),
+        1 + 2 * laxities.len(),
+    );
+    println!(
+        "{:>10} {:>12} {:>13} {:>12} {:>9} {:>9} {:>10} {:>8} {:>13} {:>13}",
+        "design",
+        "cold (ms)",
+        "cold-par (ms)",
+        "shared (ms)",
+        "speedup",
+        "cache x",
+        "identical",
+        "merged",
+        "shared hit %",
+        "merged hit %"
+    );
+
+    let mut results = Vec::new();
+    for bench in designs() {
+        let result = sweep_comparison(&bench, &laxities, passes, effort, workers);
+        println!(
+            "{:>10} {:>12.1} {:>13.1} {:>12.1} {:>9.2} {:>9.2} {:>10} {:>8} {:>13.1} {:>13.1}",
+            result.benchmark,
+            result.cold_ms,
+            result.cold_parallel_ms,
+            result.shared_ms,
+            result.speedup(),
+            result.cache_speedup(),
+            result.identical,
+            result.merged_identical,
+            100.0 * result.shared_cache.hit_rate(),
+            100.0 * result.merged_cache.hit_rate(),
+        );
+        results.push(result);
+    }
+
+    let json = json_for(&results, mode, laxities.len());
+    let mut file = std::fs::File::create(&out_path).expect("bench output file is writable");
+    file.write_all(json.as_bytes())
+        .expect("bench output writes");
+    println!("wrote {out_path}");
+
+    let min_speedup = results
+        .iter()
+        .map(SweepComparison::speedup)
+        .fold(f64::INFINITY, f64::min);
+    let min_cache_speedup = results
+        .iter()
+        .map(SweepComparison::cache_speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "headline: shared-session sweep is at least {min_speedup:.2}x faster than the \
+         sequential cold sweep ({min_cache_speedup:.2}x at the same worker count) \
+         across {} designs",
+        results.len()
+    );
+
+    if results.iter().any(|r| !r.identical || !r.merged_identical) {
+        eprintln!("FAIL: shared-session or merged-shard sweep diverged from cold runs");
+        std::process::exit(1);
+    }
+}

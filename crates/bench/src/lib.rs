@@ -1,6 +1,10 @@
 //! Experiment drivers regenerating the tables and figures of the IMPACT
 //! paper. The binaries in `src/bin/` print the series; the Criterion benches
 //! in `benches/` time the underlying computations.
+//!
+//! Multi-run experiments (the Figure 13 laxity sweep, the engine comparison)
+//! are expressed as batches of [`SweepJob`]s over the [`run_batch`] driver,
+//! sharing one [`SweepSession`] where the runs cover the same workload.
 
 use std::time::Instant;
 
@@ -8,9 +12,14 @@ use impact_behsim::{simulate, ExecutionTrace};
 use impact_benchmarks::Benchmark;
 use impact_cdfg::Cdfg;
 use impact_core::{
-    CacheStats, EngineConfig, Impact, SynthesisConfig, SynthesisOutcome, SynthesisReport,
+    CacheStats, EngineConfig, Impact, SweepSession, SynthesisConfig, SynthesisOutcome,
+    SynthesisReport,
 };
 use impact_sched::{uniform_problem, BaselineScheduler, Scheduler, WaveScheduler};
+
+mod driver;
+
+pub use driver::{run_batch, JobResult, SweepJob};
 
 /// Number of input passes used by the experiment drivers ("typical input
 /// sequences"). Kept modest so the full Figure 13 sweep runs in minutes.
@@ -107,31 +116,85 @@ pub fn run(cdfg: &Cdfg, trace: &ExecutionTrace, config: SynthesisConfig) -> Synt
         .expect("synthesis succeeds on the benchmark suite")
 }
 
-/// Computes one benchmark's Figure 13 series over the given laxity points.
-pub fn figure13_series(bench: &Benchmark, laxities: &[f64], passes: usize) -> Fig13Series {
-    let (cdfg, trace) = prepare(bench, passes, DEFAULT_SEED);
-    // Base: area-optimized design at laxity 1.0, operated at 5 V.
-    let base = run(&cdfg, &trace, SynthesisConfig::area_optimized(1.0));
-    let base_power = base.report.power_at_reference_mw;
-    let base_area = base.report.area;
-
-    let mut points = Vec::with_capacity(laxities.len());
+/// Builds the job list of one Figure 13 sweep: the normalization base
+/// (area-optimized at laxity 1.0) followed by an area-optimized and a
+/// power-optimized run per laxity point. Feed the list to [`run_batch`] and
+/// the results to [`assemble_fig13`].
+pub fn figure13_jobs<'a>(
+    cdfg: &'a Cdfg,
+    trace: &'a ExecutionTrace,
+    laxities: &[f64],
+    effort: (usize, usize),
+) -> Vec<SweepJob<'a>> {
+    let (passes, seq) = effort;
+    let configure = |config: SynthesisConfig| config.with_effort(passes, seq);
+    let mut jobs = Vec::with_capacity(1 + 2 * laxities.len());
+    jobs.push(SweepJob::new(
+        "base",
+        cdfg,
+        trace,
+        configure(SynthesisConfig::area_optimized(1.0)),
+    ));
     for &laxity in laxities {
-        let area_opt = run(&cdfg, &trace, SynthesisConfig::area_optimized(laxity));
-        let power_opt = run(&cdfg, &trace, SynthesisConfig::power_optimized(laxity));
-        points.push(Fig13Point {
-            laxity,
-            a_power: area_opt.report.power_mw / base_power,
-            i_power: power_opt.report.power_mw / base_power,
-            i_area: power_opt.report.area / base_area,
-            i_vdd: power_opt.report.vdd,
-            base_power_mw: base_power,
-        });
+        jobs.push(SweepJob::new(
+            format!("area@{laxity:.1}"),
+            cdfg,
+            trace,
+            configure(SynthesisConfig::area_optimized(laxity)),
+        ));
+        jobs.push(SweepJob::new(
+            format!("power@{laxity:.1}"),
+            cdfg,
+            trace,
+            configure(SynthesisConfig::power_optimized(laxity)),
+        ));
     }
+    jobs
+}
+
+/// Normalizes the results of a [`figure13_jobs`] batch into the figure's
+/// series (results must be in submission order, as [`run_batch`] returns
+/// them).
+pub fn assemble_fig13(benchmark: &str, laxities: &[f64], results: &[JobResult]) -> Fig13Series {
+    assert_eq!(
+        results.len(),
+        1 + 2 * laxities.len(),
+        "one base plus two runs per laxity point"
+    );
+    let base = &results[0].outcome.report;
+    let base_power = base.power_at_reference_mw;
+    let base_area = base.area;
+    let points = laxities
+        .iter()
+        .enumerate()
+        .map(|(index, &laxity)| {
+            let area_opt = &results[1 + 2 * index].outcome.report;
+            let power_opt = &results[2 + 2 * index].outcome.report;
+            Fig13Point {
+                laxity,
+                a_power: area_opt.power_mw / base_power,
+                i_power: power_opt.power_mw / base_power,
+                i_area: power_opt.area / base_area,
+                i_vdd: power_opt.vdd,
+                base_power_mw: base_power,
+            }
+        })
+        .collect();
     Fig13Series {
-        benchmark: bench.name.to_string(),
+        benchmark: benchmark.to_string(),
         points,
     }
+}
+
+/// Computes one benchmark's Figure 13 series over the given laxity points:
+/// one shared [`SweepSession`] and a worker pool make the whole sweep close
+/// to one cold run's cost, with results identical to independent runs.
+pub fn figure13_series(bench: &Benchmark, laxities: &[f64], passes: usize) -> Fig13Series {
+    let (cdfg, trace) = prepare(bench, passes, DEFAULT_SEED);
+    let session = SweepSession::new();
+    let jobs = figure13_jobs(&cdfg, &trace, laxities, DEFAULT_EFFORT);
+    let results = run_batch(&jobs, Some(&session), 0);
+    assemble_fig13(bench.name, laxities, &results)
 }
 
 /// The laxity grid of the paper (1.0 to 3.0).
@@ -226,7 +289,8 @@ pub fn reports_identical(a: &SynthesisReport, b: &SynthesisReport) -> bool {
     a == b
 }
 
-/// Runs one benchmark through both engine configurations and times them.
+/// Runs one benchmark through both engine configurations and times them via
+/// the batch driver (one worker, so per-job timing stays honest).
 /// `effort` is `(max_passes, max_sequence_length)`.
 pub fn engine_comparison(
     bench: &Benchmark,
@@ -236,27 +300,154 @@ pub fn engine_comparison(
 ) -> EngineComparison {
     let (cdfg, trace) = prepare(bench, passes, DEFAULT_SEED);
     let config = SynthesisConfig::power_optimized(laxity).with_effort(effort.0, effort.1);
-
-    let sequential_config = config.clone().with_engine(EngineConfig::sequential());
-    let started = Instant::now();
-    let sequential = Impact::new(sequential_config)
-        .synthesize(&cdfg, &trace)
-        .expect("sequential synthesis succeeds");
-    let sequential_ms = started.elapsed().as_secs_f64() * 1e3;
-
-    let started = Instant::now();
-    let incremental = Impact::new(config.with_engine(EngineConfig::incremental()))
-        .synthesize(&cdfg, &trace)
-        .expect("incremental synthesis succeeds");
-    let incremental_ms = started.elapsed().as_secs_f64() * 1e3;
+    let jobs = [
+        SweepJob::new(
+            "sequential",
+            &cdfg,
+            &trace,
+            config.clone().with_engine(EngineConfig::sequential()),
+        ),
+        SweepJob::new(
+            "incremental",
+            &cdfg,
+            &trace,
+            config.with_engine(EngineConfig::incremental()),
+        ),
+    ];
+    let results = run_batch(&jobs, None, 1);
+    let (sequential, incremental) = (&results[0], &results[1]);
 
     EngineComparison {
         benchmark: bench.name.to_string(),
         nodes: cdfg.node_count(),
-        sequential_ms,
-        incremental_ms,
-        identical: reports_identical(&sequential.report, &incremental.report),
-        cache: incremental.cache_stats,
+        sequential_ms: sequential.wall_ms,
+        incremental_ms: incremental.wall_ms,
+        identical: reports_identical(&sequential.outcome.report, &incremental.outcome.report),
+        cache: incremental.outcome.cache_stats,
+    }
+}
+
+/// One benchmark's cold-vs-shared-session Figure 13 sweep comparison: the
+/// wall-clock of running every `(laxity, mode)` job independently (fresh
+/// per-run caches, one at a time — the historical sweep cost) against the
+/// batch driver with one shared [`SweepSession`], plus a sharded-search
+/// check: two half-sweeps populate independent sessions which are `merge`d
+/// and replayed over the full job list. A third measurement — the cold jobs
+/// over the *same* worker pool — separates what the pool contributes from
+/// what session sharing contributes.
+#[derive(Clone, Debug)]
+pub struct SweepComparison {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Number of laxity points swept.
+    pub laxity_points: usize,
+    /// Wall-clock of the sequential cold sweep (the historical
+    /// `figure13_series` cost), in milliseconds.
+    pub cold_ms: f64,
+    /// Wall-clock of the cold sweep over the same worker pool as the
+    /// shared-session run (fresh per-run caches), in milliseconds.
+    pub cold_parallel_ms: f64,
+    /// Wall-clock of the shared-session sweep, in milliseconds.
+    pub shared_ms: f64,
+    /// Whether every job of the shared-session sweep reproduced the cold
+    /// run's report bit-for-bit.
+    pub identical: bool,
+    /// Whether replaying the sweep over the merged shard sessions reproduced
+    /// the cold reports bit-for-bit.
+    pub merged_identical: bool,
+    /// Cache counters of the shared session after its sweep.
+    pub shared_cache: CacheStats,
+    /// Cache counters of the merged session after its replay sweep.
+    pub merged_cache: CacheStats,
+}
+
+impl SweepComparison {
+    /// Sequential cold over shared-session wall-clock: the end-to-end win of
+    /// the batch driver plus session sharing versus the historical sweep.
+    pub fn speedup(&self) -> f64 {
+        if self.shared_ms > 0.0 {
+            self.cold_ms / self.shared_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Parallel cold over shared-session wall-clock: the contribution of
+    /// session sharing alone, with the worker pool held constant.
+    pub fn cache_speedup(&self) -> f64 {
+        if self.shared_ms > 0.0 {
+            self.cold_parallel_ms / self.shared_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Whether two batch results carry bit-identical synthesis reports, job by
+/// job.
+pub fn batches_identical(a: &[JobResult], b: &[JobResult]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| reports_identical(&x.outcome.report, &y.outcome.report))
+}
+
+/// Runs one benchmark's Figure 13 sweep cold, shared and merged-sharded, and
+/// checks all three agree. `effort` is `(max_passes, max_sequence_length)`;
+/// `workers` is the pool size of the shared-session runs (`0` = one per CPU).
+pub fn sweep_comparison(
+    bench: &Benchmark,
+    laxities: &[f64],
+    passes: usize,
+    effort: (usize, usize),
+    workers: usize,
+) -> SweepComparison {
+    let (cdfg, trace) = prepare(bench, passes, DEFAULT_SEED);
+    let jobs = figure13_jobs(&cdfg, &trace, laxities, effort);
+
+    // Cold: every job pays the full cost, sequentially (the pre-session
+    // behavior of `figure13_series`).
+    let started = Instant::now();
+    let cold = run_batch(&jobs, None, 1);
+    let cold_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // Cold over the same worker pool: isolates what the pool contributes so
+    // the session's share of the speedup is measured apples-to-apples.
+    let started = Instant::now();
+    let cold_parallel = run_batch(&jobs, None, workers);
+    let cold_parallel_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // Shared session over a worker pool.
+    let session = SweepSession::new();
+    let started = Instant::now();
+    let shared = run_batch(&jobs, Some(&session), workers);
+    let shared_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // Sharded search: two independently populated half-sweep sessions,
+    // merged, then replayed over the full job list.
+    let (half_a, half_b) = laxities.split_at(laxities.len() / 2);
+    let merged = SweepSession::new();
+    for half in [half_a, half_b] {
+        let shard = SweepSession::new();
+        run_batch(
+            &figure13_jobs(&cdfg, &trace, half, effort),
+            Some(&shard),
+            workers,
+        );
+        merged.merge_from(&shard);
+    }
+    let replay = run_batch(&jobs, Some(&merged), workers);
+
+    SweepComparison {
+        benchmark: bench.name.to_string(),
+        laxity_points: laxities.len(),
+        cold_ms,
+        cold_parallel_ms,
+        shared_ms,
+        identical: batches_identical(&cold, &cold_parallel) && batches_identical(&cold, &shared),
+        merged_identical: batches_identical(&cold, &replay),
+        shared_cache: session.stats(),
+        merged_cache: merged.stats(),
     }
 }
 

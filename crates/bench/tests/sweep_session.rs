@@ -1,0 +1,112 @@
+//! Equivalence guarantees of the sweep-session cache layer: a Figure 13
+//! sweep over one shared session (and over merged shard sessions) is
+//! bit-identical to independent cold runs, under any worker count.
+
+use impact_bench::{
+    assemble_fig13, batches_identical, figure13_jobs, paper_laxities, prepare, run_batch,
+};
+use impact_core::SweepSession;
+use proptest::prelude::*;
+
+const EFFORT: (usize, usize) = (2, 3);
+
+#[test]
+fn shared_session_figure13_sweep_matches_eleven_independent_cold_runs() {
+    // The paper's full 11-point laxity grid: every job of the shared-session
+    // sweep must reproduce its independent cold run bit-for-bit.
+    let bench = impact_benchmarks::gcd();
+    let laxities = paper_laxities();
+    let (cdfg, trace) = prepare(&bench, 8, 5);
+    let jobs = figure13_jobs(&cdfg, &trace, &laxities, EFFORT);
+    assert_eq!(jobs.len(), 23, "base + two runs per laxity point");
+
+    let cold = run_batch(&jobs, None, 1);
+    let session = SweepSession::new();
+    let shared = run_batch(&jobs, Some(&session), 0);
+
+    assert!(batches_identical(&cold, &shared));
+    let cold_series = assemble_fig13(bench.name, &laxities, &cold);
+    let shared_series = assemble_fig13(bench.name, &laxities, &shared);
+    for (a, b) in cold_series.points.iter().zip(&shared_series.points) {
+        assert_eq!(a.a_power.to_bits(), b.a_power.to_bits());
+        assert_eq!(a.i_power.to_bits(), b.i_power.to_bits());
+        assert_eq!(a.i_area.to_bits(), b.i_area.to_bits());
+        assert_eq!(a.i_vdd.to_bits(), b.i_vdd.to_bits());
+    }
+    assert!(
+        session.stats().hits > session.stats().misses,
+        "a warm sweep is dominated by hits ({:?})",
+        session.stats()
+    );
+}
+
+#[test]
+fn merged_shard_sessions_rank_like_one_shared_cache() {
+    // Two half-sweeps populate independent shard sessions; their merge must
+    // answer a full sweep exactly like one session that saw everything.
+    let bench = impact_benchmarks::gcd();
+    let laxities = [1.0, 1.4, 1.8, 2.2, 2.6, 3.0];
+    let (cdfg, trace) = prepare(&bench, 8, 5);
+    let jobs = figure13_jobs(&cdfg, &trace, &laxities, EFFORT);
+
+    let one_shared = SweepSession::new();
+    let reference = run_batch(&jobs, Some(&one_shared), 0);
+
+    let merged = SweepSession::new();
+    for half in [&laxities[..3], &laxities[3..]] {
+        let shard = SweepSession::new();
+        run_batch(&figure13_jobs(&cdfg, &trace, half, EFFORT), Some(&shard), 0);
+        merged.merge_from(&shard);
+    }
+    let replayed = run_batch(&jobs, Some(&merged), 0);
+
+    assert!(batches_identical(&reference, &replayed));
+    // Both shards fully covered the replay's needs: the merged session
+    // answers (almost) everything from its merged maps. The base job and the
+    // laxity-independent entries overlap between shards, so the replay must
+    // be hit-dominated.
+    let stats = merged.stats();
+    assert!(
+        stats.hit_rate() > 0.9,
+        "replay over merged shards must be hit-dominated ({stats:?})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Any laxity subset, any seed, any worker count: cold, shared-session
+    /// and merged-shard sweeps agree bit-for-bit.
+    #[test]
+    fn sweeps_agree_for_arbitrary_laxity_subsets(
+        mask in 1u32..(1 << 6),
+        seed in 0u64..1024,
+        workers in 1usize..5,
+    ) {
+        let grid = [1.0, 1.4, 1.8, 2.2, 2.6, 3.0];
+        let laxities: Vec<f64> = grid
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &l)| l)
+            .collect();
+        let bench = impact_benchmarks::gcd();
+        let (cdfg, trace) = prepare(&bench, 6, seed);
+        let jobs = figure13_jobs(&cdfg, &trace, &laxities, (1, 2));
+
+        let cold = run_batch(&jobs, None, 1);
+        let shared_session = SweepSession::new();
+        let shared = run_batch(&jobs, Some(&shared_session), workers);
+        prop_assert!(batches_identical(&cold, &shared));
+
+        let merged = SweepSession::new();
+        let split = laxities.len() / 2;
+        for half in [&laxities[..split], &laxities[split..]] {
+            let shard = SweepSession::new();
+            run_batch(&figure13_jobs(&cdfg, &trace, half, (1, 2)), Some(&shard), workers);
+            merged.merge_from(&shard);
+        }
+        let replayed = run_batch(&jobs, Some(&merged), workers);
+        prop_assert!(batches_identical(&cold, &replayed));
+    }
+}

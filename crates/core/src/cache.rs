@@ -1,56 +1,64 @@
-//! The evaluation cache of the incremental engine.
+//! The shared cache layer of the incremental engine.
 //!
-//! One [`EvalCache`] lives inside each [`Evaluator`](crate::Evaluator) and
-//! memoizes, from cheapest to most expensive to recompute:
+//! Memoized values come in three tiers, from cheapest to most expensive to
+//! recompute:
 //!
 //! * trace statistics (per-unit, per-register and per-mux-site activity),
 //!   keyed by structural *content* so candidate designs share them,
 //! * per-design evaluation contexts (base delays, binding and power profile),
-//! * fully evaluated [`DesignPoint`]s per `(design, vdd)` pair, and the
-//!   Vdd-scaled result of the full supply search per design.
+//! * fully evaluated [`DesignPoint`]s per `(workload, design, vdd)` and the
+//!   outcome of the full supply search per `(workload, design, enc budget)`.
 //!
-//! All maps sit behind one mutex; computations never run under the lock, so
-//! parallel ranking threads can race to fill the same entry — both sides
-//! compute identical values, and the last store wins. Design points are
-//! stored behind `Arc`, so the per-level entries of the Vdd search and the
-//! fully-scaled entry share allocations and a hit clones a pointer, not the
-//! design. When a map outgrows its capacity bound it is cleared wholesale;
-//! the evictions are counted and the simple policy keeps hit paths
-//! branch-light.
+//! Storage lives behind the [`CacheBackend`] trait so sessions can swap the
+//! store: the in-process implementation is [`InMemoryCache`], an `Arc`-shared
+//! mutex-protected map set. Two backends populated independently (e.g. by
+//! sharded candidate searches) combine deterministically via
+//! [`CacheBackend::export`] / [`CacheBackend::absorb`]: every entry is a pure
+//! function of its key, so when both sides hold the same key the values are
+//! identical and merge order cannot influence later lookups.
+//!
+//! Computations never run under the lock, so parallel ranking threads can
+//! race to fill the same entry — both sides compute identical values, and the
+//! last store wins. Design points are stored behind `Arc`, so the per-level
+//! entries of the Vdd search and the fully-scaled entry share allocations and
+//! a hit clones a pointer, not the design. When a map outgrows its capacity
+//! bound it is cleared wholesale; the evictions are counted and the simple
+//! policy keeps hit paths branch-light.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use impact_power::PowerProfile;
-use impact_rtl::DesignFingerprint;
 use impact_trace::{FuStats, RegStats};
 
 use crate::evaluate::DesignPoint;
-use crate::fingerprint::{FuStatsKey, MuxStatsKey, PointKey, RegStatsKey};
+use crate::fingerprint::{ContextKey, FuStatsKey, MuxStatsKey, PointKey, RegStatsKey, ScaledKey};
 
 /// Everything about one design that the Vdd search reuses across supply
 /// levels: effective node delays at the reference supply, the scheduler
-/// binding and the supply-independent power profile.
+/// binding and the supply-independent power profile. Laxity-independent, so
+/// sweep sessions reuse contexts across `enc_limit` values.
 #[derive(Clone, Debug)]
-pub(crate) struct DesignContext {
+pub struct DesignContext {
     /// Effective per-node delays at delay factor 1.0 (module + interconnect).
-    pub base_delays: Vec<f64>,
+    pub(crate) base_delays: Vec<f64>,
     /// Per-node functional-unit binding in scheduler form.
-    pub binding: Vec<Option<usize>>,
+    pub(crate) binding: Vec<Option<usize>>,
     /// Supply-independent power/area coefficients.
-    pub profile: PowerProfile,
+    pub(crate) profile: PowerProfile,
 }
 
 /// Memoized statistics of one mux site: the tree's switching activity, the
 /// depth of every source in the tree, and the selection rate.
 #[derive(Clone, PartialEq, Debug)]
-pub(crate) struct MuxEntry {
-    pub tree_activity: f64,
-    pub depths: Vec<usize>,
-    pub selections_per_pass: f64,
+pub struct MuxEntry {
+    pub(crate) tree_activity: f64,
+    pub(crate) depths: Vec<usize>,
+    pub(crate) selections_per_pass: f64,
 }
 
-/// Snapshot of the cache's effectiveness counters.
+/// Snapshot of a backend's effectiveness counters.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
@@ -77,11 +85,93 @@ impl CacheStats {
     }
 }
 
+/// Storage interface of an evaluation session.
+///
+/// Implementations must be safe to share across the scoped worker threads of
+/// the ranking stage and of batch drivers (`Send + Sync`); every entry is a
+/// pure function of its key, so backends may drop entries at any time
+/// (capacity eviction) and may resolve concurrent stores of the same key in
+/// either order without affecting synthesis results.
+pub trait CacheBackend: Send + Sync + fmt::Debug {
+    /// Fetches a memoized design point.
+    fn lookup_point(&self, key: &PointKey) -> Option<Arc<DesignPoint>>;
+    /// Stores a design point.
+    fn store_point(&self, key: PointKey, value: Arc<DesignPoint>);
+    /// Fetches the memoized outcome of a full supply search (`Some(None)`
+    /// records "infeasible under this ENC budget").
+    fn lookup_scaled(&self, key: &ScaledKey) -> Option<Option<Arc<DesignPoint>>>;
+    /// Stores a supply-search outcome.
+    fn store_scaled(&self, key: ScaledKey, value: Option<Arc<DesignPoint>>);
+    /// Fetches a memoized per-design context.
+    fn lookup_context(&self, key: &ContextKey) -> Option<Arc<DesignContext>>;
+    /// Stores a per-design context.
+    fn store_context(&self, key: ContextKey, value: Arc<DesignContext>);
+    /// Fetches memoized per-unit trace statistics.
+    fn lookup_fu(&self, key: &FuStatsKey) -> Option<FuStats>;
+    /// Stores per-unit trace statistics.
+    fn store_fu(&self, key: FuStatsKey, value: FuStats);
+    /// Fetches memoized per-register trace statistics.
+    fn lookup_reg(&self, key: &RegStatsKey) -> Option<RegStats>;
+    /// Stores per-register trace statistics.
+    fn store_reg(&self, key: RegStatsKey, value: RegStats);
+    /// Fetches memoized per-mux-site statistics.
+    fn lookup_mux(&self, key: &MuxStatsKey) -> Option<MuxEntry>;
+    /// Stores per-mux-site statistics.
+    fn store_mux(&self, key: MuxStatsKey, value: MuxEntry);
+    /// Snapshot of the effectiveness counters.
+    fn stats(&self) -> CacheStats;
+    /// Copies every entry out (counters are not part of the snapshot).
+    fn export(&self) -> CacheSnapshot;
+    /// Merges a snapshot into this backend. Entries under keys this backend
+    /// already holds are interchangeable with the incoming ones (same pure
+    /// function, same key), so the merge is deterministic regardless of which
+    /// side wins; traffic counters are unaffected.
+    fn absorb(&self, snapshot: CacheSnapshot);
+}
+
+/// Portable copy of a backend's entries, produced by
+/// [`CacheBackend::export`] and consumed by [`CacheBackend::absorb`]. Fields
+/// are public so external [`CacheBackend`] implementations (disk stores,
+/// remote shards) can build and consume snapshots; treat the values as
+/// opaque — they are pure functions of their keys.
+#[derive(Debug, Default)]
+pub struct CacheSnapshot {
+    /// Fully evaluated design points.
+    pub points: HashMap<PointKey, Arc<DesignPoint>>,
+    /// Supply-search outcomes (`None` = infeasible under the key's budget).
+    pub scaled: HashMap<ScaledKey, Option<Arc<DesignPoint>>>,
+    /// Per-design evaluation contexts.
+    pub contexts: HashMap<ContextKey, Arc<DesignContext>>,
+    /// Per-unit trace statistics.
+    pub fu_stats: HashMap<FuStatsKey, FuStats>,
+    /// Per-register trace statistics.
+    pub reg_stats: HashMap<RegStatsKey, RegStats>,
+    /// Per-mux-site trace statistics.
+    pub mux_stats: HashMap<MuxStatsKey, MuxEntry>,
+}
+
+impl CacheSnapshot {
+    /// Total number of entries across every map.
+    pub fn len(&self) -> usize {
+        self.points.len()
+            + self.scaled.len()
+            + self.contexts.len()
+            + self.fu_stats.len()
+            + self.reg_stats.len()
+            + self.mux_stats.len()
+    }
+
+    /// Whether the snapshot holds no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[derive(Debug, Default)]
 struct CacheInner {
-    points: HashMap<PointKey, Option<Arc<DesignPoint>>>,
-    scaled: HashMap<DesignFingerprint, Option<Arc<DesignPoint>>>,
-    contexts: HashMap<DesignFingerprint, Arc<DesignContext>>,
+    points: HashMap<PointKey, Arc<DesignPoint>>,
+    scaled: HashMap<ScaledKey, Option<Arc<DesignPoint>>>,
+    contexts: HashMap<ContextKey, Arc<DesignContext>>,
     fu_stats: HashMap<FuStatsKey, FuStats>,
     reg_stats: HashMap<RegStatsKey, RegStats>,
     mux_stats: HashMap<MuxStatsKey, MuxEntry>,
@@ -95,20 +185,33 @@ const MAX_POINTS: usize = 16_384;
 const MAX_CONTEXTS: usize = 4_096;
 const MAX_STATS: usize = 65_536;
 
-/// The memoization store of one [`Evaluator`](crate::Evaluator).
-#[derive(Debug)]
-pub(crate) struct EvalCache {
-    enabled: bool,
+/// The in-process [`CacheBackend`]: one mutex-protected map set, shared by
+/// `Arc` between every evaluator (and every worker thread) of a session.
+#[derive(Debug, Default)]
+pub struct InMemoryCache {
     inner: Mutex<CacheInner>,
 }
 
-macro_rules! cached_lookup {
-    ($name:ident, $store:ident, $field:ident, $key:ty, $value:ty, $cap:expr) => {
-        pub(crate) fn $name(&self, key: &$key) -> Option<$value> {
-            if !self.enabled {
-                return None;
-            }
-            let mut inner = self.inner.lock().expect("evaluation cache poisoned");
+impl InMemoryCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Locks the store, recovering from poison: a panicking evaluation
+    /// worker can only abandon the mutex *between* map operations (no user
+    /// code ever runs under the lock), so the maps are always structurally
+    /// consistent and unrelated evaluations keep the cache instead of
+    /// cascading the panic.
+    fn lock(&self) -> MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+macro_rules! backend_map {
+    ($lookup:ident, $store:ident, $field:ident, $key:ty, $value:ty, $cap:expr) => {
+        fn $lookup(&self, key: &$key) -> Option<$value> {
+            let mut inner = self.lock();
             let found = inner.$field.get(key).cloned();
             if found.is_some() {
                 inner.hits += 1;
@@ -118,11 +221,8 @@ macro_rules! cached_lookup {
             found
         }
 
-        pub(crate) fn $store(&self, key: $key, value: $value) {
-            if !self.enabled {
-                return;
-            }
-            let mut inner = self.inner.lock().expect("evaluation cache poisoned");
+        fn $store(&self, key: $key, value: $value) {
+            let mut inner = self.lock();
             if inner.$field.len() >= $cap {
                 inner.$field.clear();
                 inner.evictions += 1;
@@ -132,46 +232,33 @@ macro_rules! cached_lookup {
     };
 }
 
-impl EvalCache {
-    pub(crate) fn new(enabled: bool) -> Self {
-        Self {
-            enabled,
-            inner: Mutex::new(CacheInner::default()),
-        }
-    }
-
-    /// Whether memoization is active (`false` reproduces the brute-force
-    /// evaluation loop).
-    pub(crate) fn is_enabled(&self) -> bool {
-        self.enabled
-    }
-
-    cached_lookup!(
+impl CacheBackend for InMemoryCache {
+    backend_map!(
         lookup_point,
         store_point,
         points,
         PointKey,
-        Option<Arc<DesignPoint>>,
+        Arc<DesignPoint>,
         MAX_POINTS
     );
-    cached_lookup!(
+    backend_map!(
         lookup_scaled,
         store_scaled,
         scaled,
-        DesignFingerprint,
+        ScaledKey,
         Option<Arc<DesignPoint>>,
         MAX_POINTS
     );
-    cached_lookup!(
+    backend_map!(
         lookup_context,
         store_context,
         contexts,
-        DesignFingerprint,
+        ContextKey,
         Arc<DesignContext>,
         MAX_CONTEXTS
     );
-    cached_lookup!(lookup_fu, store_fu, fu_stats, FuStatsKey, FuStats, MAX_STATS);
-    cached_lookup!(
+    backend_map!(lookup_fu, store_fu, fu_stats, FuStatsKey, FuStats, MAX_STATS);
+    backend_map!(
         lookup_reg,
         store_reg,
         reg_stats,
@@ -179,7 +266,7 @@ impl EvalCache {
         RegStats,
         MAX_STATS
     );
-    cached_lookup!(
+    backend_map!(
         lookup_mux,
         store_mux,
         mux_stats,
@@ -188,9 +275,8 @@ impl EvalCache {
         MAX_STATS
     );
 
-    /// Snapshot of the effectiveness counters.
-    pub(crate) fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("evaluation cache poisoned");
+    fn stats(&self) -> CacheStats {
+        let inner = self.lock();
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,
@@ -198,5 +284,187 @@ impl EvalCache {
             points: inner.points.len(),
             contexts: inner.contexts.len(),
         }
+    }
+
+    fn export(&self) -> CacheSnapshot {
+        let inner = self.lock();
+        CacheSnapshot {
+            points: inner.points.clone(),
+            scaled: inner.scaled.clone(),
+            contexts: inner.contexts.clone(),
+            fu_stats: inner.fu_stats.clone(),
+            reg_stats: inner.reg_stats.clone(),
+            mux_stats: inner.mux_stats.clone(),
+        }
+    }
+
+    fn absorb(&self, snapshot: CacheSnapshot) {
+        let mut inner = self.lock();
+        // Unlike a store, a merge never clears: incoming entries are added
+        // until the capacity bound, and only the overflow is dropped (counted
+        // as one eviction per map) — two full shards must not annihilate each
+        // other. Which overflow entries are kept is not specified; entries
+        // are pure, so lookups stay correct either way.
+        macro_rules! merge_map {
+            ($field:ident, $cap:expr) => {{
+                let mut dropped = false;
+                for (key, value) in snapshot.$field {
+                    if inner.$field.len() >= $cap && !inner.$field.contains_key(&key) {
+                        dropped = true;
+                        continue;
+                    }
+                    inner.$field.insert(key, value);
+                }
+                if dropped {
+                    inner.evictions += 1;
+                }
+            }};
+        }
+        merge_map!(points, MAX_POINTS);
+        merge_map!(scaled, MAX_POINTS);
+        merge_map!(contexts, MAX_CONTEXTS);
+        merge_map!(fu_stats, MAX_STATS);
+        merge_map!(reg_stats, MAX_STATS);
+        merge_map!(mux_stats, MAX_STATS);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::WorkloadId;
+    use impact_rtl::FingerprintHasher;
+
+    fn context_key(tag: u64) -> ContextKey {
+        let mut hasher = FingerprintHasher::new();
+        hasher.write_u64(tag);
+        ContextKey::new(WorkloadId(u128::from(tag)), hasher.finish())
+    }
+
+    fn sample_context() -> Arc<DesignContext> {
+        Arc::new(DesignContext {
+            base_delays: vec![1.0, 2.0],
+            binding: vec![None, Some(0)],
+            profile: PowerProfile {
+                fus: Vec::new(),
+                regs: Vec::new(),
+                register_bits: 0.0,
+                muxes: Vec::new(),
+                datapath_area: 0.0,
+            },
+        })
+    }
+
+    #[test]
+    fn lookups_count_hits_and_misses() {
+        let cache = InMemoryCache::new();
+        let key = context_key(1);
+        assert!(cache.lookup_context(&key).is_none());
+        cache.store_context(key, sample_context());
+        assert!(cache.lookup_context(&key).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.contexts, 1);
+        assert!(stats.hit_rate() > 0.4 && stats.hit_rate() < 0.6);
+    }
+
+    #[test]
+    fn absorb_merges_entries_without_touching_counters() {
+        let a = InMemoryCache::new();
+        let b = InMemoryCache::new();
+        a.store_context(context_key(1), sample_context());
+        b.store_context(context_key(2), sample_context());
+        // One overlapping key: pure-function entries, either side may win.
+        b.store_context(context_key(1), sample_context());
+        a.absorb(b.export());
+        assert_eq!(a.stats().contexts, 2);
+        assert_eq!(a.stats().hits, 0, "merging is not traffic");
+        assert!(a.lookup_context(&context_key(1)).is_some());
+        assert!(a.lookup_context(&context_key(2)).is_some());
+        // The donor keeps its entries.
+        assert_eq!(b.stats().contexts, 2);
+    }
+
+    #[test]
+    fn merge_is_order_independent_for_identical_pure_entries() {
+        let shard_a = InMemoryCache::new();
+        let shard_b = InMemoryCache::new();
+        for tag in 0..8u64 {
+            shard_a.store_context(context_key(tag), sample_context());
+        }
+        for tag in 4..12u64 {
+            shard_b.store_context(context_key(tag), sample_context());
+        }
+        let ab = InMemoryCache::new();
+        ab.absorb(shard_a.export());
+        ab.absorb(shard_b.export());
+        let ba = InMemoryCache::new();
+        ba.absorb(shard_b.export());
+        ba.absorb(shard_a.export());
+        assert_eq!(ab.stats().contexts, 12);
+        assert_eq!(ba.stats().contexts, 12);
+        for tag in 0..12u64 {
+            assert!(ab.lookup_context(&context_key(tag)).is_some());
+            assert!(ba.lookup_context(&context_key(tag)).is_some());
+        }
+    }
+
+    #[test]
+    fn a_poisoned_mutex_is_recovered_instead_of_cascading() {
+        let cache = Arc::new(InMemoryCache::new());
+        cache.store_context(context_key(7), sample_context());
+        // Poison the lock: a worker panics while holding it. Store/lookup
+        // never run user code under the lock, so the maps stay consistent.
+        let poisoner = Arc::clone(&cache);
+        let result = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("ranking worker dies while holding the cache lock");
+        })
+        .join();
+        assert!(result.is_err(), "the worker must have panicked");
+        assert!(cache.inner.is_poisoned());
+        // Every operation keeps working on the recovered store.
+        assert!(cache.lookup_context(&context_key(7)).is_some());
+        cache.store_context(context_key(8), sample_context());
+        assert_eq!(cache.stats().contexts, 2);
+        let exported = cache.export();
+        assert_eq!(exported.len(), 2);
+        assert!(!exported.is_empty());
+        cache.absorb(exported);
+        assert_eq!(cache.stats().contexts, 2);
+    }
+
+    #[test]
+    fn an_overflowing_merge_keeps_the_map_full_instead_of_clearing_it() {
+        // Two shards that together exceed the capacity bound: the merge must
+        // retain a full map (existing entries plus incoming ones up to the
+        // cap), never wipe the combined work.
+        let target = InMemoryCache::new();
+        for tag in 0..(MAX_CONTEXTS as u64 - 8) {
+            target.store_context(context_key(tag), sample_context());
+        }
+        let donor = InMemoryCache::new();
+        for tag in 0..64u64 {
+            donor.store_context(context_key(1_000_000 + tag), sample_context());
+        }
+        target.absorb(donor.export());
+        let stats = target.stats();
+        assert_eq!(stats.contexts, MAX_CONTEXTS, "map fills up to the bound");
+        assert_eq!(stats.evictions, 1, "the dropped overflow counts once");
+        // Every pre-merge entry survived.
+        for tag in 0..(MAX_CONTEXTS as u64 - 8) {
+            assert!(target.lookup_context(&context_key(tag)).is_some());
+        }
+    }
+
+    #[test]
+    fn capacity_overflow_clears_the_map_and_counts_an_eviction() {
+        let cache = InMemoryCache::new();
+        for tag in 0..(MAX_CONTEXTS as u64 + 1) {
+            cache.store_context(context_key(tag), sample_context());
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.contexts <= MAX_CONTEXTS);
     }
 }

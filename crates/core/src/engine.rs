@@ -12,6 +12,7 @@ use crate::config::{OptimizationMode, SynthesisConfig};
 use crate::error::SynthesisError;
 use crate::evaluate::{DesignPoint, Evaluator};
 use crate::moves::{generate, Move};
+use crate::session::SweepSession;
 
 /// One committed move together with its (possibly negative) gain.
 #[derive(Clone, Debug)]
@@ -68,8 +69,9 @@ pub struct SynthesisOutcome {
     pub report: SynthesisReport,
     /// Committed moves in application order.
     pub history: Vec<MoveRecord>,
-    /// Evaluation-cache counters of the run (all zero for the sequential
-    /// engine configuration).
+    /// Evaluation-cache counters of the session the run used (all zero for
+    /// the sequential engine configuration; cumulative over every run of the
+    /// session when synthesized with a shared [`SweepSession`]).
     pub cache_stats: CacheStats,
 }
 
@@ -104,6 +106,36 @@ impl Impact {
         trace: &ExecutionTrace,
     ) -> Result<SynthesisOutcome, SynthesisError> {
         let evaluator = Evaluator::new(cdfg, trace, self.config.clone())?;
+        self.run_with(cdfg, evaluator)
+    }
+
+    /// [`Self::synthesize`] against a shared [`SweepSession`]: the run reads
+    /// and populates the session's cache instead of a private one, so a sweep
+    /// of runs (different laxity factors, different optimization modes, even
+    /// different benchmarks) shares contexts, trace statistics and design
+    /// points. Results are bit-identical to [`Self::synthesize`] — the cache
+    /// only memoizes pure functions — but a warm session skips most of the
+    /// cold cost.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::synthesize`].
+    pub fn synthesize_with_session(
+        &self,
+        cdfg: &Cdfg,
+        trace: &ExecutionTrace,
+        session: &SweepSession,
+    ) -> Result<SynthesisOutcome, SynthesisError> {
+        let evaluator = Evaluator::with_session(cdfg, trace, self.config.clone(), session)?;
+        self.run_with(cdfg, evaluator)
+    }
+
+    /// The Figure 7 improvement loop over a prepared evaluator.
+    fn run_with(
+        &self,
+        cdfg: &Cdfg,
+        evaluator: Evaluator<'_>,
+    ) -> Result<SynthesisOutcome, SynthesisError> {
         let exclusion = ExclusionInfo::compute(cdfg);
 
         let initial = evaluator.initial_point()?;

@@ -1,12 +1,22 @@
 //! Cost evaluation of RT-level designs: scheduling, power, area and supply
 //! scaling against the laxity constraint.
 //!
-//! Evaluation is *incremental* by default: every [`Evaluator`] owns an
-//! evaluation cache that memoizes trace statistics by structural content,
-//! per-design contexts (base delays + power profile) by design fingerprint,
-//! and full [`DesignPoint`]s by `(fingerprint, vdd)`. The Vdd binary search
-//! therefore schedules each `(design, level)` pair at most once per run, and
-//! re-probes are hash lookups. With the cache disabled
+//! Evaluation is *incremental* by default: every [`Evaluator`] works against
+//! an evaluation session whose cache memoizes trace statistics by structural
+//! content, per-design contexts (base delays + power profile) by design
+//! fingerprint, and full [`DesignPoint`]s by `(workload, fingerprint, vdd)`.
+//! The Vdd binary search therefore schedules each `(design, level)` pair at
+//! most once per session, and re-probes are hash lookups.
+//!
+//! Design points are laxity-*independent*: the cache stores the full
+//! evaluation of every probed `(design, vdd)` pair and the evaluator applies
+//! its own ENC budget at read time, so a [`SweepSession`] shared across runs
+//! with different laxity factors (the Figure 13 sweep) reuses the points,
+//! contexts and statistics of earlier runs. Only the outcome of the full
+//! supply search is keyed by the ENC budget, because the selected supply
+//! depends on it.
+//!
+//! With the cache disabled
 //! ([`EngineConfig::sequential`](crate::EngineConfig::sequential)) the same
 //! code path recomputes everything from scratch per call, which reproduces
 //! the brute-force loop bit-identically — the cache only memoizes pure
@@ -18,14 +28,17 @@ use impact_behsim::ExecutionTrace;
 use impact_cdfg::Cdfg;
 use impact_modlib::{ModuleLibrary, VDD_REFERENCE};
 use impact_power::{PowerBreakdown, PowerEstimator, PowerProfile};
-use impact_rtl::{MuxSite, MuxTree, RtlDesign};
+use impact_rtl::{FingerprintHasher, MuxSite, MuxTree, RtlDesign};
 use impact_sched::{ScheduleConfig, Scheduler, SchedulingProblem, SchedulingResult, WaveScheduler};
 use impact_trace::RtTraces;
 
-use crate::cache::{CacheStats, DesignContext, EvalCache, MuxEntry};
+use crate::cache::{CacheBackend, CacheStats, DesignContext, MuxEntry};
 use crate::config::{OptimizationMode, SynthesisConfig};
 use crate::error::SynthesisError;
-use crate::fingerprint::{FuStatsKey, MuxStatsKey, PointKey, RegStatsKey};
+use crate::fingerprint::{
+    ContextKey, FuStatsKey, MuxStatsKey, PointKey, RegStatsKey, ScaledKey, WorkloadId,
+};
+use crate::session::SweepSession;
 
 /// A fully evaluated design: architecture, schedule, operating point and the
 /// resulting cost metrics.
@@ -73,12 +86,17 @@ pub struct Evaluator<'a> {
     config: SynthesisConfig,
     enc_min: f64,
     enc_limit: f64,
-    /// Shared evaluation cache; clones of the evaluator share one store.
-    cache: Arc<EvalCache>,
+    /// Evaluation session; `None` reproduces the brute-force loop. Clones of
+    /// the evaluator (and every run handed the same external session) share
+    /// one store.
+    session: Option<SweepSession>,
+    /// Content digest scoping this evaluator's cache keys within the session.
+    workload: WorkloadId,
 }
 
 impl<'a> Evaluator<'a> {
-    /// Creates an evaluator and computes the ENC budget.
+    /// Creates an evaluator over a private session (or none, when the engine
+    /// configuration disables caching) and computes the ENC budget.
     ///
     /// # Errors
     ///
@@ -89,13 +107,45 @@ impl<'a> Evaluator<'a> {
         trace: &'a ExecutionTrace,
         config: SynthesisConfig,
     ) -> Result<Self, SynthesisError> {
+        let session = config.engine.cache.then(SweepSession::new);
+        Self::build(cdfg, trace, config, session)
+    }
+
+    /// Creates an evaluator sharing an external [`SweepSession`]: later runs
+    /// over the same workload reuse the contexts, trace statistics and design
+    /// points of earlier ones, including runs at *different* laxity factors.
+    /// An external session implies caching regardless of
+    /// [`EngineConfig::cache`](crate::EngineConfig).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::new`].
+    pub fn with_session(
+        cdfg: &'a Cdfg,
+        trace: &'a ExecutionTrace,
+        config: SynthesisConfig,
+        session: &SweepSession,
+    ) -> Result<Self, SynthesisError> {
+        Self::build(cdfg, trace, config, Some(session.clone()))
+    }
+
+    fn build(
+        cdfg: &'a Cdfg,
+        trace: &'a ExecutionTrace,
+        config: SynthesisConfig,
+        session: Option<SweepSession>,
+    ) -> Result<Self, SynthesisError> {
         if config.laxity < 1.0 {
             return Err(SynthesisError::InfeasibleLaxity {
                 laxity: config.laxity,
             });
         }
         let library = ModuleLibrary::standard();
-        let cache = Arc::new(EvalCache::new(config.engine.cache));
+        let workload = if session.is_some() {
+            workload_id(cdfg, trace, &config)
+        } else {
+            WorkloadId::default()
+        };
         let mut evaluator = Self {
             cdfg,
             trace,
@@ -103,12 +153,22 @@ impl<'a> Evaluator<'a> {
             config,
             enc_min: 0.0,
             enc_limit: f64::INFINITY,
-            cache,
+            session,
+            workload,
         };
         let initial = RtlDesign::initial_parallel(cdfg, &evaluator.library);
-        let schedule = evaluator.schedule(&initial, VDD_REFERENCE)?;
-        evaluator.enc_min = schedule.enc;
-        evaluator.enc_limit = schedule.enc * evaluator.config.laxity;
+        // With a session the minimum-ENC schedule goes through the cached
+        // point path, so repeat runs of a sweep (and the subsequent
+        // `initial_point` of this run) reuse it; without one, schedule
+        // directly.
+        evaluator.enc_min = if evaluator.session.is_some() {
+            evaluator
+                .raw_point_at(&initial, initial.fingerprint(), VDD_REFERENCE)?
+                .enc()
+        } else {
+            evaluator.schedule(&initial, VDD_REFERENCE)?.enc
+        };
+        evaluator.enc_limit = evaluator.enc_min * evaluator.config.laxity;
         Ok(evaluator)
     }
 
@@ -132,6 +192,21 @@ impl<'a> Evaluator<'a> {
         &self.config
     }
 
+    /// The evaluation session, when caching is active.
+    pub fn session(&self) -> Option<&SweepSession> {
+        self.session.as_ref()
+    }
+
+    /// The workload digest scoping this evaluator's cache keys.
+    pub fn workload(&self) -> WorkloadId {
+        self.workload
+    }
+
+    /// The cache backend, when caching is active.
+    fn backend(&self) -> Option<&Arc<dyn CacheBackend>> {
+        self.session.as_ref().map(SweepSession::backend)
+    }
+
     /// Builds and evaluates the initial fully-parallel architecture.
     ///
     /// # Errors
@@ -146,9 +221,13 @@ impl<'a> Evaluator<'a> {
             })
     }
 
-    /// Snapshot of the evaluation-cache counters.
+    /// Snapshot of the evaluation-cache counters (cumulative over the whole
+    /// session when an external session is shared across runs).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.session
+            .as_ref()
+            .map(SweepSession::stats)
+            .unwrap_or_default()
     }
 
     /// Fully evaluates a design: checks feasibility at the reference supply,
@@ -170,13 +249,19 @@ impl<'a> Evaluator<'a> {
         &self,
         design: &RtlDesign,
     ) -> Result<Option<Arc<DesignPoint>>, SynthesisError> {
-        if self.cache.is_enabled() {
+        if let Some(backend) = self.backend() {
             let fingerprint = design.fingerprint();
-            if let Some(cached) = self.cache.lookup_scaled(&fingerprint) {
+            let key = ScaledKey::new(
+                self.workload,
+                fingerprint,
+                self.enc_limit,
+                self.config.vdd_scaling,
+            );
+            if let Some(cached) = backend.lookup_scaled(&key) {
                 return Ok(cached);
             }
             let result = self.evaluate_scaled(design, Some(fingerprint))?;
-            self.cache.store_scaled(fingerprint, result.clone());
+            backend.store_scaled(key, result.clone());
             Ok(result)
         } else {
             self.evaluate_scaled(design, None)
@@ -235,7 +320,7 @@ impl<'a> Evaluator<'a> {
         design: &RtlDesign,
         vdd: f64,
     ) -> Result<Option<Arc<DesignPoint>>, SynthesisError> {
-        if self.cache.is_enabled() {
+        if self.session.is_some() {
             self.point_at(design, design.fingerprint(), vdd)
         } else {
             let context = self.build_context(design);
@@ -245,28 +330,62 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// Cache-enabled single-level evaluation with a precomputed fingerprint.
+    /// Cache-enabled single-level evaluation with a precomputed fingerprint:
+    /// the memoized point (laxity-independent) passed through this
+    /// evaluator's ENC-budget filter.
     fn point_at(
         &self,
         design: &RtlDesign,
         fingerprint: impact_rtl::DesignFingerprint,
         vdd: f64,
     ) -> Result<Option<Arc<DesignPoint>>, SynthesisError> {
-        let key = PointKey::new(fingerprint, vdd);
-        if let Some(cached) = self.cache.lookup_point(&key) {
+        let point = self.raw_point_at(design, fingerprint, vdd)?;
+        Ok(self.within_budget(point))
+    }
+
+    /// Fetches (or computes and memoizes) the full evaluation of a design at
+    /// one supply level, *without* applying the ENC budget — this is what
+    /// makes the entry reusable by runs at other laxity factors.
+    fn raw_point_at(
+        &self,
+        design: &RtlDesign,
+        fingerprint: impact_rtl::DesignFingerprint,
+        vdd: f64,
+    ) -> Result<Arc<DesignPoint>, SynthesisError> {
+        let backend = self
+            .backend()
+            .expect("raw_point_at is only reachable with a session");
+        let key = PointKey::new(self.workload, fingerprint, vdd);
+        if let Some(cached) = backend.lookup_point(&key) {
             return Ok(cached);
         }
         let context = self.context_for(design, fingerprint);
-        let point = self
-            .evaluate_with_context(&context, design, vdd)?
-            .map(Arc::new);
-        self.cache.store_point(key, point.clone());
+        let schedule = self.schedule_with_context(&context, vdd)?;
+        // The full point (power at both supplies, area, design clone) is
+        // built even when this evaluator's budget will reject it: a budget
+        // check here would make the entry depend on the laxity factor and
+        // kill cross-laxity sharing. The extra arithmetic is small next to
+        // the scheduling pass above, and a run at a looser budget gets the
+        // finished point for free.
+        let point = Arc::new(self.point_from_schedule(&context, design, vdd, schedule));
+        backend.store_point(key, point.clone());
         Ok(point)
     }
 
-    /// The per-level evaluation: schedule from the context's base delays,
-    /// check the ENC budget, then derive power and area from the context's
-    /// supply-independent profile (pure arithmetic per level).
+    /// This evaluator's ENC-budget filter: the read-time counterpart of the
+    /// feasibility check the uncached path applies at computation time.
+    fn within_budget(&self, point: Arc<DesignPoint>) -> Option<Arc<DesignPoint>> {
+        if point.enc() > self.enc_limit + 1e-9 {
+            None
+        } else {
+            Some(point)
+        }
+    }
+
+    /// The per-level evaluation of the uncached path: schedule from the
+    /// context's base delays, check the ENC budget, then derive power and
+    /// area from the context's supply-independent profile (pure arithmetic
+    /// per level).
     fn evaluate_with_context(
         &self,
         context: &DesignContext,
@@ -277,6 +396,21 @@ impl<'a> Evaluator<'a> {
         if schedule.enc > self.enc_limit + 1e-9 {
             return Ok(None);
         }
+        Ok(Some(
+            self.point_from_schedule(context, design, vdd, schedule),
+        ))
+    }
+
+    /// Derives the full design point from a schedule: power at the probed and
+    /// the reference supply plus area, all from the context's
+    /// supply-independent profile.
+    fn point_from_schedule(
+        &self,
+        context: &DesignContext,
+        design: &RtlDesign,
+        vdd: f64,
+        schedule: SchedulingResult,
+    ) -> DesignPoint {
         let estimator = PowerEstimator::new(&self.library, self.config.power.clone().at_vdd(vdd));
         let power = estimator.estimate_profiled(&context.profile, &schedule);
         let area = estimator.area_profiled(&context.profile, &schedule);
@@ -289,14 +423,14 @@ impl<'a> Evaluator<'a> {
             );
             ref_estimator.estimate_profiled(&context.profile, &schedule)
         };
-        Ok(Some(DesignPoint {
+        DesignPoint {
             design: design.clone(),
             schedule,
             vdd,
             power,
             power_at_reference,
             area,
-        }))
+        }
     }
 
     /// Fetches (or builds and memoizes) the reusable evaluation context of a
@@ -306,38 +440,43 @@ impl<'a> Evaluator<'a> {
         design: &RtlDesign,
         fingerprint: impact_rtl::DesignFingerprint,
     ) -> Arc<DesignContext> {
-        if let Some(context) = self.cache.lookup_context(&fingerprint) {
+        let Some(backend) = self.backend() else {
+            return Arc::new(self.build_context(design));
+        };
+        let key = ContextKey::new(self.workload, fingerprint);
+        if let Some(context) = backend.lookup_context(&key) {
             return context;
         }
         let context = Arc::new(self.build_context(design));
-        self.cache.store_context(fingerprint, context.clone());
+        backend.store_context(key, context.clone());
         context
     }
 
     /// Builds the evaluation context: base delays at the reference supply,
-    /// the scheduler binding and the power profile. With the cache enabled,
-    /// trace statistics are memoized by content, so contexts of sibling
-    /// candidate designs share almost all of the underlying trace traversals;
-    /// with it disabled no keys are even constructed — the brute-force
-    /// baseline pays no cache overhead.
+    /// the scheduler binding and the power profile. With a session, trace
+    /// statistics are memoized by content, so contexts of sibling candidate
+    /// designs share almost all of the underlying trace traversals; without
+    /// one no keys are even constructed — the brute-force baseline pays no
+    /// cache overhead.
     fn build_context(&self, design: &RtlDesign) -> DesignContext {
         let rt = RtTraces::new(self.cdfg, design, self.trace);
         let base_delays = self.base_delays(design, &rt);
-        let profile = if self.cache.is_enabled() {
+        let profile = if let Some(backend) = self.backend() {
             PowerProfile::assemble(
                 &self.library,
                 self.cdfg,
                 design,
                 |fu, unit| {
                     let key = FuStatsKey {
+                        workload: self.workload,
                         ops: design.ops_on(fu),
                         width: unit.width,
                     };
-                    let stats = match self.cache.lookup_fu(&key) {
+                    let stats = match backend.lookup_fu(&key) {
                         Some(stats) => stats,
                         None => {
                             let stats = rt.fu_stats(fu);
-                            self.cache.store_fu(key, stats);
+                            backend.store_fu(key, stats);
                             stats
                         }
                     };
@@ -345,14 +484,15 @@ impl<'a> Evaluator<'a> {
                 },
                 |reg, register| {
                     let key = RegStatsKey {
+                        workload: self.workload,
                         variables: register.variables.clone(),
                         width: register.width,
                     };
-                    let stats = match self.cache.lookup_reg(&key) {
+                    let stats = match backend.lookup_reg(&key) {
                         Some(stats) => stats,
                         None => {
                             let stats = rt.register_stats(reg);
-                            self.cache.store_reg(key, stats);
+                            backend.store_reg(key, stats);
                             stats
                         }
                     };
@@ -382,15 +522,15 @@ impl<'a> Evaluator<'a> {
         site: &MuxSite,
         restructured: bool,
     ) -> MuxEntry {
-        if !self.cache.is_enabled() {
+        let Some(backend) = self.backend() else {
             return compute_mux_entry(rt, site, restructured);
-        }
-        let key = MuxStatsKey::of(design, site, restructured);
-        if let Some(entry) = self.cache.lookup_mux(&key) {
+        };
+        let key = MuxStatsKey::of(self.workload, design, site, restructured);
+        if let Some(entry) = backend.lookup_mux(&key) {
             return entry;
         }
         let entry = compute_mux_entry(rt, site, restructured);
-        self.cache.store_mux(key, entry.clone());
+        backend.store_mux(key, entry.clone());
         entry
     }
 
@@ -485,6 +625,21 @@ impl<'a> Evaluator<'a> {
         }
         delays
     }
+}
+
+/// Content digest of the evaluation workload: the trace (which embeds the
+/// CDFG's dynamic behavior) plus the technology parameters shared by every
+/// design evaluated under it. The laxity factor, optimization mode and
+/// search-effort knobs are deliberately excluded — they steer the *search*,
+/// not the value of any cached entry — which is what lets one session serve a
+/// whole multi-laxity, multi-mode sweep.
+fn workload_id(cdfg: &Cdfg, trace: &ExecutionTrace, config: &SynthesisConfig) -> WorkloadId {
+    let mut hasher = FingerprintHasher::new();
+    hasher.write_tag(0x5E);
+    hasher.write_u128(impact_trace::workload_digest(cdfg, trace));
+    hasher.write_f64(config.clock_ns);
+    config.power.fingerprint_into(&mut hasher);
+    WorkloadId(hasher.finish().as_u128())
 }
 
 /// Statistics of one mux site: the tree's switching activity, every source's
@@ -779,5 +934,112 @@ mod tests {
         assert!((point.power.total_mw() - point.power_at_reference.total_mw()).abs() < 1e-12);
         assert!(point.cost(OptimizationMode::Area) > 0.0);
         assert!(point.cost(OptimizationMode::Power) > 0.0);
+    }
+
+    #[test]
+    fn a_shared_session_reuses_points_across_laxity_factors() {
+        // The laxity-independent point map must serve evaluators with
+        // different ENC budgets, each applying its own budget at read time.
+        let (cdfg, trace, _) = gcd_setup(2.0);
+        let session = SweepSession::new();
+        let relaxed = Evaluator::with_session(
+            &cdfg,
+            &trace,
+            SynthesisConfig::power_optimized(2.5),
+            &session,
+        )
+        .unwrap();
+        let mut design = RtlDesign::initial_parallel(&cdfg, relaxed.library());
+        let adders = design.units_of_class(impact_cdfg::OpClass::AddSub);
+        design.share_fus(adders[0], adders[1]).unwrap();
+        let relaxed_point = relaxed.evaluate_at_vdd(&design, VDD_REFERENCE).unwrap();
+        assert!(relaxed_point.is_some(), "feasible under a loose budget");
+
+        let misses_after_relaxed = session.stats().misses;
+        let tight = Evaluator::with_session(
+            &cdfg,
+            &trace,
+            SynthesisConfig::power_optimized(1.0),
+            &session,
+        )
+        .unwrap();
+        let tight_point = tight.evaluate_at_vdd(&design, VDD_REFERENCE).unwrap();
+        // The shared design misses nothing new at the reference level …
+        assert_eq!(
+            session.stats().misses,
+            misses_after_relaxed,
+            "the tight-budget evaluator must hit the relaxed run's entries"
+        );
+        // … and cold evaluation agrees with whatever the filter decided.
+        let cold = Evaluator::new(&cdfg, &trace, SynthesisConfig::power_optimized(1.0)).unwrap();
+        assert_eq!(
+            tight_point,
+            cold.evaluate_at_vdd(&design, VDD_REFERENCE).unwrap()
+        );
+
+        // Full evaluations (supply search) also agree per laxity.
+        let cold_relaxed =
+            Evaluator::new(&cdfg, &trace, SynthesisConfig::power_optimized(2.5)).unwrap();
+        assert_eq!(
+            relaxed.evaluate(&design).unwrap(),
+            cold_relaxed.evaluate(&design).unwrap()
+        );
+        assert_eq!(tight.evaluate(&design).unwrap(), {
+            let cold_tight =
+                Evaluator::new(&cdfg, &trace, SynthesisConfig::power_optimized(1.0)).unwrap();
+            cold_tight.evaluate(&design).unwrap()
+        });
+    }
+
+    #[test]
+    fn workloads_do_not_collide_across_traces_or_clocks() {
+        let (cdfg, trace, config) = gcd_setup(2.0);
+        let bench = impact_benchmarks::gcd();
+        let other_trace = simulate(&cdfg, &bench.input_sequences(16, 4)).unwrap();
+        let session = SweepSession::new();
+        let a = Evaluator::with_session(&cdfg, &trace, config.clone(), &session).unwrap();
+        let b = Evaluator::with_session(&cdfg, &other_trace, config.clone(), &session).unwrap();
+        let c = Evaluator::with_session(&cdfg, &trace, config.clone().with_clock(25.0), &session)
+            .unwrap();
+        assert_ne!(
+            a.workload(),
+            b.workload(),
+            "different inputs, different keys"
+        );
+        assert_ne!(
+            a.workload(),
+            c.workload(),
+            "different clock, different keys"
+        );
+        // Same workload, same keys: a sibling evaluator over the same inputs.
+        let d = Evaluator::with_session(&cdfg, &trace, config, &session).unwrap();
+        assert_eq!(a.workload(), d.workload());
+    }
+
+    #[test]
+    fn merged_shard_sessions_answer_like_a_shared_one() {
+        let (cdfg, trace, config) = gcd_setup(2.0);
+        let shard_a = SweepSession::new();
+        let shard_b = SweepSession::new();
+        let eval_a = Evaluator::with_session(&cdfg, &trace, config.clone(), &shard_a).unwrap();
+        let eval_b = Evaluator::with_session(&cdfg, &trace, config.clone(), &shard_b).unwrap();
+        let design_a = RtlDesign::initial_parallel(&cdfg, eval_a.library());
+        let mut design_b = design_a.clone();
+        let adders = design_b.units_of_class(impact_cdfg::OpClass::AddSub);
+        design_b.share_fus(adders[0], adders[1]).unwrap();
+        let point_a = eval_a.evaluate(&design_a).unwrap();
+        let point_b = eval_b.evaluate(&design_b).unwrap();
+
+        let merged = SweepSession::new();
+        merged.merge_from(&shard_a);
+        merged.merge_from(&shard_b);
+        let eval_m = Evaluator::with_session(&cdfg, &trace, config, &merged).unwrap();
+        let hits_before = merged.stats().hits;
+        assert_eq!(eval_m.evaluate(&design_a).unwrap(), point_a);
+        assert_eq!(eval_m.evaluate(&design_b).unwrap(), point_b);
+        assert!(
+            merged.stats().hits > hits_before,
+            "merged entries must serve lookups"
+        );
     }
 }

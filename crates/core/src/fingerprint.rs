@@ -2,35 +2,109 @@
 //!
 //! Evaluation results are memoized at three granularities:
 //!
-//! * whole design points, keyed by [`PointKey`] (design fingerprint plus the
-//!   exact supply-voltage bits),
-//! * per-design contexts (base delays plus power profile), keyed by the
-//!   [`impact_rtl::DesignFingerprint`] alone,
+//! * whole design points, keyed by [`PointKey`] (workload, design fingerprint
+//!   and the exact supply-voltage bits) — deliberately *independent* of the
+//!   laxity constraint, so sweep sessions share points across `enc_limit`
+//!   values and apply the ENC budget at read time,
+//! * per-design contexts (base delays plus power profile), keyed by
+//!   [`ContextKey`] (workload and fingerprint), and the outcome of the full
+//!   supply search, keyed by [`ScaledKey`] (which *does* carry the ENC budget
+//!   — the selected supply depends on it),
 //! * raw trace statistics, keyed by the *content* of the resource they
 //!   describe ([`FuStatsKey`], [`RegStatsKey`], [`MuxStatsKey`]) rather than
 //!   by resource ids — candidate designs in one ranking stage differ from the
 //!   working design by a single move, so almost every unit, register and mux
 //!   site of a candidate hits statistics already computed for its siblings.
+//!
+//! Every key embeds the [`WorkloadId`] of the `(CDFG, trace, technology)`
+//! combination it was computed under, so one shared
+//! [`SweepSession`](crate::SweepSession) can serve jobs over *different*
+//! benchmarks without id collisions, and independently populated shard caches
+//! merge without ambiguity.
 
 use impact_cdfg::NodeId;
 use impact_cdfg::VarId;
 use impact_rtl::{DesignFingerprint, MuxSite, RtlDesign, SignalKey};
 
-/// Key of one fully evaluated design point.
+/// Content digest of one evaluation workload: the CDFG, the execution trace
+/// and the technology parameters (clock period, power configuration) shared
+/// by every design evaluated under it. Scopes all cache keys of a session.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct WorkloadId(pub(crate) u128);
+
+impl WorkloadId {
+    /// Raw digest value.
+    pub fn as_u128(self) -> u128 {
+        self.0
+    }
+}
+
+/// Key of one fully evaluated design point (laxity-independent).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub(crate) struct PointKey {
+pub struct PointKey {
+    /// Workload the point was evaluated under.
+    pub(crate) workload: WorkloadId,
     /// Structural fingerprint of the design.
-    pub design: DesignFingerprint,
+    pub(crate) design: DesignFingerprint,
     /// Bit pattern of the supply voltage the point was evaluated at.
-    pub vdd_bits: u64,
+    pub(crate) vdd_bits: u64,
 }
 
 impl PointKey {
-    pub(crate) fn new(design: DesignFingerprint, vdd: f64) -> Self {
+    pub(crate) fn new(workload: WorkloadId, design: DesignFingerprint, vdd: f64) -> Self {
         Self {
+            workload,
             design,
             vdd_bits: vdd.to_bits(),
         }
+    }
+}
+
+/// Key of the outcome of one full supply search. Unlike [`PointKey`] it
+/// carries the ENC budget and the scaling mode: the *search result* (which
+/// supply wins, or infeasibility) depends on both, even though the per-level
+/// points it probes do not.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ScaledKey {
+    /// Workload the search ran under.
+    pub(crate) workload: WorkloadId,
+    /// Structural fingerprint of the design.
+    pub(crate) design: DesignFingerprint,
+    /// Bit pattern of the ENC budget the search was constrained to.
+    pub(crate) enc_limit_bits: u64,
+    /// Whether supply scaling was enabled (`false` pins the reference
+    /// supply).
+    pub(crate) vdd_scaling: bool,
+}
+
+impl ScaledKey {
+    pub(crate) fn new(
+        workload: WorkloadId,
+        design: DesignFingerprint,
+        enc_limit: f64,
+        vdd_scaling: bool,
+    ) -> Self {
+        Self {
+            workload,
+            design,
+            enc_limit_bits: enc_limit.to_bits(),
+            vdd_scaling,
+        }
+    }
+}
+
+/// Key of one per-design evaluation context (laxity-independent).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ContextKey {
+    /// Workload the context was built under.
+    pub(crate) workload: WorkloadId,
+    /// Structural fingerprint of the design.
+    pub(crate) design: DesignFingerprint,
+}
+
+impl ContextKey {
+    pub(crate) fn new(workload: WorkloadId, design: DesignFingerprint) -> Self {
+        Self { workload, design }
     }
 }
 
@@ -52,24 +126,27 @@ pub(crate) enum SignalContent {
 /// Key of per-unit trace statistics: the merged operations plus the width the
 /// activity is normalized to.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-pub(crate) struct FuStatsKey {
-    pub ops: Vec<NodeId>,
-    pub width: u8,
+pub struct FuStatsKey {
+    pub(crate) workload: WorkloadId,
+    pub(crate) ops: Vec<NodeId>,
+    pub(crate) width: u8,
 }
 
 /// Key of per-register trace statistics.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-pub(crate) struct RegStatsKey {
-    pub variables: Vec<VarId>,
-    pub width: u8,
+pub struct RegStatsKey {
+    pub(crate) workload: WorkloadId,
+    pub(crate) variables: Vec<VarId>,
+    pub(crate) width: u8,
 }
 
 /// Key of per-mux-site statistics: the site's sources by content identity (in
 /// site order, which fixes the tree shape) plus the tree construction used.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-pub(crate) struct MuxStatsKey {
-    pub sources: Vec<(SignalContent, Vec<NodeId>)>,
-    pub restructured: bool,
+pub struct MuxStatsKey {
+    pub(crate) workload: WorkloadId,
+    pub(crate) sources: Vec<(SignalContent, Vec<NodeId>)>,
+    pub(crate) restructured: bool,
 }
 
 impl SignalContent {
@@ -89,8 +166,14 @@ impl SignalContent {
 }
 
 impl MuxStatsKey {
-    pub(crate) fn of(design: &RtlDesign, site: &MuxSite, restructured: bool) -> Self {
+    pub(crate) fn of(
+        workload: WorkloadId,
+        design: &RtlDesign,
+        site: &MuxSite,
+        restructured: bool,
+    ) -> Self {
         Self {
+            workload,
             sources: site
                 .sources
                 .iter()

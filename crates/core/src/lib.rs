@@ -41,10 +41,15 @@ mod error;
 mod evaluate;
 mod fingerprint;
 mod moves;
+mod session;
 
-pub use cache::CacheStats;
+pub use cache::{CacheBackend, CacheSnapshot, CacheStats, DesignContext, InMemoryCache, MuxEntry};
 pub use config::{EngineConfig, OptimizationMode, SynthesisConfig};
 pub use engine::{Impact, MoveRecord, SynthesisOutcome, SynthesisReport};
 pub use error::SynthesisError;
 pub use evaluate::{DesignPoint, Evaluator};
+pub use fingerprint::{
+    ContextKey, FuStatsKey, MuxStatsKey, PointKey, RegStatsKey, ScaledKey, WorkloadId,
+};
 pub use moves::Move;
+pub use session::SweepSession;

@@ -1,0 +1,90 @@
+//! Sweep sessions: one cache shared across many synthesis runs.
+//!
+//! The paper's signature experiment (Figure 13) runs the same benchmark at
+//! 11 laxity points, yet almost everything evaluation computes — trace
+//! statistics, per-design contexts, design points on the supply grid — is
+//! laxity-independent. A [`SweepSession`] hoists the evaluation cache out of
+//! the per-run [`Evaluator`](crate::Evaluator) so those values survive across
+//! runs: hand one session to every run of a sweep (or to every job of a batch
+//! driver) and only the first run pays the cold cost.
+//!
+//! Sessions are `Arc`-shared handles: cloning a session clones the handle,
+//! not the store, so scoped worker threads can synthesize concurrently
+//! against one cache. Independently populated sessions (e.g. shards of a
+//! distributed candidate search) combine with [`SweepSession::merge_from`],
+//! which is deterministic because every cache entry is a pure function of its
+//! key.
+//!
+//! ```
+//! use impact_core::{Impact, SweepSession, SynthesisConfig};
+//!
+//! let bench = impact_benchmarks::gcd();
+//! let cdfg = bench.compile()?;
+//! let trace = impact_behsim::simulate(&cdfg, &bench.input_sequences(12, 7))?;
+//! let session = SweepSession::new();
+//! let mut last_power = f64::INFINITY;
+//! for laxity in [1.0, 2.0, 3.0] {
+//!     let config = SynthesisConfig::power_optimized(laxity).with_effort(2, 3);
+//!     let outcome = Impact::new(config).synthesize_with_session(&cdfg, &trace, &session)?;
+//!     assert!(outcome.report.power_mw <= last_power + 1e-9);
+//!     last_power = outcome.report.power_mw;
+//! }
+//! assert!(session.stats().hits > 0, "later runs reuse the earlier runs' work");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::sync::Arc;
+
+use crate::cache::{CacheBackend, CacheStats, InMemoryCache};
+
+/// A shared, mergeable evaluation-cache handle spanning synthesis runs.
+///
+/// Every run handed the same session (via
+/// [`Impact::synthesize_with_session`](crate::Impact::synthesize_with_session)
+/// or [`Evaluator::with_session`](crate::Evaluator::with_session)) reads and
+/// writes one store. Results are bit-identical to independent cold runs:
+/// cache keys embed the workload (CDFG, trace, technology) and the entries
+/// are pure functions of their keys, so sharing changes wall-clock, never
+/// outcomes.
+#[derive(Clone, Debug)]
+pub struct SweepSession {
+    backend: Arc<dyn CacheBackend>,
+}
+
+impl SweepSession {
+    /// Creates a session over a fresh in-process store.
+    pub fn new() -> Self {
+        Self::with_backend(Arc::new(InMemoryCache::new()))
+    }
+
+    /// Creates a session over a caller-provided backend (e.g. a custom store
+    /// wrapping [`InMemoryCache`]).
+    pub fn with_backend(backend: Arc<dyn CacheBackend>) -> Self {
+        Self { backend }
+    }
+
+    /// The shared storage backend.
+    pub fn backend(&self) -> &Arc<dyn CacheBackend> {
+        &self.backend
+    }
+
+    /// Snapshot of the session's cache counters (cumulative over every run
+    /// that used the session).
+    pub fn stats(&self) -> CacheStats {
+        self.backend.stats()
+    }
+
+    /// Merges every entry of `other` into this session. Deterministic: cache
+    /// entries are pure functions of their keys, so overlapping keys carry
+    /// interchangeable values and merge order cannot influence later lookups.
+    /// `other` keeps its entries; traffic counters are not transferred.
+    pub fn merge_from(&self, other: &SweepSession) {
+        self.backend.absorb(other.backend.export());
+    }
+}
+
+impl Default for SweepSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -52,6 +52,24 @@ impl PowerConfig {
         self.vdd = vdd;
         self
     }
+
+    /// Feeds the technology parameters that influence estimation into a
+    /// content digest (the supply voltage is deliberately excluded: evaluation
+    /// caches key supply-dependent results by the probed Vdd, and the config's
+    /// own `vdd` field is overridden per probe via [`Self::at_vdd`]).
+    pub fn fingerprint_into(&self, hasher: &mut impact_rtl::FingerprintHasher) {
+        hasher.write_tag(0xB7);
+        for parameter in [
+            self.controller_cap_per_state_pf,
+            self.controller_cap_per_transition_pf,
+            self.clock_cap_per_bit_pf,
+            self.controller_area_per_state,
+            self.controller_area_per_transition,
+            self.idle_switching_fraction,
+        ] {
+            hasher.write_f64(parameter);
+        }
+    }
 }
 
 /// Average power split over the RT-level structures, in milliwatts.

@@ -71,6 +71,22 @@ impl FingerprintHasher {
         self.write_u64(0x7a67_0000_0000_0000 | u64::from(tag));
     }
 
+    /// Feeds one signed 64-bit word (two's-complement bit pattern).
+    pub fn write_i64(&mut self, value: i64) {
+        self.write_u64(value as u64);
+    }
+
+    /// Feeds the exact bit pattern of a float (no rounding, `-0.0 != 0.0`).
+    pub fn write_f64(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+
+    /// Feeds a length-prefixed 128-bit word (e.g. another digest).
+    pub fn write_u128(&mut self, value: u128) {
+        self.write_u64(value as u64);
+        self.write_u64((value >> 64) as u64);
+    }
+
     /// Finalizes the digest.
     pub fn finish(&self) -> DesignFingerprint {
         DesignFingerprint((u128::from(self.hi) << 64) | u128::from(self.lo))

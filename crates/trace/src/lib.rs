@@ -26,6 +26,8 @@
 
 mod activity;
 mod rt;
+mod workload;
 
 pub use activity::{hamming_distance, sequence_activity, toggle_count};
 pub use rt::{FuStats, RegStats, RtTraces};
+pub use workload::workload_digest;

@@ -55,7 +55,9 @@ pub mod prelude {
     pub use impact_behsim::{simulate, ExecutionTrace};
     pub use impact_benchmarks::{all_benchmarks, Benchmark};
     pub use impact_cdfg::{Cdfg, CdfgBuilder, NodeId, Operation};
-    pub use impact_core::{Impact, OptimizationMode, SynthesisConfig, SynthesisOutcome};
+    pub use impact_core::{
+        Impact, OptimizationMode, SweepSession, SynthesisConfig, SynthesisOutcome,
+    };
     pub use impact_hdl::compile;
     pub use impact_modlib::ModuleLibrary;
     pub use impact_power::{PowerBreakdown, PowerEstimator};
