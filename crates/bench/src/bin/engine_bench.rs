@@ -13,7 +13,9 @@
 
 use std::io::Write as _;
 
-use impact_bench::{engine_comparison, EngineComparison, DEFAULT_EFFORT, DEFAULT_PASSES};
+use impact_bench::{
+    engine_comparison, format_layer_stats, EngineComparison, DEFAULT_EFFORT, DEFAULT_PASSES,
+};
 
 /// The example designs the comparison runs on, smallest first.
 fn designs() -> Vec<impact_benchmarks::Benchmark> {
@@ -102,6 +104,7 @@ fn main() {
             result.identical,
             hit_rate,
         );
+        println!("{:>10} layers: {}", "", format_layer_stats(&result.cache));
         results.push(result);
     }
 

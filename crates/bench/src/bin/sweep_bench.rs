@@ -17,8 +17,8 @@
 use std::io::Write as _;
 
 use impact_bench::{
-    paper_laxities, quick_laxities, sweep_comparison, SweepComparison, DEFAULT_EFFORT,
-    DEFAULT_PASSES,
+    format_layer_stats, paper_laxities, quick_laxities, sweep_comparison, SweepComparison,
+    DEFAULT_EFFORT, DEFAULT_PASSES,
 };
 
 /// The example designs the comparison runs on, smallest first.
@@ -139,6 +139,11 @@ fn main() {
             result.merged_identical,
             100.0 * result.shared_cache.hit_rate(),
             100.0 * result.merged_cache.hit_rate(),
+        );
+        println!(
+            "{:>10} shared layers: {}",
+            "",
+            format_layer_stats(&result.shared_cache)
         );
         results.push(result);
     }

@@ -392,6 +392,129 @@ pub fn batches_identical(a: &[JobResult], b: &[JobResult]) -> bool {
             .all(|(x, y)| reports_identical(&x.outcome.report, &y.outcome.report))
 }
 
+/// One-line rendering of the per-layer cache counters, for the bench
+/// summaries: `layer hits/misses (hit%)` from cheapest to most expensive to
+/// recompute.
+pub fn format_layer_stats(stats: &CacheStats) -> String {
+    let layer = |name: &str, layer: impact_core::LayerStats| {
+        format!(
+            "{name} {}/{} ({:.1}%)",
+            layer.hits,
+            layer.misses,
+            100.0 * layer.hit_rate()
+        )
+    };
+    format!(
+        "{} | {} | {} | {} | {}",
+        layer("stats", stats.trace_stats),
+        layer("context", stats.context),
+        layer("schedule", stats.schedule),
+        layer("point", stats.point),
+        layer("scaled", stats.scaled),
+    )
+}
+
+/// One benchmark's three-way delta-evaluation comparison over the same
+/// laxity sweep:
+///
+/// * **cold** — the PR 2 evaluator: full-rebuild engine, one private cache
+///   per run (no cross-run sharing),
+/// * **shared** — the PR 3 path: full-rebuild engine over one shared
+///   [`SweepSession`],
+/// * **delta** — this PR: move-delta patched fingerprints/contexts plus
+///   schedule memoization over one shared session.
+///
+/// All three must produce bit-identical reports, job for job.
+#[derive(Clone, Debug)]
+pub struct DeltaComparison {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Number of laxity points swept.
+    pub laxity_points: usize,
+    /// Wall-clock of the cold full-rebuild sweep (per-run caches), in ms.
+    pub cold_ms: f64,
+    /// Wall-clock of the shared-session full-rebuild sweep, in ms.
+    pub shared_ms: f64,
+    /// Wall-clock of the shared-session delta sweep, in ms.
+    pub delta_ms: f64,
+    /// Whether every job of all three sweeps reported bit-identically.
+    pub identical: bool,
+    /// Cache counters of the delta sweep's session.
+    pub delta_cache: CacheStats,
+}
+
+impl DeltaComparison {
+    /// Cold (PR 2) over delta wall-clock.
+    pub fn speedup_vs_cold(&self) -> f64 {
+        if self.delta_ms > 0.0 {
+            self.cold_ms / self.delta_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Shared-session (PR 3) over delta wall-clock: the contribution of
+    /// delta patching and schedule memoization alone.
+    pub fn speedup_vs_shared(&self) -> f64 {
+        if self.delta_ms > 0.0 {
+            self.shared_ms / self.delta_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs one benchmark's Figure 13 sweep through the three evaluator
+/// generations (cold rebuild, shared rebuild, shared delta) on a single
+/// worker (so per-sweep timing stays honest) and checks all three agree
+/// bit-for-bit. `effort` is `(max_passes, max_sequence_length)`.
+pub fn delta_comparison(
+    bench: &Benchmark,
+    laxities: &[f64],
+    passes: usize,
+    effort: (usize, usize),
+) -> DeltaComparison {
+    let (cdfg, trace) = prepare(bench, passes, DEFAULT_SEED);
+    let jobs_with = |engine: EngineConfig| -> Vec<SweepJob<'_>> {
+        figure13_jobs(&cdfg, &trace, laxities, effort)
+            .into_iter()
+            .map(|mut job| {
+                job.config = job.config.with_engine(engine);
+                job
+            })
+            .collect()
+    };
+
+    // PR 2 baseline: full rebuild, a fresh private cache per run.
+    let cold_jobs = jobs_with(EngineConfig::full_rebuild());
+    let started = Instant::now();
+    let cold = run_batch(&cold_jobs, None, 1);
+    let cold_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // PR 3 baseline: full rebuild over one shared session.
+    let shared_session = SweepSession::new();
+    let started = Instant::now();
+    let shared = run_batch(&cold_jobs, Some(&shared_session), 1);
+    let shared_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // This PR: delta-patched evaluation over one shared session.
+    let delta_jobs = jobs_with(EngineConfig::incremental());
+    let delta_session = SweepSession::new();
+    let started = Instant::now();
+    let delta = run_batch(&delta_jobs, Some(&delta_session), 1);
+    let delta_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    DeltaComparison {
+        benchmark: bench.name.to_string(),
+        laxity_points: laxities.len(),
+        cold_ms,
+        shared_ms,
+        delta_ms,
+        identical: batches_identical(&cold, &shared) && batches_identical(&cold, &delta),
+        delta_cache: delta_session.stats(),
+    }
+}
+
 /// Runs one benchmark's Figure 13 sweep cold, shared and merged-sharded, and
 /// checks all three agree. `effort` is `(max_passes, max_sequence_length)`;
 /// `workers` is the pool size of the shared-session runs (`0` = one per CPU).
@@ -474,6 +597,22 @@ mod tests {
         assert!(cmp.cache.hit_rate() > 0.0);
         assert!(cmp.nodes > 0);
         assert!(cmp.speedup() > 0.0);
+    }
+
+    #[test]
+    fn delta_comparison_reports_identical_results_across_generations() {
+        let cmp = delta_comparison(&impact_benchmarks::gcd(), &[1.0, 2.0], 8, (1, 2));
+        assert!(cmp.identical, "all three evaluator generations must agree");
+        assert!(cmp.cold_ms > 0.0 && cmp.shared_ms > 0.0 && cmp.delta_ms > 0.0);
+        assert!(cmp.speedup_vs_cold() > 0.0 && cmp.speedup_vs_shared() > 0.0);
+        assert_eq!(cmp.laxity_points, 2);
+        // The delta sweep exercised the schedule-memo layer, and the summary
+        // line renders every layer.
+        let line = format_layer_stats(&cmp.delta_cache);
+        assert!(cmp.delta_cache.schedule.hits + cmp.delta_cache.schedule.misses > 0);
+        for name in ["stats", "context", "schedule", "point", "scaled"] {
+            assert!(line.contains(name), "{line} must mention {name}");
+        }
     }
 
     #[test]

@@ -1,36 +1,41 @@
-//! Structural fingerprinting of RT-level designs.
+//! The workspace's shared content-digest primitives.
 //!
-//! The iterative-improvement engine evaluates thousands of candidate designs,
-//! and the Vdd binary search re-probes many of them several times. A
-//! [`DesignFingerprint`] is a cheap, deterministic 128-bit digest of
-//! everything that influences evaluation — allocation, binding, module
-//! selection and mux-shape annotations — so evaluation results can be
-//! memoized by design identity instead of re-deriving them from scratch.
+//! Every layer of the system fingerprints something — RT-level designs
+//! (impact_rtl), execution workloads (impact_trace), technology parameters
+//! (impact_power), scheduling problems (impact_sched) — and all of them must
+//! agree on one hash construction so digests composed across crates stay
+//! deterministic. This module is that single definition; the crates that
+//! historically carried their own copies now re-export it.
 //!
 //! The digest is built from two independently seeded FNV-1a streams. It is
 //! stable within a process run and across runs (no random hasher state), and
-//! 128 bits make accidental collisions across the at-most-millions of designs
-//! a synthesis run visits vanishingly unlikely.
+//! 128 bits make accidental collisions across the at-most-millions of values
+//! a synthesis run digests vanishingly unlikely.
 
 use std::fmt;
 
-/// A 128-bit structural digest of an [`RtlDesign`](crate::RtlDesign).
+/// A 128-bit content digest.
 ///
-/// Two designs with equal fingerprints are treated as structurally identical
-/// by the evaluation cache. The digest covers functional units (class, module
-/// variant, width), registers (variables, width), operation and variable
-/// bindings, and the set of restructured mux sites.
+/// Two values with equal digests are treated as identical by the evaluation
+/// caches, so producers must feed everything that influences downstream
+/// results into the hasher (and nothing session-specific that does not).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct DesignFingerprint(u128);
+pub struct Digest128(u128);
 
-impl DesignFingerprint {
+impl Digest128 {
+    /// Wraps a raw digest value (used by incremental-update schemes that
+    /// combine component digests outside the hasher).
+    pub fn from_u128(value: u128) -> Self {
+        Self(value)
+    }
+
     /// Raw digest value.
     pub fn as_u128(self) -> u128 {
         self.0
     }
 }
 
-impl fmt::Display for DesignFingerprint {
+impl fmt::Display for Digest128 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:032x}", self.0)
     }
@@ -88,8 +93,8 @@ impl FingerprintHasher {
     }
 
     /// Finalizes the digest.
-    pub fn finish(&self) -> DesignFingerprint {
-        DesignFingerprint((u128::from(self.hi) << 64) | u128::from(self.lo))
+    pub fn finish(&self) -> Digest128 {
+        Digest128((u128::from(self.hi) << 64) | u128::from(self.lo))
     }
 }
 
@@ -132,12 +137,13 @@ mod tests {
     }
 
     #[test]
-    fn display_is_hex() {
+    fn display_is_hex_and_round_trips() {
         let fp = FingerprintHasher::new().finish();
         assert_eq!(fp.to_string().len(), 32);
         assert_eq!(
             u128::from_str_radix(&fp.to_string(), 16).unwrap(),
             fp.as_u128()
         );
+        assert_eq!(Digest128::from_u128(fp.as_u128()), fp);
     }
 }

@@ -41,6 +41,7 @@ pub mod analysis;
 mod builder;
 mod dot;
 mod error;
+pub mod fingerprint;
 mod graph;
 mod id;
 mod node;
@@ -49,6 +50,7 @@ pub mod region;
 
 pub use builder::CdfgBuilder;
 pub use error::CdfgError;
+pub use fingerprint::{Digest128, FingerprintHasher};
 pub use graph::{Cdfg, Edge, EdgeSource, Port, ValueRef, Variable, VariableKind};
 pub use id::{EdgeId, NodeId, VarId};
 pub use node::{ControlPort, Node, Polarity};

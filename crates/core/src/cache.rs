@@ -30,15 +30,25 @@ use std::fmt;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use impact_power::PowerProfile;
+use impact_rtl::MuxSite;
+use impact_sched::SchedulingResult;
 use impact_trace::{FuStats, RegStats};
 
 use crate::evaluate::DesignPoint;
-use crate::fingerprint::{ContextKey, FuStatsKey, MuxStatsKey, PointKey, RegStatsKey, ScaledKey};
+use crate::fingerprint::{
+    ContextKey, FuStatsKey, MuxStatsKey, PointKey, RegStatsKey, ScaledKey, ScheduleKey,
+};
 
 /// Everything about one design that the Vdd search reuses across supply
 /// levels: effective node delays at the reference supply, the scheduler
 /// binding and the supply-independent power profile. Laxity-independent, so
 /// sweep sessions reuse contexts across `enc_limit` values.
+///
+/// The context also records the *skeleton* it was assembled from — the
+/// active resource ids behind each profile position and every mux site with
+/// its tree depths — which is what lets
+/// [`patch_context`](crate::Evaluator) derive a candidate's context from its
+/// parent's by cloning only the entries the move touched.
 #[derive(Clone, Debug)]
 pub struct DesignContext {
     /// Effective per-node delays at delay factor 1.0 (module + interconnect).
@@ -47,6 +57,17 @@ pub struct DesignContext {
     pub(crate) binding: Vec<Option<usize>>,
     /// Supply-independent power/area coefficients.
     pub(crate) profile: PowerProfile,
+    /// Functional-unit ids in allocation order (one per `profile.fus` entry).
+    pub(crate) fu_ids: Vec<impact_rtl::FuId>,
+    /// Register ids in allocation order (one per `profile.regs` entry).
+    pub(crate) reg_ids: Vec<impact_rtl::RegId>,
+    /// Every mux site with fan-in ≥ 2, in enumeration order (one per
+    /// `profile.muxes` entry).
+    pub(crate) sites: Vec<MuxSite>,
+    /// Whether each site's tree was restructured, parallel to `sites`.
+    pub(crate) site_restructured: Vec<bool>,
+    /// Depth of every source in each site's tree, parallel to `sites`.
+    pub(crate) site_depths: Vec<Vec<usize>>,
 }
 
 /// Memoized statistics of one mux site: the tree's switching activity, the
@@ -58,12 +79,42 @@ pub struct MuxEntry {
     pub(crate) selections_per_pass: f64,
 }
 
-/// Snapshot of a backend's effectiveness counters.
+/// Hit/miss counters of one cache layer.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub struct CacheStats {
-    /// Lookups answered from the cache.
+pub struct LayerStats {
+    /// Lookups answered from the layer.
     pub hits: u64,
     /// Lookups that had to compute.
+    pub misses: u64,
+}
+
+impl LayerStats {
+    /// Fraction of lookups answered from the layer.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total > 0 {
+            self.hits as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+
+    fn plus(self, other: LayerStats) -> LayerStats {
+        LayerStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+        }
+    }
+}
+
+/// Snapshot of a backend's effectiveness counters: the totals plus one
+/// [`LayerStats`] per memoization layer, from cheapest to most expensive to
+/// recompute.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (sum over every layer).
+    pub hits: u64,
+    /// Lookups that had to compute (sum over every layer).
     pub misses: u64,
     /// Times a full map was dropped because it outgrew its capacity bound.
     pub evictions: u64,
@@ -71,6 +122,19 @@ pub struct CacheStats {
     pub points: usize,
     /// Memoized per-design contexts currently held.
     pub contexts: usize,
+    /// Memoized hierarchical schedules currently held.
+    pub schedules: usize,
+    /// Traffic on the raw trace-statistics maps (per-unit, per-register and
+    /// per-mux-site activity combined).
+    pub trace_stats: LayerStats,
+    /// Traffic on the per-design context map.
+    pub context: LayerStats,
+    /// Traffic on the memoized-schedule map.
+    pub schedule: LayerStats,
+    /// Traffic on the per-`(design, vdd)` point map.
+    pub point: LayerStats,
+    /// Traffic on the supply-search outcome map.
+    pub scaled: LayerStats,
 }
 
 impl CacheStats {
@@ -106,6 +170,10 @@ pub trait CacheBackend: Send + Sync + fmt::Debug {
     fn lookup_context(&self, key: &ContextKey) -> Option<Arc<DesignContext>>;
     /// Stores a per-design context.
     fn store_context(&self, key: ContextKey, value: Arc<DesignContext>);
+    /// Fetches a memoized hierarchical schedule.
+    fn lookup_schedule(&self, key: &ScheduleKey) -> Option<Arc<SchedulingResult>>;
+    /// Stores a hierarchical schedule.
+    fn store_schedule(&self, key: ScheduleKey, value: Arc<SchedulingResult>);
     /// Fetches memoized per-unit trace statistics.
     fn lookup_fu(&self, key: &FuStatsKey) -> Option<FuStats>;
     /// Stores per-unit trace statistics.
@@ -142,6 +210,8 @@ pub struct CacheSnapshot {
     pub scaled: HashMap<ScaledKey, Option<Arc<DesignPoint>>>,
     /// Per-design evaluation contexts.
     pub contexts: HashMap<ContextKey, Arc<DesignContext>>,
+    /// Memoized hierarchical schedules.
+    pub schedules: HashMap<ScheduleKey, Arc<SchedulingResult>>,
     /// Per-unit trace statistics.
     pub fu_stats: HashMap<FuStatsKey, FuStats>,
     /// Per-register trace statistics.
@@ -156,6 +226,7 @@ impl CacheSnapshot {
         self.points.len()
             + self.scaled.len()
             + self.contexts.len()
+            + self.schedules.len()
             + self.fu_stats.len()
             + self.reg_stats.len()
             + self.mux_stats.len()
@@ -172,17 +243,24 @@ struct CacheInner {
     points: HashMap<PointKey, Arc<DesignPoint>>,
     scaled: HashMap<ScaledKey, Option<Arc<DesignPoint>>>,
     contexts: HashMap<ContextKey, Arc<DesignContext>>,
+    schedules: HashMap<ScheduleKey, Arc<SchedulingResult>>,
     fu_stats: HashMap<FuStatsKey, FuStats>,
     reg_stats: HashMap<RegStatsKey, RegStats>,
     mux_stats: HashMap<MuxStatsKey, MuxEntry>,
-    hits: u64,
-    misses: u64,
+    points_traffic: LayerStats,
+    scaled_traffic: LayerStats,
+    contexts_traffic: LayerStats,
+    schedules_traffic: LayerStats,
+    fu_traffic: LayerStats,
+    reg_traffic: LayerStats,
+    mux_traffic: LayerStats,
     evictions: u64,
 }
 
 /// Capacity bounds; a map exceeding its bound on insert is cleared.
 const MAX_POINTS: usize = 16_384;
 const MAX_CONTEXTS: usize = 4_096;
+const MAX_SCHEDULES: usize = 16_384;
 const MAX_STATS: usize = 65_536;
 
 /// The in-process [`CacheBackend`]: one mutex-protected map set, shared by
@@ -209,14 +287,14 @@ impl InMemoryCache {
 }
 
 macro_rules! backend_map {
-    ($lookup:ident, $store:ident, $field:ident, $key:ty, $value:ty, $cap:expr) => {
+    ($lookup:ident, $store:ident, $field:ident, $traffic:ident, $key:ty, $value:ty, $cap:expr) => {
         fn $lookup(&self, key: &$key) -> Option<$value> {
             let mut inner = self.lock();
             let found = inner.$field.get(key).cloned();
             if found.is_some() {
-                inner.hits += 1;
+                inner.$traffic.hits += 1;
             } else {
-                inner.misses += 1;
+                inner.$traffic.misses += 1;
             }
             found
         }
@@ -237,6 +315,7 @@ impl CacheBackend for InMemoryCache {
         lookup_point,
         store_point,
         points,
+        points_traffic,
         PointKey,
         Arc<DesignPoint>,
         MAX_POINTS
@@ -245,6 +324,7 @@ impl CacheBackend for InMemoryCache {
         lookup_scaled,
         store_scaled,
         scaled,
+        scaled_traffic,
         ScaledKey,
         Option<Arc<DesignPoint>>,
         MAX_POINTS
@@ -253,15 +333,26 @@ impl CacheBackend for InMemoryCache {
         lookup_context,
         store_context,
         contexts,
+        contexts_traffic,
         ContextKey,
         Arc<DesignContext>,
         MAX_CONTEXTS
     );
-    backend_map!(lookup_fu, store_fu, fu_stats, FuStatsKey, FuStats, MAX_STATS);
+    backend_map!(
+        lookup_schedule,
+        store_schedule,
+        schedules,
+        schedules_traffic,
+        ScheduleKey,
+        Arc<SchedulingResult>,
+        MAX_SCHEDULES
+    );
+    backend_map!(lookup_fu, store_fu, fu_stats, fu_traffic, FuStatsKey, FuStats, MAX_STATS);
     backend_map!(
         lookup_reg,
         store_reg,
         reg_stats,
+        reg_traffic,
         RegStatsKey,
         RegStats,
         MAX_STATS
@@ -270,6 +361,7 @@ impl CacheBackend for InMemoryCache {
         lookup_mux,
         store_mux,
         mux_stats,
+        mux_traffic,
         MuxStatsKey,
         MuxEntry,
         MAX_STATS
@@ -277,12 +369,27 @@ impl CacheBackend for InMemoryCache {
 
     fn stats(&self) -> CacheStats {
         let inner = self.lock();
+        let trace_stats = inner
+            .fu_traffic
+            .plus(inner.reg_traffic)
+            .plus(inner.mux_traffic);
+        let total = trace_stats
+            .plus(inner.contexts_traffic)
+            .plus(inner.schedules_traffic)
+            .plus(inner.points_traffic)
+            .plus(inner.scaled_traffic);
         CacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
+            hits: total.hits,
+            misses: total.misses,
             evictions: inner.evictions,
             points: inner.points.len(),
             contexts: inner.contexts.len(),
+            schedules: inner.schedules.len(),
+            trace_stats,
+            context: inner.contexts_traffic,
+            schedule: inner.schedules_traffic,
+            point: inner.points_traffic,
+            scaled: inner.scaled_traffic,
         }
     }
 
@@ -292,6 +399,7 @@ impl CacheBackend for InMemoryCache {
             points: inner.points.clone(),
             scaled: inner.scaled.clone(),
             contexts: inner.contexts.clone(),
+            schedules: inner.schedules.clone(),
             fu_stats: inner.fu_stats.clone(),
             reg_stats: inner.reg_stats.clone(),
             mux_stats: inner.mux_stats.clone(),
@@ -323,6 +431,7 @@ impl CacheBackend for InMemoryCache {
         merge_map!(points, MAX_POINTS);
         merge_map!(scaled, MAX_POINTS);
         merge_map!(contexts, MAX_CONTEXTS);
+        merge_map!(schedules, MAX_SCHEDULES);
         merge_map!(fu_stats, MAX_STATS);
         merge_map!(reg_stats, MAX_STATS);
         merge_map!(mux_stats, MAX_STATS);
@@ -352,6 +461,11 @@ mod tests {
                 muxes: Vec::new(),
                 datapath_area: 0.0,
             },
+            fu_ids: Vec::new(),
+            reg_ids: Vec::new(),
+            sites: Vec::new(),
+            site_restructured: Vec::new(),
+            site_depths: Vec::new(),
         })
     }
 
@@ -366,6 +480,12 @@ mod tests {
         assert_eq!((stats.hits, stats.misses), (1, 1));
         assert_eq!(stats.contexts, 1);
         assert!(stats.hit_rate() > 0.4 && stats.hit_rate() < 0.6);
+        // The traffic landed on the context layer and nowhere else.
+        assert_eq!(stats.context, LayerStats { hits: 1, misses: 1 });
+        assert!((stats.context.hit_rate() - 0.5).abs() < 1e-12);
+        for idle in [stats.point, stats.scaled, stats.schedule, stats.trace_stats] {
+            assert_eq!(idle, LayerStats::default());
+        }
     }
 
     #[test]

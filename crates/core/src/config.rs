@@ -27,16 +27,44 @@ pub struct EngineConfig {
     pub parallel_ranking: bool,
     /// Worker threads used for ranking; `0` means one per available CPU.
     pub ranking_threads: usize,
+    /// Cost candidates through their move's [`DesignDelta`]: the candidate's
+    /// fingerprint is patched from the parent's and its evaluation context is
+    /// derived from the parent's by cloning only the touched entries, instead
+    /// of re-hashing and rebuilding from scratch. Requires `cache`; results
+    /// are bit-identical to the full rebuild (the oracle path, kept behind
+    /// this flag for differential testing).
+    ///
+    /// [`DesignDelta`]: impact_rtl::DesignDelta
+    pub delta_patching: bool,
+    /// Memoize hierarchical schedules by a `(delays, binding, clock)` digest,
+    /// so two designs differing only in power-irrelevant ways (module
+    /// capacitance, register grouping, probability reordering that keeps the
+    /// mux depths) share one schedule across the session. Requires `cache`.
+    pub schedule_memo: bool,
 }
 
 impl EngineConfig {
-    /// The incremental engine: caching on, ranking parallelized over the
-    /// available CPUs.
+    /// The incremental engine: caching, delta patching and schedule
+    /// memoization on, ranking parallelized over the available CPUs.
     pub fn incremental() -> Self {
         Self {
             cache: true,
             parallel_ranking: true,
             ranking_threads: 0,
+            delta_patching: true,
+            schedule_memo: true,
+        }
+    }
+
+    /// The caching engine *without* move-delta shortcuts: every candidate's
+    /// fingerprint and context are rebuilt from the whole design (the oracle
+    /// path the delta engine is differentially tested against, and the
+    /// behavior of the engine before delta evaluation existed).
+    pub fn full_rebuild() -> Self {
+        Self {
+            delta_patching: false,
+            schedule_memo: false,
+            ..Self::incremental()
         }
     }
 
@@ -47,6 +75,8 @@ impl EngineConfig {
             cache: false,
             parallel_ranking: false,
             ranking_threads: 0,
+            delta_patching: false,
+            schedule_memo: false,
         }
     }
 }
@@ -211,8 +241,13 @@ mod tests {
     fn engine_presets_and_builder() {
         assert!(EngineConfig::default().cache);
         assert!(EngineConfig::default().parallel_ranking);
+        assert!(EngineConfig::default().delta_patching);
+        assert!(EngineConfig::default().schedule_memo);
+        let rebuild = EngineConfig::full_rebuild();
+        assert!(rebuild.cache && !rebuild.delta_patching && !rebuild.schedule_memo);
         let seq = EngineConfig::sequential();
         assert!(!seq.cache && !seq.parallel_ranking);
+        assert!(!seq.delta_patching && !seq.schedule_memo);
         let c = SynthesisConfig::power_optimized(2.0).with_engine(seq);
         assert_eq!(c.engine, seq);
         assert_eq!(

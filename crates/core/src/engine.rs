@@ -219,17 +219,19 @@ impl Impact {
             // reference supply, then fully evaluate (including Vdd scaling)
             // in rank order until a candidate survives — a top-ranked
             // candidate that turns out infeasible under full evaluation no
-            // longer discards the rest of the sequence.
-            let ranked = self.rank_candidates(cdfg, evaluator, &working, &candidates)?;
-            let advanced = first_feasible(&ranked, |index| {
-                let mut mutated = working.design.clone();
-                if candidates[index]
-                    .apply(cdfg, evaluator.library(), &mut mutated)
-                    .is_err()
-                {
-                    return Ok(None);
-                }
-                evaluator.evaluate(&mutated)
+            // longer discards the rest of the sequence. The working design
+            // is fingerprinted once per step; every candidate's digest and
+            // context are then patched from it through the move's delta.
+            let parent_fingerprint = evaluator
+                .session()
+                .is_some()
+                .then(|| working.design.fingerprint());
+            let ranked =
+                self.rank_candidates(evaluator, &working, &candidates, parent_fingerprint)?;
+            let advanced = first_feasible(&ranked, |index| -> Result<_, SynthesisError> {
+                Ok(evaluator
+                    .evaluate_move_shared(&working.design, parent_fingerprint, &candidates[index])?
+                    .map(|point| (*point).clone()))
             })?;
             let Some((index, full)) = advanced else { break };
             let chosen = candidates[index].clone();
@@ -270,23 +272,20 @@ impl Impact {
     /// scan selected).
     fn rank_candidates(
         &self,
-        cdfg: &Cdfg,
         evaluator: &Evaluator<'_>,
         working: &DesignPoint,
         candidates: &[Move],
+        parent_fingerprint: Option<impact_rtl::DesignFingerprint>,
     ) -> Result<Vec<(usize, f64)>, SynthesisError> {
         let mode = self.config.mode;
         let working_reference_cost = reference_cost(working, mode);
         let score = |index: usize| -> Result<Option<f64>, SynthesisError> {
-            let mut mutated = working.design.clone();
-            if candidates[index]
-                .apply(cdfg, evaluator.library(), &mut mutated)
-                .is_err()
-            {
-                return Ok(None);
-            }
-            let Some(point) =
-                evaluator.evaluate_at_vdd_shared(&mutated, impact_modlib::VDD_REFERENCE)?
+            let Some(point) = evaluator.evaluate_move_at_vdd_shared(
+                &working.design,
+                parent_fingerprint,
+                &candidates[index],
+                impact_modlib::VDD_REFERENCE,
+            )?
             else {
                 return Ok(None);
             };

@@ -22,13 +22,17 @@
 //! the brute-force loop bit-identically — the cache only memoizes pure
 //! functions.
 
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use impact_behsim::ExecutionTrace;
-use impact_cdfg::Cdfg;
+use impact_cdfg::{Cdfg, NodeId};
 use impact_modlib::{ModuleLibrary, VDD_REFERENCE};
 use impact_power::{PowerBreakdown, PowerEstimator, PowerProfile};
-use impact_rtl::{FingerprintHasher, MuxSite, MuxTree, RtlDesign};
+use impact_rtl::{
+    DesignDelta, DesignFingerprint, FingerprintHasher, FuId, FunctionalUnit, MuxSink, MuxSite,
+    MuxTree, RegId, Register, RtlDesign,
+};
 use impact_sched::{ScheduleConfig, Scheduler, SchedulingProblem, SchedulingResult, WaveScheduler};
 use impact_trace::RtTraces;
 
@@ -36,9 +40,22 @@ use crate::cache::{CacheBackend, CacheStats, DesignContext, MuxEntry};
 use crate::config::{OptimizationMode, SynthesisConfig};
 use crate::error::SynthesisError;
 use crate::fingerprint::{
-    ContextKey, FuStatsKey, MuxStatsKey, PointKey, RegStatsKey, ScaledKey, WorkloadId,
+    ContextKey, FuStatsKey, MuxStatsKey, PointKey, RegStatsKey, ScaledKey, ScheduleKey, WorkloadId,
 };
+use crate::moves::Move;
 use crate::session::SweepSession;
+
+/// Provenance of a candidate design inside move-aware evaluation: its parent
+/// design, the parent's structural fingerprint and the move's change-set.
+/// When delta patching is enabled this is what turns full rebuilds into
+/// patches — the candidate's fingerprint is XOR-patched from the parent's and
+/// its evaluation context is derived from the parent's context by cloning
+/// only the touched entries.
+struct MoveLineage<'a> {
+    parent: &'a RtlDesign,
+    parent_fingerprint: DesignFingerprint,
+    delta: &'a DesignDelta,
+}
 
 /// A fully evaluated design: architecture, schedule, operating point and the
 /// resulting cost metrics.
@@ -163,7 +180,7 @@ impl<'a> Evaluator<'a> {
         // directly.
         evaluator.enc_min = if evaluator.session.is_some() {
             evaluator
-                .raw_point_at(&initial, initial.fingerprint(), VDD_REFERENCE)?
+                .raw_point_at(&initial, initial.fingerprint(), VDD_REFERENCE, None)?
                 .enc()
         } else {
             evaluator.schedule(&initial, VDD_REFERENCE)?.enc
@@ -260,25 +277,155 @@ impl<'a> Evaluator<'a> {
             if let Some(cached) = backend.lookup_scaled(&key) {
                 return Ok(cached);
             }
-            let result = self.evaluate_scaled(design, Some(fingerprint))?;
+            let result = self.evaluate_scaled(design, Some(fingerprint), None)?;
             backend.store_scaled(key, result.clone());
             Ok(result)
         } else {
-            self.evaluate_scaled(design, None)
+            self.evaluate_scaled(design, None, None)
+        }
+    }
+
+    /// Applies `candidate` to a clone of `parent` and fully evaluates the
+    /// result (supply search included). This is the move-aware entry point of
+    /// delta evaluation: with
+    /// [`delta_patching`](crate::EngineConfig::delta_patching) enabled the
+    /// candidate's fingerprint is patched from the parent's and its
+    /// evaluation context is derived from the parent's by cloning only the
+    /// entries the move touched — bit-identical to the full rebuild.
+    ///
+    /// Returns `None` when the move is inapplicable to `parent` or the
+    /// resulting design violates the ENC budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler failures.
+    pub fn evaluate_move(
+        &self,
+        parent: &RtlDesign,
+        candidate: &Move,
+    ) -> Result<Option<DesignPoint>, SynthesisError> {
+        Ok(self
+            .evaluate_move_shared(parent, None, candidate)?
+            .map(|point| (*point).clone()))
+    }
+
+    /// [`Self::evaluate_move`] at one fixed supply voltage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler failures.
+    pub fn evaluate_move_at_vdd(
+        &self,
+        parent: &RtlDesign,
+        candidate: &Move,
+        vdd: f64,
+    ) -> Result<Option<DesignPoint>, SynthesisError> {
+        Ok(self
+            .evaluate_move_at_vdd_shared(parent, None, candidate, vdd)?
+            .map(|point| (*point).clone()))
+    }
+
+    /// Move-aware full evaluation returning the cache's shared allocation.
+    /// `parent_fingerprint` lets the engine hash the working design once per
+    /// ranking stage instead of once per candidate; `None` computes it on
+    /// demand.
+    pub(crate) fn evaluate_move_shared(
+        &self,
+        parent: &RtlDesign,
+        parent_fingerprint: Option<DesignFingerprint>,
+        candidate: &Move,
+    ) -> Result<Option<Arc<DesignPoint>>, SynthesisError> {
+        let mut mutated = parent.clone();
+        let Ok(delta) = candidate.apply(self.cdfg, &self.library, &mut mutated) else {
+            return Ok(None);
+        };
+        let Some(backend) = self.backend() else {
+            return self.evaluate_scaled(&mutated, None, None);
+        };
+        let parent_fingerprint = parent_fingerprint.unwrap_or_else(|| parent.fingerprint());
+        let lineage = MoveLineage {
+            parent,
+            parent_fingerprint,
+            delta: &delta,
+        };
+        let fingerprint = self.candidate_fingerprint(&mutated, &lineage);
+        let key = ScaledKey::new(
+            self.workload,
+            fingerprint,
+            self.enc_limit,
+            self.config.vdd_scaling,
+        );
+        if let Some(cached) = backend.lookup_scaled(&key) {
+            return Ok(cached);
+        }
+        let result = self.evaluate_scaled(&mutated, Some(fingerprint), Some(&lineage))?;
+        backend.store_scaled(key, result.clone());
+        Ok(result)
+    }
+
+    /// Move-aware single-level evaluation returning the cache's shared
+    /// allocation (the ranking stage's fast path).
+    pub(crate) fn evaluate_move_at_vdd_shared(
+        &self,
+        parent: &RtlDesign,
+        parent_fingerprint: Option<DesignFingerprint>,
+        candidate: &Move,
+        vdd: f64,
+    ) -> Result<Option<Arc<DesignPoint>>, SynthesisError> {
+        let mut mutated = parent.clone();
+        let Ok(delta) = candidate.apply(self.cdfg, &self.library, &mut mutated) else {
+            return Ok(None);
+        };
+        if self.session.is_none() {
+            let context = self.build_context(&mutated);
+            return Ok(self
+                .evaluate_with_context(&context, &mutated, vdd)?
+                .map(Arc::new));
+        }
+        let parent_fingerprint = parent_fingerprint.unwrap_or_else(|| parent.fingerprint());
+        let lineage = MoveLineage {
+            parent,
+            parent_fingerprint,
+            delta: &delta,
+        };
+        let fingerprint = self.candidate_fingerprint(&mutated, &lineage);
+        self.point_at(&mutated, fingerprint, vdd, Some(&lineage))
+    }
+
+    /// The candidate's structural fingerprint: patched from the parent's
+    /// digest when delta patching is on, recomputed from the whole design
+    /// otherwise (the oracle path).
+    fn candidate_fingerprint(
+        &self,
+        candidate: &RtlDesign,
+        lineage: &MoveLineage<'_>,
+    ) -> DesignFingerprint {
+        if self.config.engine.delta_patching {
+            let patched = RtlDesign::fingerprint_update(lineage.parent_fingerprint, lineage.delta);
+            debug_assert_eq!(
+                patched,
+                candidate.fingerprint(),
+                "patched fingerprints must match full recomputation"
+            );
+            patched
+        } else {
+            candidate.fingerprint()
         }
     }
 
     /// The supply search. The design's fingerprint is computed once by the
     /// caller and threaded through every probe (`None` when the cache is
-    /// off).
+    /// off), as is the candidate's move lineage (`None` outside move-aware
+    /// evaluation or with delta patching disabled).
     fn evaluate_scaled(
         &self,
         design: &RtlDesign,
-        fingerprint: Option<impact_rtl::DesignFingerprint>,
+        fingerprint: Option<DesignFingerprint>,
+        lineage: Option<&MoveLineage<'_>>,
     ) -> Result<Option<Arc<DesignPoint>>, SynthesisError> {
         let probe = |vdd: f64| -> Result<Option<Arc<DesignPoint>>, SynthesisError> {
             match fingerprint {
-                Some(fingerprint) => self.point_at(design, fingerprint, vdd),
+                Some(fingerprint) => self.point_at(design, fingerprint, vdd, lineage),
                 None => {
                     let context = self.build_context(design);
                     Ok(self
@@ -321,7 +468,7 @@ impl<'a> Evaluator<'a> {
         vdd: f64,
     ) -> Result<Option<Arc<DesignPoint>>, SynthesisError> {
         if self.session.is_some() {
-            self.point_at(design, design.fingerprint(), vdd)
+            self.point_at(design, design.fingerprint(), vdd, None)
         } else {
             let context = self.build_context(design);
             Ok(self
@@ -336,10 +483,11 @@ impl<'a> Evaluator<'a> {
     fn point_at(
         &self,
         design: &RtlDesign,
-        fingerprint: impact_rtl::DesignFingerprint,
+        fingerprint: DesignFingerprint,
         vdd: f64,
+        lineage: Option<&MoveLineage<'_>>,
     ) -> Result<Option<Arc<DesignPoint>>, SynthesisError> {
-        let point = self.raw_point_at(design, fingerprint, vdd)?;
+        let point = self.raw_point_at(design, fingerprint, vdd, lineage)?;
         Ok(self.within_budget(point))
     }
 
@@ -349,8 +497,9 @@ impl<'a> Evaluator<'a> {
     fn raw_point_at(
         &self,
         design: &RtlDesign,
-        fingerprint: impact_rtl::DesignFingerprint,
+        fingerprint: DesignFingerprint,
         vdd: f64,
+        lineage: Option<&MoveLineage<'_>>,
     ) -> Result<Arc<DesignPoint>, SynthesisError> {
         let backend = self
             .backend()
@@ -359,7 +508,7 @@ impl<'a> Evaluator<'a> {
         if let Some(cached) = backend.lookup_point(&key) {
             return Ok(cached);
         }
-        let context = self.context_for(design, fingerprint);
+        let context = self.context_for(design, fingerprint, lineage);
         let schedule = self.schedule_with_context(&context, vdd)?;
         // The full point (power at both supplies, area, design clone) is
         // built even when this evaluator's budget will reject it: a budget
@@ -434,11 +583,13 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Fetches (or builds and memoizes) the reusable evaluation context of a
-    /// design.
+    /// design. With a lineage and delta patching enabled, a cache miss is
+    /// served by patching the parent's context instead of rebuilding.
     fn context_for(
         &self,
         design: &RtlDesign,
-        fingerprint: impact_rtl::DesignFingerprint,
+        fingerprint: DesignFingerprint,
+        lineage: Option<&MoveLineage<'_>>,
     ) -> Arc<DesignContext> {
         let Some(backend) = self.backend() else {
             return Arc::new(self.build_context(design));
@@ -447,69 +598,361 @@ impl<'a> Evaluator<'a> {
         if let Some(context) = backend.lookup_context(&key) {
             return context;
         }
-        let context = Arc::new(self.build_context(design));
+        let context = match lineage.filter(|_| self.config.engine.delta_patching) {
+            Some(lineage) => {
+                let parent = self.context_for(lineage.parent, lineage.parent_fingerprint, None);
+                Arc::new(self.patch_context(&parent, lineage.parent, design, lineage.delta))
+            }
+            None => Arc::new(self.build_context(design)),
+        };
         backend.store_context(key, context.clone());
         context
     }
 
-    /// Builds the evaluation context: base delays at the reference supply,
-    /// the scheduler binding and the power profile. With a session, trace
-    /// statistics are memoized by content, so contexts of sibling candidate
-    /// designs share almost all of the underlying trace traversals; without
-    /// one no keys are even constructed — the brute-force baseline pays no
-    /// cache overhead.
+    /// Per-unit trace statistics (memoized by content when a session is
+    /// active): mean input activity and activations per pass.
+    fn fu_stat_values(
+        &self,
+        rt: &RtTraces<'_>,
+        design: &RtlDesign,
+        fu: FuId,
+        unit: &FunctionalUnit,
+    ) -> (f64, f64) {
+        let stats = match self.backend() {
+            Some(backend) => {
+                let key = FuStatsKey {
+                    workload: self.workload,
+                    ops: design.ops_on(fu),
+                    width: unit.width,
+                };
+                match backend.lookup_fu(&key) {
+                    Some(stats) => stats,
+                    None => {
+                        let stats = rt.fu_stats(fu);
+                        backend.store_fu(key, stats);
+                        stats
+                    }
+                }
+            }
+            None => rt.fu_stats(fu),
+        };
+        (stats.input_activity, stats.activations_per_pass)
+    }
+
+    /// Per-register trace statistics (memoized by content when a session is
+    /// active): mean per-write activity and writes per pass.
+    fn reg_stat_values(&self, rt: &RtTraces<'_>, reg: RegId, register: &Register) -> (f64, f64) {
+        let stats = match self.backend() {
+            Some(backend) => {
+                let key = RegStatsKey {
+                    workload: self.workload,
+                    variables: register.variables.clone(),
+                    width: register.width,
+                };
+                match backend.lookup_reg(&key) {
+                    Some(stats) => stats,
+                    None => {
+                        let stats = rt.register_stats(reg);
+                        backend.store_reg(key, stats);
+                        stats
+                    }
+                }
+            }
+            None => rt.register_stats(reg),
+        };
+        (stats.activity, stats.writes_per_pass)
+    }
+
+    /// The design's mux sites with fan-in ≥ 2 in enumeration order — the
+    /// only sites that contribute delays, power or area.
+    fn candidate_sites(&self, design: &RtlDesign) -> Vec<MuxSite> {
+        design
+            .mux_sites(self.cdfg)
+            .into_iter()
+            .filter(|site| site.fan_in() >= 2)
+            .collect()
+    }
+
+    /// Depth of every source in a site's tree under the given construction.
+    /// Restructured trees use the memoized activity statistics; balanced
+    /// trees depend only on the fan-in, so no trace statistics are needed.
+    fn site_depths(
+        &self,
+        rt: &RtTraces<'_>,
+        design: &RtlDesign,
+        site: &MuxSite,
+        restructured: bool,
+    ) -> Vec<usize> {
+        if restructured {
+            self.mux_entry(rt, design, site, true).depths
+        } else {
+            let tree = MuxTree::balanced(
+                site.sources
+                    .iter()
+                    .map(|_| impact_rtl::MuxSource::new("s", 0.0, 0.0))
+                    .collect::<Vec<_>>(),
+            );
+            (0..site.sources.len())
+                .map(|i| tree.depth_of(i).unwrap_or(0))
+                .collect()
+        }
+    }
+
+    /// Effective per-node delays at delay factor 1.0 from the context
+    /// skeleton: module delays plus the mux stages each operand traverses,
+    /// added in site-enumeration order.
+    fn delays_from_sites(
+        &self,
+        design: &RtlDesign,
+        sites: &[MuxSite],
+        depths: &[Vec<usize>],
+    ) -> Vec<f64> {
+        let mut delays = design.node_module_delays(self.cdfg, &self.library);
+        let mux_delay = self.library.mux2().delay_ns;
+        for (site, depth_of) in sites.iter().zip(depths) {
+            for (index, source) in site.sources.iter().enumerate() {
+                let extra = depth_of[index] as f64 * mux_delay;
+                for &op in &source.ops {
+                    delays[op.index()] += extra;
+                }
+            }
+        }
+        delays
+    }
+
+    /// Builds the evaluation context from scratch: enumerates the design's
+    /// mux sites once and derives base delays, the scheduler binding, the
+    /// supply-independent power profile and the patchable skeleton (resource
+    /// ids, sites, tree depths) from that single enumeration. With a
+    /// session, trace statistics are memoized by content, so contexts of
+    /// sibling candidate designs share almost all of the underlying trace
+    /// traversals; without one no keys are even constructed — the
+    /// brute-force baseline pays no cache overhead.
     fn build_context(&self, design: &RtlDesign) -> DesignContext {
         let rt = RtTraces::new(self.cdfg, design, self.trace);
-        let base_delays = self.base_delays(design, &rt);
-        let profile = if let Some(backend) = self.backend() {
-            PowerProfile::assemble(
-                &self.library,
-                self.cdfg,
-                design,
-                |fu, unit| {
-                    let key = FuStatsKey {
-                        workload: self.workload,
-                        ops: design.ops_on(fu),
-                        width: unit.width,
-                    };
-                    let stats = match backend.lookup_fu(&key) {
-                        Some(stats) => stats,
-                        None => {
-                            let stats = rt.fu_stats(fu);
-                            backend.store_fu(key, stats);
-                            stats
-                        }
-                    };
-                    (stats.input_activity, stats.activations_per_pass)
-                },
-                |reg, register| {
-                    let key = RegStatsKey {
-                        workload: self.workload,
-                        variables: register.variables.clone(),
-                        width: register.width,
-                    };
-                    let stats = match backend.lookup_reg(&key) {
-                        Some(stats) => stats,
-                        None => {
-                            let stats = rt.register_stats(reg);
-                            backend.store_reg(key, stats);
-                            stats
-                        }
-                    };
-                    (stats.activity, stats.writes_per_pass)
-                },
-                |site, restructured| {
-                    let entry = self.mux_entry(&rt, design, site, restructured);
-                    (entry.tree_activity, entry.selections_per_pass)
-                },
-            )
-        } else {
-            PowerProfile::from_traces(&self.library, self.cdfg, design, &rt)
-        };
+        let sites = self.candidate_sites(design);
+        let site_restructured: Vec<bool> = sites
+            .iter()
+            .map(|site| design.is_restructured(site.sink))
+            .collect();
+        let site_depths: Vec<Vec<usize>> = sites
+            .iter()
+            .zip(&site_restructured)
+            .map(|(site, &restructured)| self.site_depths(&rt, design, site, restructured))
+            .collect();
+        let base_delays = self.delays_from_sites(design, &sites, &site_depths);
+        let profile = PowerProfile::assemble_with_sites(
+            &self.library,
+            design,
+            &sites,
+            |fu, unit| self.fu_stat_values(&rt, design, fu, unit),
+            |reg, register| self.reg_stat_values(&rt, reg, register),
+            |site, restructured| {
+                let entry = self.mux_entry(&rt, design, site, restructured);
+                (entry.tree_activity, entry.selections_per_pass)
+            },
+        );
         DesignContext {
             base_delays,
             binding: design.scheduler_binding(),
             profile,
+            fu_ids: design.functional_units().map(|(id, _)| id).collect(),
+            reg_ids: design.registers().map(|(id, _)| id).collect(),
+            sites,
+            site_restructured,
+            site_depths,
+        }
+    }
+
+    /// Derives a candidate's evaluation context from its parent's by cloning
+    /// only the entries the move touched. Bit-identical to
+    /// [`Self::build_context`] on the candidate: untouched entries are pure
+    /// values copied verbatim, touched entries are recomputed through the
+    /// exact same code paths (and the same memoized statistics) the full
+    /// rebuild uses, and per-node delay sums are replayed in the same
+    /// site-enumeration order.
+    fn patch_context(
+        &self,
+        parent: &DesignContext,
+        parent_design: &RtlDesign,
+        design: &RtlDesign,
+        delta: &DesignDelta,
+    ) -> DesignContext {
+        let rt = RtTraces::new(self.cdfg, design, self.trace);
+
+        // Units whose evaluation-relevant content changed: touched slots
+        // (module, width, removal, creation) plus any unit that gained or
+        // lost operations — a rebinding changes the unit's merged trace even
+        // when its slot content is untouched (a split's source unit).
+        // Registers always appear as touched slots, because a register's
+        // slot content includes its variable list.
+        let mut touched_fus: HashSet<FuId> = delta.touched_fus().collect();
+        for &(_, before, after) in &delta.op_bindings {
+            touched_fus.extend(before);
+            touched_fus.extend(after);
+        }
+        let touched_regs: HashSet<RegId> = delta.touched_registers().collect();
+
+        // Candidate skeleton and the site-level diff: a candidate site
+        // reuses a parent site's depths/profile entry iff the parent had a
+        // site at the same sink with identical sources, width and tree
+        // construction, *and* none of its sources reads a touched resource —
+        // a source's signal key survives a move (it carries ids), but the
+        // statistics behind it follow the resource's content (a merged
+        // register switches differently even though its id is unchanged).
+        let sites = self.candidate_sites(design);
+        let site_restructured: Vec<bool> = sites
+            .iter()
+            .map(|site| design.is_restructured(site.sink))
+            .collect();
+        let parent_site_index: HashMap<MuxSink, usize> = parent
+            .sites
+            .iter()
+            .enumerate()
+            .map(|(index, site)| (site.sink, index))
+            .collect();
+        let sources_untouched = |site: &MuxSite| {
+            site.sources.iter().all(|source| match source.key {
+                impact_rtl::SignalKey::Register(reg) => !touched_regs.contains(&reg),
+                impact_rtl::SignalKey::FuOutput(fu) => !touched_fus.contains(&fu),
+                impact_rtl::SignalKey::Constant(_) => true,
+            })
+        };
+        let reused_parent_site: Vec<Option<usize>> = sites
+            .iter()
+            .zip(&site_restructured)
+            .map(|(site, &restructured)| {
+                parent_site_index.get(&site.sink).copied().filter(|&pi| {
+                    parent.sites[pi] == *site
+                        && parent.site_restructured[pi] == restructured
+                        && sources_untouched(site)
+                })
+            })
+            .collect();
+        let site_depths: Vec<Vec<usize>> = sites
+            .iter()
+            .zip(&site_restructured)
+            .zip(&reused_parent_site)
+            .map(|((site, &restructured), reused)| match reused {
+                Some(pi) => parent.site_depths[*pi].clone(),
+                None => self.site_depths(&rt, design, site, restructured),
+            })
+            .collect();
+
+        // Nodes whose base delay may differ from the parent's: nodes whose
+        // binding changed, nodes on a touched unit (module or width change),
+        // and nodes routed through any site that changed on either side.
+        let mut touched_node = vec![false; self.cdfg.node_count()];
+        for &(node, _, _) in &delta.op_bindings {
+            touched_node[node.index()] = true;
+        }
+        for &fu in &touched_fus {
+            for op in parent_design.ops_on(fu) {
+                touched_node[op.index()] = true;
+            }
+            for op in design.ops_on(fu) {
+                touched_node[op.index()] = true;
+            }
+        }
+        let reused_sites: HashSet<usize> = reused_parent_site.iter().flatten().copied().collect();
+        for (pi, site) in parent.sites.iter().enumerate() {
+            if !reused_sites.contains(&pi) {
+                for source in &site.sources {
+                    for &op in &source.ops {
+                        touched_node[op.index()] = true;
+                    }
+                }
+            }
+        }
+        for (site, reused) in sites.iter().zip(&reused_parent_site) {
+            if reused.is_none() {
+                for source in &site.sources {
+                    for &op in &source.ops {
+                        touched_node[op.index()] = true;
+                    }
+                }
+            }
+        }
+
+        // Base delays: untouched nodes keep the parent's value; touched
+        // nodes are recomputed from scratch in fresh-build order (module
+        // delay, then site extras in enumeration order).
+        let mut base_delays = parent.base_delays.clone();
+        let mux_delay = self.library.mux2().delay_ns;
+        for (index, touched) in touched_node.iter().enumerate() {
+            if *touched {
+                base_delays[index] =
+                    design.node_module_delay(self.cdfg, &self.library, NodeId::new(index));
+            }
+        }
+        for (site, depth_of) in sites.iter().zip(&site_depths) {
+            for (index, source) in site.sources.iter().enumerate() {
+                let extra = depth_of[index] as f64 * mux_delay;
+                for &op in &source.ops {
+                    if touched_node[op.index()] {
+                        base_delays[op.index()] += extra;
+                    }
+                }
+            }
+        }
+
+        // Scheduler binding: patched entry-wise from the delta.
+        let mut binding = parent.binding.clone();
+        for &(node, _, after) in &delta.op_bindings {
+            binding[node.index()] = after.map(FuId::index);
+        }
+
+        // Power profile: the assembly skeleton comes from the candidate, but
+        // the statistics closures serve untouched resources from the
+        // parent's entries (stored activities are already floored, and the
+        // floor is idempotent) and recompute touched ones through the
+        // memoized statistics.
+        let candidate_site_index: HashMap<MuxSink, usize> = sites
+            .iter()
+            .enumerate()
+            .map(|(index, site)| (site.sink, index))
+            .collect();
+        let profile = PowerProfile::assemble_with_sites(
+            &self.library,
+            design,
+            &sites,
+            |fu, unit| match parent.fu_ids.binary_search(&fu) {
+                Ok(pos) if !touched_fus.contains(&fu) => {
+                    let entry = &parent.profile.fus[pos];
+                    (entry.activity, entry.activations_per_pass)
+                }
+                _ => self.fu_stat_values(&rt, design, fu, unit),
+            },
+            |reg, register| match parent.reg_ids.binary_search(&reg) {
+                Ok(pos) if !touched_regs.contains(&reg) => {
+                    let entry = &parent.profile.regs[pos];
+                    (entry.activity, entry.writes_per_pass)
+                }
+                _ => self.reg_stat_values(&rt, reg, register),
+            },
+            |site, restructured| {
+                let index = candidate_site_index[&site.sink];
+                match reused_parent_site[index] {
+                    Some(pi) => {
+                        let entry = &parent.profile.muxes[pi];
+                        (entry.tree_activity, entry.selections_per_pass)
+                    }
+                    None => {
+                        let entry = self.mux_entry(&rt, design, site, restructured);
+                        (entry.tree_activity, entry.selections_per_pass)
+                    }
+                }
+            },
+        );
+        DesignContext {
+            base_delays,
+            binding,
+            profile,
+            fu_ids: design.functional_units().map(|(id, _)| id).collect(),
+            reg_ids: design.registers().map(|(id, _)| id).collect(),
+            sites,
+            site_restructured,
+            site_depths,
         }
     }
 
@@ -536,7 +979,10 @@ impl<'a> Evaluator<'a> {
 
     /// Schedules from a prebuilt context: base delays are scaled by the
     /// supply-dependent factor, so no trace or mux analysis happens per
-    /// level.
+    /// level. With schedule memoization enabled, the result is shared
+    /// through the session by a `(delays, binding, clock)` digest, so two
+    /// designs differing only in power-irrelevant ways (and any number of
+    /// laxity factors) schedule once.
     fn schedule_with_context(
         &self,
         context: &DesignContext,
@@ -551,6 +997,19 @@ impl<'a> Evaluator<'a> {
             profile: self.trace.profile(),
             config: ScheduleConfig::wavesched().with_clock(self.config.clock_ns),
         };
+        if self.config.engine.schedule_memo {
+            if let Some(backend) = self.backend() {
+                let key = ScheduleKey::new(self.workload, problem.digest());
+                if let Some(cached) = backend.lookup_schedule(&key) {
+                    return Ok((*cached).clone());
+                }
+                let result = WaveScheduler::new()
+                    .schedule(&problem)
+                    .map_err(SynthesisError::from)?;
+                backend.store_schedule(key, Arc::new(result.clone()));
+                return Ok(result);
+            }
+        }
         WaveScheduler::new()
             .schedule(&problem)
             .map_err(SynthesisError::from)
@@ -587,33 +1046,12 @@ impl<'a> Evaluator<'a> {
     /// (the Figure 9/10 example); balanced trees depend only on the fan-in,
     /// so their depths need no trace statistics.
     fn base_delays(&self, design: &RtlDesign, rt: &RtTraces<'_>) -> Vec<f64> {
-        let mut delays = design.node_module_delays(self.cdfg, &self.library);
-        let mux_delay = self.library.mux2().delay_ns;
-        for site in design.mux_sites(self.cdfg) {
-            if site.fan_in() < 2 {
-                continue;
-            }
-            let depth_of: Vec<usize> = if design.is_restructured(site.sink) {
-                self.mux_entry(rt, design, &site, true).depths
-            } else {
-                let tree = MuxTree::balanced(
-                    site.sources
-                        .iter()
-                        .map(|_| impact_rtl::MuxSource::new("s", 0.0, 0.0))
-                        .collect::<Vec<_>>(),
-                );
-                (0..site.sources.len())
-                    .map(|i| tree.depth_of(i).unwrap_or(0))
-                    .collect()
-            };
-            for (index, source) in site.sources.iter().enumerate() {
-                let extra = depth_of[index] as f64 * mux_delay;
-                for &op in &source.ops {
-                    delays[op.index()] += extra;
-                }
-            }
-        }
-        delays
+        let sites = self.candidate_sites(design);
+        let depths: Vec<Vec<usize>> = sites
+            .iter()
+            .map(|site| self.site_depths(rt, design, site, design.is_restructured(site.sink)))
+            .collect();
+        self.delays_from_sites(design, &sites, &depths)
     }
 
     /// Effective delay of every node at the given supply-dependent factor.

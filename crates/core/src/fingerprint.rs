@@ -93,6 +93,28 @@ impl ScaledKey {
     }
 }
 
+/// Key of one memoized hierarchical schedule: the workload (which pins the
+/// CDFG and control profile) plus the scheduling-problem digest over the
+/// exact per-node delay bits, the functional-unit binding and the scheduler
+/// configuration (clock period included). Deliberately *not* keyed by design
+/// fingerprint: designs that differ only in power-relevant ways (module
+/// capacitance, register grouping, mux probability ordering with unchanged
+/// depths) produce the same digest and share one schedule.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ScheduleKey {
+    /// Workload the schedule was computed under.
+    pub(crate) workload: WorkloadId,
+    /// [`SchedulingProblem::digest`](impact_sched::SchedulingProblem::digest)
+    /// of the problem.
+    pub(crate) problem: u128,
+}
+
+impl ScheduleKey {
+    pub(crate) fn new(workload: WorkloadId, problem: u128) -> Self {
+        Self { workload, problem }
+    }
+}
+
 /// Key of one per-design evaluation context (laxity-independent).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ContextKey {

@@ -43,13 +43,18 @@ mod fingerprint;
 mod moves;
 mod session;
 
-pub use cache::{CacheBackend, CacheSnapshot, CacheStats, DesignContext, InMemoryCache, MuxEntry};
+pub use cache::{
+    CacheBackend, CacheSnapshot, CacheStats, DesignContext, InMemoryCache, LayerStats, MuxEntry,
+};
 pub use config::{EngineConfig, OptimizationMode, SynthesisConfig};
 pub use engine::{Impact, MoveRecord, SynthesisOutcome, SynthesisReport};
 pub use error::SynthesisError;
 pub use evaluate::{DesignPoint, Evaluator};
 pub use fingerprint::{
-    ContextKey, FuStatsKey, MuxStatsKey, PointKey, RegStatsKey, ScaledKey, WorkloadId,
+    ContextKey, FuStatsKey, MuxStatsKey, PointKey, RegStatsKey, ScaledKey, ScheduleKey, WorkloadId,
 };
 pub use moves::Move;
 pub use session::SweepSession;
+// The shared digest primitives live in `impact_cdfg::fingerprint`; re-export
+// them so engine users need only this crate.
+pub use impact_rtl::{DesignDelta, DesignFingerprint, FingerprintHasher};

@@ -5,7 +5,7 @@ use std::fmt;
 use impact_cdfg::analysis::ExclusionInfo;
 use impact_cdfg::{Cdfg, NodeId, VarId};
 use impact_modlib::{ModuleId, ModuleLibrary};
-use impact_rtl::{FuId, MuxSink, RegId, RtlDesign, RtlError};
+use impact_rtl::{DesignDelta, FuId, MuxSink, RegId, RtlDesign, RtlError};
 
 use crate::config::SynthesisConfig;
 
@@ -56,32 +56,33 @@ pub enum Move {
 }
 
 impl Move {
-    /// Applies the move to a design.
+    /// Applies the move to a design, returning the transactional
+    /// [`DesignDelta`] — the exact change-set the move made. The delta is
+    /// what makes the move the unit of incrementality downstream: the
+    /// evaluator patches the parent's fingerprint and evaluation context
+    /// from it instead of rebuilding either, and [`RtlDesign::revert_delta`]
+    /// undoes the move exactly.
     ///
     /// # Errors
     ///
     /// Propagates [`RtlError`]s (e.g. sharing incompatible units); the engine
-    /// simply skips such candidates.
+    /// simply skips such candidates. A failed move leaves the design
+    /// untouched.
     pub fn apply(
         &self,
         cdfg: &Cdfg,
         library: &ModuleLibrary,
         design: &mut RtlDesign,
-    ) -> Result<(), RtlError> {
+    ) -> Result<DesignDelta, RtlError> {
         match self {
-            Move::RestructureMux { sink } => {
-                design.set_restructured(*sink, true);
-                Ok(())
-            }
+            Move::RestructureMux { sink } => Ok(design.set_restructured_delta(*sink, true)),
             Move::SubstituteModule { fu, module } => {
                 design.substitute_module(library, *fu, *module)
             }
             Move::ShareFus { keep, remove } => design.share_fus(*keep, *remove),
-            Move::SplitFu { fu, op } => design.split_fu(cdfg, *fu, &[*op]).map(|_| ()),
+            Move::SplitFu { fu, op } => design.split_fu(cdfg, *fu, &[*op]),
             Move::ShareRegisters { keep, remove } => design.share_registers(*keep, *remove),
-            Move::SplitRegister { reg, var } => {
-                design.split_register(cdfg, *reg, &[*var]).map(|_| ())
-            }
+            Move::SplitRegister { reg, var } => design.split_register(cdfg, *reg, &[*var]),
         }
     }
 

@@ -1,0 +1,222 @@
+//! Property tests of delta evaluation: for arbitrary move sequences, seeds
+//! and supply levels, delta-patched candidate evaluation (incremental
+//! fingerprints, patched contexts, memoized schedules) is bit-identical to
+//! the full-rebuild oracle and to the brute-force sequential path, and
+//! `revert_delta` restores the exact pre-move design.
+
+use impact_behsim::simulate;
+use impact_cdfg::Cdfg;
+use impact_core::{EngineConfig, Evaluator, Impact, Move, SynthesisConfig};
+use impact_modlib::ModuleLibrary;
+use impact_rtl::RtlDesign;
+use proptest::prelude::*;
+
+fn gcd_setup(passes: usize) -> (Cdfg, impact_behsim::ExecutionTrace) {
+    let bench = impact_benchmarks::gcd();
+    let cdfg = bench.compile().unwrap();
+    let inputs = bench.input_sequences(passes, 13);
+    let trace = simulate(&cdfg, &inputs).unwrap();
+    (cdfg, trace)
+}
+
+/// Every move applicable to `design`, across all six move families (the
+/// test's own enumeration, independent of the engine's generator).
+fn candidate_moves(cdfg: &Cdfg, library: &ModuleLibrary, design: &RtlDesign) -> Vec<Move> {
+    let mut moves = Vec::new();
+    for site in design.mux_sites(cdfg) {
+        if site.fan_in() >= 2 && !design.is_restructured(site.sink) {
+            moves.push(Move::RestructureMux { sink: site.sink });
+        }
+    }
+    for (fu, unit) in design.functional_units() {
+        for variant in library.variants_for(unit.class) {
+            if variant != unit.module {
+                moves.push(Move::SubstituteModule {
+                    fu,
+                    module: variant,
+                });
+            }
+        }
+    }
+    let units: Vec<_> = design
+        .functional_units()
+        .map(|(id, u)| (id, u.class))
+        .collect();
+    for (i, &(a, class_a)) in units.iter().enumerate() {
+        for &(b, class_b) in units.iter().skip(i + 1) {
+            if class_a == class_b {
+                moves.push(Move::ShareFus { keep: a, remove: b });
+            }
+        }
+    }
+    for (fu, _) in design.functional_units() {
+        let ops = design.ops_on(fu);
+        if ops.len() >= 2 {
+            moves.push(Move::SplitFu {
+                fu,
+                op: ops[ops.len() - 1],
+            });
+        }
+    }
+    let regs: Vec<_> = design.registers().map(|(id, _)| id).collect();
+    for (i, &a) in regs.iter().enumerate() {
+        for &b in regs.iter().skip(i + 1) {
+            moves.push(Move::ShareRegisters { keep: a, remove: b });
+        }
+    }
+    for (reg, r) in design.registers() {
+        if r.variables.len() >= 2 {
+            moves.push(Move::SplitRegister {
+                reg,
+                var: r.variables[r.variables.len() - 1],
+            });
+        }
+    }
+    moves
+}
+
+/// Deterministic pseudo-random successor (LCG).
+fn next_seed(seed: u64) -> u64 {
+    seed.wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
+}
+
+/// Applies a seed-selected sequence of up to `depth` moves, returning the
+/// applied moves' deltas together with the chosen moves.
+fn apply_sequence(
+    cdfg: &Cdfg,
+    library: &ModuleLibrary,
+    design: &mut RtlDesign,
+    mut seed: u64,
+    depth: usize,
+) -> Vec<(Move, impact_rtl::DesignDelta)> {
+    let mut applied = Vec::new();
+    for _ in 0..depth {
+        let moves = candidate_moves(cdfg, library, design);
+        if moves.is_empty() {
+            break;
+        }
+        let mv = moves[(seed as usize) % moves.len()].clone();
+        seed = next_seed(seed);
+        if let Ok(delta) = mv.apply(cdfg, library, design) {
+            applied.push((mv, delta));
+        }
+    }
+    applied
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn fingerprints_patch_exactly_and_deltas_revert_exactly(
+        seed in 0u64..1_000_000,
+        depth in 1usize..8,
+    ) {
+        let (cdfg, _) = gcd_setup(6);
+        let library = ModuleLibrary::standard();
+        let mut design = RtlDesign::initial_parallel(&cdfg, &library);
+        let original = design.clone();
+        let mut running = design.fingerprint();
+        let applied = apply_sequence(&cdfg, &library, &mut design, seed, depth);
+        prop_assert!(!applied.is_empty(), "some move always applies");
+        // Replaying the chain of patches tracks the full recomputation at
+        // every step.
+        let mut replay = original.clone();
+        for (_, delta) in &applied {
+            replay.apply_delta(delta);
+            running = RtlDesign::fingerprint_update(running, delta);
+            prop_assert_eq!(running, replay.fingerprint());
+        }
+        prop_assert_eq!(&replay, &design);
+        // Reverting in reverse order restores the exact pre-move design.
+        for (_, delta) in applied.iter().rev() {
+            design.revert_delta(delta);
+        }
+        prop_assert_eq!(&design, &original);
+        prop_assert_eq!(design.fingerprint(), original.fingerprint());
+    }
+
+    #[test]
+    fn delta_patched_evaluation_matches_oracle_and_brute_force(
+        seed in 0u64..1_000_000,
+        depth in 0usize..5,
+        level_index in 0usize..39,
+        laxity_steps in 0u32..11,
+    ) {
+        let laxity = 1.0 + 0.2 * f64::from(laxity_steps);
+        let (cdfg, trace) = gcd_setup(8);
+        let config = SynthesisConfig::power_optimized(laxity);
+        let delta_eval = Evaluator::new(&cdfg, &trace, config.clone()).unwrap();
+        let oracle = Evaluator::new(
+            &cdfg,
+            &trace,
+            config.clone().with_engine(EngineConfig::full_rebuild()),
+        )
+        .unwrap();
+        let brute = Evaluator::new(
+            &cdfg,
+            &trace,
+            config.with_engine(EngineConfig::sequential()),
+        )
+        .unwrap();
+        // An arbitrary parent: the initial architecture after a seed-selected
+        // move sequence.
+        let mut parent = RtlDesign::initial_parallel(&cdfg, delta_eval.library());
+        apply_sequence(&cdfg, delta_eval.library(), &mut parent, seed, depth);
+        let levels = delta_eval.library().vdd().levels().to_vec();
+        let vdd = levels[level_index % levels.len()];
+        // Every candidate move off this parent is costed identically by the
+        // three paths, at a fixed level and under the full supply search.
+        let moves = candidate_moves(&cdfg, delta_eval.library(), &parent);
+        let mut probe = seed;
+        for _ in 0..4 {
+            let mv = &moves[(probe as usize) % moves.len()];
+            probe = next_seed(probe);
+            let patched = delta_eval.evaluate_move_at_vdd(&parent, mv, vdd).unwrap();
+            let rebuilt = oracle.evaluate_move_at_vdd(&parent, mv, vdd).unwrap();
+            let cold = brute.evaluate_move_at_vdd(&parent, mv, vdd).unwrap();
+            prop_assert_eq!(&patched, &rebuilt, "patched vs oracle at {}", vdd);
+            prop_assert_eq!(&patched, &cold, "patched vs brute force at {}", vdd);
+            let patched_full = delta_eval.evaluate_move(&parent, mv).unwrap();
+            let rebuilt_full = oracle.evaluate_move(&parent, mv).unwrap();
+            let cold_full = brute.evaluate_move(&parent, mv).unwrap();
+            prop_assert_eq!(&patched_full, &rebuilt_full);
+            prop_assert_eq!(&patched_full, &cold_full);
+        }
+        // The parent itself evaluates identically too (cache replay path).
+        prop_assert_eq!(
+            delta_eval.evaluate(&parent).unwrap(),
+            brute.evaluate(&parent).unwrap()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn delta_engine_synthesizes_identically_to_the_oracle_engine(
+        laxity_steps in 0u32..5,
+    ) {
+        let laxity = 1.0 + 0.5 * f64::from(laxity_steps);
+        let (cdfg, trace) = gcd_setup(10);
+        let config = SynthesisConfig::power_optimized(laxity).with_effort(2, 3);
+        let delta = Impact::new(config.clone().with_engine(EngineConfig::incremental()))
+            .synthesize(&cdfg, &trace)
+            .unwrap();
+        let oracle = Impact::new(config.clone().with_engine(EngineConfig::full_rebuild()))
+            .synthesize(&cdfg, &trace)
+            .unwrap();
+        let brute = Impact::new(config.with_engine(EngineConfig::sequential()))
+            .synthesize(&cdfg, &trace)
+            .unwrap();
+        prop_assert_eq!(&delta.report, &oracle.report);
+        prop_assert_eq!(&delta.report, &brute.report);
+        prop_assert_eq!(&delta.design, &oracle.design);
+        prop_assert_eq!(&delta.design, &brute.design);
+        prop_assert_eq!(delta.history.len(), oracle.history.len());
+        // The delta engine actually exercises the schedule-memo layer.
+        prop_assert!(delta.cache_stats.schedule.hits + delta.cache_stats.schedule.misses > 0);
+    }
+}

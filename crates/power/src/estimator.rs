@@ -212,6 +212,30 @@ impl PowerProfile {
         library: &ModuleLibrary,
         cdfg: &Cdfg,
         design: &RtlDesign,
+        fu_stats: impl FnMut(FuId, &FunctionalUnit) -> (f64, f64),
+        reg_stats: impl FnMut(RegId, &Register) -> (f64, f64),
+        mux_stats: impl FnMut(&MuxSite, bool) -> (f64, f64),
+    ) -> Self {
+        Self::assemble_with_sites(
+            library,
+            design,
+            &design.mux_sites(cdfg),
+            fu_stats,
+            reg_stats,
+            mux_stats,
+        )
+    }
+
+    /// [`Self::assemble`] over a caller-provided mux-site list: evaluation
+    /// paths that already enumerated the design's sites (context building,
+    /// delta patching) hand them in instead of re-enumerating. `sites` must
+    /// be (a filtering of) `design.mux_sites(cdfg)` in enumeration order;
+    /// sites with fan-in below two are skipped either way, so a pre-filtered
+    /// list produces a bit-identical profile.
+    pub fn assemble_with_sites(
+        library: &ModuleLibrary,
+        design: &RtlDesign,
+        sites: &[MuxSite],
         mut fu_stats: impl FnMut(FuId, &FunctionalUnit) -> (f64, f64),
         mut reg_stats: impl FnMut(RegId, &Register) -> (f64, f64),
         mut mux_stats: impl FnMut(&MuxSite, bool) -> (f64, f64),
@@ -239,12 +263,12 @@ impl PowerProfile {
             register_bits += f64::from(reg.width);
         }
         let mut muxes = Vec::new();
-        for site in design.mux_sites(cdfg) {
+        for site in sites {
             if site.fan_in() < 2 {
                 continue;
             }
             let restructured = design.is_restructured(site.sink);
-            let (tree_activity, selections_per_pass) = mux_stats(&site, restructured);
+            let (tree_activity, selections_per_pass) = mux_stats(site, restructured);
             muxes.push(MuxPowerProfile {
                 capacitance_pf: library.mux2().capacitance_for_width(site.width),
                 tree_activity,
@@ -256,7 +280,7 @@ impl PowerProfile {
             regs,
             register_bits,
             muxes,
-            datapath_area: design.datapath_area(cdfg, library),
+            datapath_area: design.datapath_area_with_sites(library, sites),
         }
     }
 }

@@ -8,6 +8,11 @@ use std::fmt;
 use impact_cdfg::{Cdfg, NodeId, OpClass, Operation, ValueRef, VarId};
 use impact_modlib::{ModuleId, ModuleLibrary};
 
+use crate::delta::{
+    fingerprint_seed, fu_component, op_binding_component, reg_component, restructured_component,
+    var_binding_component, DesignDelta, FuSlotChange, RegSlotChange,
+};
+
 /// Identifier of a functional-unit instance.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct FuId(usize);
@@ -326,11 +331,19 @@ impl RtlDesign {
     /// Marks or unmarks a mux site as restructured (activity-probability
     /// ordered instead of balanced).
     pub fn set_restructured(&mut self, sink: MuxSink, restructured: bool) {
-        if restructured {
-            self.restructured.insert(sink);
-        } else {
-            self.restructured.remove(&sink);
+        let _ = self.set_restructured_delta(sink, restructured);
+    }
+
+    /// [`Self::set_restructured`] returning the transactional change-set
+    /// (empty when the annotation already had the requested value).
+    pub fn set_restructured_delta(&mut self, sink: MuxSink, restructured: bool) -> DesignDelta {
+        let mut delta = self.empty_delta();
+        let before = self.restructured.contains(&sink);
+        if before != restructured {
+            delta.restructured.push((sink, before, restructured));
         }
+        self.apply_delta(&delta);
+        delta
     }
 
     /// Returns `true` if the site was restructured.
@@ -344,6 +357,36 @@ impl RtlDesign {
     }
 
     // ------------------------------------------------------------ mutations
+    //
+    // Every mutation is transactional: it computes its exact change-set as a
+    // [`DesignDelta`] first, applies it via [`Self::apply_delta`], and
+    // returns it, so callers can patch fingerprints and evaluation contexts
+    // (or revert the move) without diffing whole designs.
+
+    /// An empty delta anchored to this design's current slot-vector lengths.
+    fn empty_delta(&self) -> DesignDelta {
+        DesignDelta::new(self.fus.len(), self.registers.len())
+    }
+
+    /// Restructured-mux annotations that become stale when `remove` leaves
+    /// the allocation, as delta drop entries.
+    fn stale_fu_sinks(&self, remove: FuId) -> Vec<(MuxSink, bool, bool)> {
+        self.restructured
+            .iter()
+            .filter(|sink| matches!(sink, MuxSink::FuInput { fu, .. } if *fu == remove))
+            .map(|&sink| (sink, true, false))
+            .collect()
+    }
+
+    /// Restructured-mux annotations that become stale when `remove` leaves
+    /// the register allocation.
+    fn stale_register_sinks(&self, remove: RegId) -> Vec<(MuxSink, bool, bool)> {
+        self.restructured
+            .iter()
+            .filter(|sink| matches!(sink, MuxSink::RegisterInput { reg } if *reg == remove))
+            .map(|&sink| (sink, true, false))
+            .collect()
+    }
 
     /// Resource sharing: every operation of `remove` is rebound onto `keep`
     /// and `remove` disappears from the allocation.
@@ -352,7 +395,7 @@ impl RtlDesign {
     ///
     /// Fails if either unit is unknown, the units are the same, or their
     /// classes differ.
-    pub fn share_fus(&mut self, keep: FuId, remove: FuId) -> Result<(), RtlError> {
+    pub fn share_fus(&mut self, keep: FuId, remove: FuId) -> Result<DesignDelta, RtlError> {
         if keep == remove {
             return Err(RtlError::UnknownResource {
                 what: format!("sharing {keep} with itself"),
@@ -366,17 +409,31 @@ impl RtlDesign {
                 remove: remove_unit.class,
             });
         }
-        for binding in self.op_binding.iter_mut() {
+        let mut delta = self.empty_delta();
+        for (index, binding) in self.op_binding.iter().enumerate() {
             if *binding == Some(remove) {
-                *binding = Some(keep);
+                delta
+                    .op_bindings
+                    .push((NodeId::new(index), Some(remove), Some(keep)));
             }
         }
-        if let Some(Some(unit)) = self.fus.get_mut(keep.0) {
-            unit.width = unit.width.max(remove_unit.width);
-        }
-        self.fus[remove.0] = None;
-        self.drop_stale_sites();
-        Ok(())
+        let widened = FunctionalUnit {
+            width: keep_unit.width.max(remove_unit.width),
+            ..keep_unit.clone()
+        };
+        delta.fus.push(FuSlotChange {
+            id: keep,
+            before: Some(keep_unit),
+            after: Some(widened),
+        });
+        delta.fus.push(FuSlotChange {
+            id: remove,
+            before: Some(remove_unit),
+            after: None,
+        });
+        delta.restructured = self.stale_fu_sinks(remove);
+        self.apply_delta(&delta);
+        Ok(delta)
     }
 
     /// Resource splitting: the listed operations move from `fu` onto a new
@@ -387,7 +444,12 @@ impl RtlDesign {
     /// Fails if `fu` is unknown, the list is empty, no listed operation is
     /// bound to `fu`, or every operation of `fu` would move (which would just
     /// rename the unit).
-    pub fn split_fu(&mut self, cdfg: &Cdfg, fu: FuId, ops: &[NodeId]) -> Result<FuId, RtlError> {
+    pub fn split_fu(
+        &mut self,
+        cdfg: &Cdfg,
+        fu: FuId,
+        ops: &[NodeId],
+    ) -> Result<DesignDelta, RtlError> {
         let unit = self.functional_unit(fu)?.clone();
         let moving: Vec<NodeId> = ops
             .iter()
@@ -408,16 +470,22 @@ impl RtlDesign {
             })
             .max()
             .unwrap_or(unit.width);
+        let mut delta = self.empty_delta();
         let new_id = FuId(self.fus.len());
-        self.fus.push(Some(FunctionalUnit {
-            class: unit.class,
-            module: unit.module,
-            width,
-        }));
+        delta.fus.push(FuSlotChange {
+            id: new_id,
+            before: None,
+            after: Some(FunctionalUnit {
+                class: unit.class,
+                module: unit.module,
+                width,
+            }),
+        });
         for node in moving {
-            self.op_binding[node.index()] = Some(new_id);
+            delta.op_bindings.push((node, Some(fu), Some(new_id)));
         }
-        Ok(new_id)
+        self.apply_delta(&delta);
+        Ok(delta)
     }
 
     /// Module substitution: `fu` switches to a different library variant of
@@ -431,19 +499,29 @@ impl RtlDesign {
         library: &ModuleLibrary,
         fu: FuId,
         module: ModuleId,
-    ) -> Result<(), RtlError> {
-        let unit_class = self.functional_unit(fu)?.class;
+    ) -> Result<DesignDelta, RtlError> {
+        let unit = self.functional_unit(fu)?.clone();
         let variant_class = library.variant(module).class;
-        if unit_class != variant_class {
+        if unit.class != variant_class {
             return Err(RtlError::WrongModuleClass {
-                unit: unit_class,
+                unit: unit.class,
                 variant: variant_class,
             });
         }
-        if let Some(Some(unit)) = self.fus.get_mut(fu.0) {
-            unit.module = module;
+        let mut delta = self.empty_delta();
+        if unit.module != module {
+            let substituted = FunctionalUnit {
+                module,
+                ..unit.clone()
+            };
+            delta.fus.push(FuSlotChange {
+                id: fu,
+                before: Some(unit),
+                after: Some(substituted),
+            });
         }
-        Ok(())
+        self.apply_delta(&delta);
+        Ok(delta)
     }
 
     /// Register sharing: the variables of `remove` move into `keep`.
@@ -451,26 +529,36 @@ impl RtlDesign {
     /// # Errors
     ///
     /// Fails if either register is unknown or they are the same register.
-    pub fn share_registers(&mut self, keep: RegId, remove: RegId) -> Result<(), RtlError> {
+    pub fn share_registers(&mut self, keep: RegId, remove: RegId) -> Result<DesignDelta, RtlError> {
         if keep == remove {
             return Err(RtlError::UnknownResource {
                 what: format!("sharing {keep} with itself"),
             });
         }
         let removed = self.register(remove)?.clone();
-        self.register(keep)?;
-        for binding in self.var_binding.iter_mut() {
+        let kept = self.register(keep)?.clone();
+        let mut delta = self.empty_delta();
+        for (index, binding) in self.var_binding.iter().enumerate() {
             if *binding == remove {
-                *binding = keep;
+                delta.var_bindings.push((VarId::new(index), remove, keep));
             }
         }
-        if let Some(Some(reg)) = self.registers.get_mut(keep.0) {
-            reg.variables.extend(removed.variables.iter().copied());
-            reg.width = reg.width.max(removed.width);
-        }
-        self.registers[remove.0] = None;
-        self.drop_stale_sites();
-        Ok(())
+        let mut merged = kept.clone();
+        merged.variables.extend(removed.variables.iter().copied());
+        merged.width = merged.width.max(removed.width);
+        delta.registers.push(RegSlotChange {
+            id: keep,
+            before: Some(kept),
+            after: Some(merged),
+        });
+        delta.registers.push(RegSlotChange {
+            id: remove,
+            before: Some(removed),
+            after: None,
+        });
+        delta.restructured = self.stale_register_sinks(remove);
+        self.apply_delta(&delta);
+        Ok(delta)
     }
 
     /// Register splitting: the listed variables move out of `reg` into a new
@@ -485,7 +573,7 @@ impl RtlDesign {
         cdfg: &Cdfg,
         reg: RegId,
         vars: &[VarId],
-    ) -> Result<RegId, RtlError> {
+    ) -> Result<DesignDelta, RtlError> {
         let current = self.register(reg)?.clone();
         let moving: Vec<VarId> = vars
             .iter()
@@ -500,39 +588,92 @@ impl RtlDesign {
             .map(|&v| cdfg.variable(v).width)
             .max()
             .unwrap_or(current.width);
+        let mut delta = self.empty_delta();
         let new_id = RegId(self.registers.len());
-        self.registers.push(Some(Register {
-            variables: moving.clone(),
-            width,
-        }));
         for &v in &moving {
-            self.var_binding[v.index()] = new_id;
+            delta.var_bindings.push((v, reg, new_id));
         }
-        if let Some(Some(old)) = self.registers.get_mut(reg.0) {
-            old.variables.retain(|v| !moving.contains(v));
-        }
-        Ok(new_id)
+        let mut remaining = current.clone();
+        remaining.variables.retain(|v| !moving.contains(v));
+        delta.registers.push(RegSlotChange {
+            id: reg,
+            before: Some(current),
+            after: Some(remaining),
+        });
+        delta.registers.push(RegSlotChange {
+            id: new_id,
+            before: None,
+            after: Some(Register {
+                variables: moving,
+                width,
+            }),
+        });
+        self.apply_delta(&delta);
+        Ok(delta)
     }
 
-    /// Mux-shape annotations for sinks that no longer exist are dropped after
-    /// sharing moves so stale entries never accumulate.
-    fn drop_stale_sites(&mut self) {
-        let fus: HashSet<usize> = self
-            .fus
-            .iter()
-            .enumerate()
-            .filter_map(|(i, f)| f.as_ref().map(|_| i))
-            .collect();
-        let regs: HashSet<usize> = self
-            .registers
-            .iter()
-            .enumerate()
-            .filter_map(|(i, r)| r.as_ref().map(|_| i))
-            .collect();
-        self.restructured.retain(|sink| match sink {
-            MuxSink::FuInput { fu, .. } => fus.contains(&fu.0),
-            MuxSink::RegisterInput { reg } => regs.contains(&reg.0),
-        });
+    /// Replays a delta onto a design in the delta's pre-move state: slot
+    /// vectors grow as needed and every touched entry takes its `after`
+    /// value. Applying a delta produced by one of the mutation methods above
+    /// reproduces that mutation exactly.
+    pub fn apply_delta(&mut self, delta: &DesignDelta) {
+        for change in &delta.fus {
+            if self.fus.len() <= change.id.0 {
+                self.fus.resize(change.id.0 + 1, None);
+            }
+            self.fus[change.id.0] = change.after.clone();
+        }
+        for change in &delta.registers {
+            if self.registers.len() <= change.id.0 {
+                self.registers.resize(change.id.0 + 1, None);
+            }
+            self.registers[change.id.0] = change.after.clone();
+        }
+        for &(node, _, after) in &delta.op_bindings {
+            self.op_binding[node.index()] = after;
+        }
+        for &(var, _, after) in &delta.var_bindings {
+            self.var_binding[var.index()] = after;
+        }
+        for &(sink, _, after) in &delta.restructured {
+            if after {
+                self.restructured.insert(sink);
+            } else {
+                self.restructured.remove(&sink);
+            }
+        }
+    }
+
+    /// Undoes a delta: every touched entry takes its `before` value and slot
+    /// vectors are truncated back to their pre-move lengths, restoring the
+    /// *exact* pre-move design (field-for-field equality, not just
+    /// structural equivalence).
+    pub fn revert_delta(&mut self, delta: &DesignDelta) {
+        for change in &delta.fus {
+            if change.id.0 < delta.fu_slots_before {
+                self.fus[change.id.0] = change.before.clone();
+            }
+        }
+        self.fus.truncate(delta.fu_slots_before);
+        for change in &delta.registers {
+            if change.id.0 < delta.reg_slots_before {
+                self.registers[change.id.0] = change.before.clone();
+            }
+        }
+        self.registers.truncate(delta.reg_slots_before);
+        for &(node, before, _) in &delta.op_bindings {
+            self.op_binding[node.index()] = before;
+        }
+        for &(var, before, _) in &delta.var_bindings {
+            self.var_binding[var.index()] = before;
+        }
+        for &(sink, before, _) in &delta.restructured {
+            if before {
+                self.restructured.insert(sink);
+            } else {
+                self.restructured.remove(&sink);
+            }
+        }
     }
 
     // ------------------------------------------------------------ analyses
@@ -541,53 +682,44 @@ impl RtlDesign {
     /// allocation, binding, module selection and mux-shape annotations. Two
     /// designs with equal fingerprints evaluate identically, which is what
     /// lets the engine memoize scheduling and power results by design.
+    ///
+    /// The digest is the XOR of one independent component digest per
+    /// occupied slot, binding entry and annotation (each embedding its
+    /// position and a section tag), which is what makes it *incrementally
+    /// updatable*: [`Self::fingerprint_update`] patches a parent's digest
+    /// from a [`DesignDelta`] instead of re-hashing the whole design.
     pub fn fingerprint(&self) -> crate::DesignFingerprint {
-        let mut h = crate::FingerprintHasher::new();
-        h.write_tag(1);
+        let mut bits = fingerprint_seed();
         for (index, slot) in self.fus.iter().enumerate() {
             if let Some(unit) = slot {
-                h.write_u64(index as u64);
-                h.write_u64(unit.class as u64);
-                h.write_u64(unit.module.index() as u64);
-                h.write_u64(u64::from(unit.width));
+                bits ^= fu_component(index, unit);
             }
         }
-        h.write_tag(2);
         for (index, slot) in self.registers.iter().enumerate() {
             if let Some(reg) = slot {
-                h.write_u64(index as u64);
-                h.write_u64(u64::from(reg.width));
-                h.write_u64(reg.variables.len() as u64);
-                for &var in &reg.variables {
-                    h.write_u64(var.index() as u64);
-                }
+                bits ^= reg_component(index, reg);
             }
         }
-        h.write_tag(3);
-        for binding in &self.op_binding {
-            h.write_u64(binding.map_or(0, |fu| fu.0 as u64 + 1));
+        for (index, binding) in self.op_binding.iter().enumerate() {
+            bits ^= op_binding_component(index, *binding);
         }
-        h.write_tag(4);
-        for &reg in &self.var_binding {
-            h.write_u64(reg.0 as u64);
+        for (index, &reg) in self.var_binding.iter().enumerate() {
+            bits ^= var_binding_component(index, reg);
         }
-        h.write_tag(5);
-        let mut restructured: Vec<MuxSink> = self.restructured.iter().copied().collect();
-        restructured.sort_unstable();
-        for sink in restructured {
-            match sink {
-                MuxSink::FuInput { fu, port } => {
-                    h.write_u64(1);
-                    h.write_u64(fu.0 as u64);
-                    h.write_u64(u64::from(port));
-                }
-                MuxSink::RegisterInput { reg } => {
-                    h.write_u64(2);
-                    h.write_u64(reg.0 as u64);
-                }
-            }
+        for &sink in &self.restructured {
+            bits ^= restructured_component(sink);
         }
-        h.finish()
+        crate::DesignFingerprint::from_u128(bits)
+    }
+
+    /// Patches a parent design's fingerprint into the fingerprint of the
+    /// design obtained by applying `delta` — only the touched components are
+    /// hashed. Bit-identical to [`Self::fingerprint`] on the mutated design.
+    pub fn fingerprint_update(
+        base: crate::DesignFingerprint,
+        delta: &DesignDelta,
+    ) -> crate::DesignFingerprint {
+        delta.patched_fingerprint(base)
     }
 
     /// Per-node module delays (no interconnect), in nanoseconds, at the
@@ -595,22 +727,29 @@ impl RtlDesign {
     /// free.
     pub fn node_module_delays(&self, cdfg: &Cdfg, library: &ModuleLibrary) -> Vec<f64> {
         cdfg.nodes()
-            .map(|(id, node)| match self.fu_of(id) {
-                Some(fu) => {
-                    let unit = self
-                        .functional_unit(fu)
-                        .expect("binding references active units");
-                    library.variant(unit.module).delay_for_width(unit.width)
-                }
-                None => {
-                    if node.operation == Operation::EndLoop {
-                        0.0
-                    } else {
-                        library.mux2().delay_ns
-                    }
-                }
-            })
+            .map(|(id, _)| self.node_module_delay(cdfg, library, id))
             .collect()
+    }
+
+    /// Module delay of one node (the per-node piece of
+    /// [`Self::node_module_delays`], used by delta-patched evaluation to
+    /// refresh only the nodes a move touched).
+    pub fn node_module_delay(&self, cdfg: &Cdfg, library: &ModuleLibrary, node: NodeId) -> f64 {
+        match self.fu_of(node) {
+            Some(fu) => {
+                let unit = self
+                    .functional_unit(fu)
+                    .expect("binding references active units");
+                library.variant(unit.module).delay_for_width(unit.width)
+            }
+            None => {
+                if cdfg.node(node).operation == Operation::EndLoop {
+                    0.0
+                } else {
+                    library.mux2().delay_ns
+                }
+            }
+        }
     }
 
     /// Enumerates every multiplexer site of the datapath: one per
@@ -707,6 +846,15 @@ impl RtlDesign {
     /// 2-to-1 multiplexers (the controller is modelled separately, on top of
     /// the STG).
     pub fn datapath_area(&self, cdfg: &Cdfg, library: &ModuleLibrary) -> f64 {
+        self.datapath_area_with_sites(library, &self.mux_sites(cdfg))
+    }
+
+    /// [`Self::datapath_area`] over a caller-provided mux-site list, so
+    /// evaluation paths that already enumerated the sites (context building,
+    /// delta patching) do not enumerate them again. Sites with fan-in below
+    /// two contribute zero mux area, so passing a list filtered to fan-in ≥ 2
+    /// yields a bit-identical total.
+    pub fn datapath_area_with_sites(&self, library: &ModuleLibrary, sites: &[MuxSite]) -> f64 {
         let fu_area: f64 = self
             .functional_units()
             .map(|(_, f)| library.variant(f.module).area_for_width(f.width))
@@ -715,8 +863,7 @@ impl RtlDesign {
             .registers()
             .map(|(_, r)| library.register().area_for_width(r.width))
             .sum();
-        let mux_area: f64 = self
-            .mux_sites(cdfg)
+        let mux_area: f64 = sites
             .iter()
             .map(|site| site.mux_count() as f64 * library.mux2().area_for_width(site.width))
             .sum();
@@ -811,7 +958,8 @@ mod tests {
         design.share_fus(adds[0], adds[1]).unwrap();
         let shared_ops = design.ops_on(adds[0]);
         assert_eq!(shared_ops.len(), 2);
-        let new_fu = design.split_fu(&cdfg, adds[0], &shared_ops[1..]).unwrap();
+        let delta = design.split_fu(&cdfg, adds[0], &shared_ops[1..]).unwrap();
+        let new_fu = delta.created_fu().expect("the split created a unit");
         assert_eq!(design.ops_on(adds[0]).len(), 1);
         assert_eq!(design.ops_on(new_fu).len(), 1);
         assert!(matches!(
@@ -849,7 +997,10 @@ mod tests {
         assert_eq!(design.register_of(y), rx);
         assert_eq!(design.register(rx).unwrap().variables.len(), 2);
         assert!(design.register(ry).is_err());
-        let new_reg = design.split_register(&cdfg, rx, &[y]).unwrap();
+        let delta = design.split_register(&cdfg, rx, &[y]).unwrap();
+        let new_reg = delta
+            .created_register()
+            .expect("the split created a register");
         assert_eq!(design.register_of(y), new_reg);
         assert_eq!(design.register(rx).unwrap().variables, vec![x]);
     }
@@ -965,6 +1116,99 @@ mod tests {
             false,
         );
         assert_eq!(restructured.fingerprint(), base);
+    }
+
+    /// Every mutation kind applied once, as `(description, delta)` pairs,
+    /// leaving `design` in the final state.
+    fn apply_all_move_kinds(
+        cdfg: &Cdfg,
+        design: &mut RtlDesign,
+    ) -> Vec<(&'static str, super::DesignDelta)> {
+        let lib = ModuleLibrary::standard();
+        let mut deltas = Vec::new();
+        let adds = adders(design);
+        deltas.push(("share_fus", design.share_fus(adds[0], adds[1]).unwrap()));
+        deltas.push((
+            "substitute_module",
+            design
+                .substitute_module(&lib, adds[0], lib.variant_by_name("ripple_adder").unwrap())
+                .unwrap(),
+        ));
+        let sink = MuxSink::FuInput {
+            fu: adds[0],
+            port: 0,
+        };
+        deltas.push(("restructure", design.set_restructured_delta(sink, true)));
+        let x = cdfg.variable_by_name("x").unwrap();
+        let y = cdfg.variable_by_name("y").unwrap();
+        let rx = design.register_of(x);
+        let ry = design.register_of(y);
+        deltas.push(("share_registers", design.share_registers(rx, ry).unwrap()));
+        deltas.push((
+            "split_register",
+            design.split_register(cdfg, rx, &[y]).unwrap(),
+        ));
+        let shared_ops = design.ops_on(adds[0]);
+        deltas.push((
+            "split_fu",
+            design.split_fu(cdfg, adds[0], &shared_ops[1..]).unwrap(),
+        ));
+        deltas
+    }
+
+    #[test]
+    fn deltas_revert_to_the_exact_pre_move_design() {
+        let cdfg = gcd();
+        let lib = ModuleLibrary::standard();
+        let mut design = RtlDesign::initial_parallel(&cdfg, &lib);
+        let original = design.clone();
+        let deltas = apply_all_move_kinds(&cdfg, &mut design);
+        assert_ne!(design, original);
+        for (kind, delta) in deltas.iter().rev() {
+            assert!(!delta.is_empty(), "{kind} must record its changes");
+            design.revert_delta(delta);
+        }
+        assert_eq!(design, original, "reverting in reverse order is exact");
+        assert_eq!(design.fingerprint(), original.fingerprint());
+    }
+
+    #[test]
+    fn applying_a_delta_reproduces_the_mutation() {
+        let cdfg = gcd();
+        let lib = ModuleLibrary::standard();
+        let mut design = RtlDesign::initial_parallel(&cdfg, &lib);
+        let twin = design.clone();
+        let deltas = apply_all_move_kinds(&cdfg, &mut design);
+        let mut replayed = twin;
+        for (_, delta) in &deltas {
+            replayed.apply_delta(delta);
+        }
+        assert_eq!(replayed, design);
+    }
+
+    #[test]
+    fn incremental_fingerprints_match_full_recomputation() {
+        let cdfg = gcd();
+        let lib = ModuleLibrary::standard();
+        let mut design = RtlDesign::initial_parallel(&cdfg, &lib);
+        let mut running = design.fingerprint();
+        let before = design.clone();
+        let deltas = apply_all_move_kinds(&cdfg, &mut design);
+        for (kind, delta) in &deltas {
+            running = RtlDesign::fingerprint_update(running, delta);
+            let _ = kind;
+        }
+        assert_eq!(running, design.fingerprint());
+        // Reverting patches backwards too (XOR is self-inverse).
+        for (_, delta) in deltas.iter().rev() {
+            design.revert_delta(delta);
+            // Recompute via patching the other way: patch with a delta whose
+            // roles are swapped is equivalent to XOR-ing the same components,
+            // so patching twice with the same delta round-trips.
+            running = RtlDesign::fingerprint_update(running, delta);
+        }
+        assert_eq!(design, before);
+        assert_eq!(running, before.fingerprint());
     }
 
     #[test]

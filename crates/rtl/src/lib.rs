@@ -35,13 +35,17 @@
 //! assert!((restructured.switching_activity() - 0.72).abs() < 0.01);
 //! ```
 
+mod delta;
 mod design;
-mod fingerprint;
 mod mux;
 
+pub use delta::DesignDelta;
 pub use design::{
     FuId, FunctionalUnit, MuxSink, MuxSite, RegId, Register, RtlDesign, RtlError, SignalKey,
     SignalSource,
 };
-pub use fingerprint::{DesignFingerprint, FingerprintHasher};
+/// A design's structural digest is the shared 128-bit content digest of
+/// [`impact_cdfg::fingerprint`]; the hasher is re-exported alongside it so
+/// downstream crates need only one import path.
+pub use impact_cdfg::fingerprint::{Digest128 as DesignFingerprint, FingerprintHasher};
 pub use mux::{MuxSource, MuxTree};

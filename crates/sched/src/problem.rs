@@ -1,6 +1,7 @@
 //! Inputs and outputs of the schedulers.
 
 use impact_behsim::ControlProfile;
+use impact_cdfg::fingerprint::FingerprintHasher;
 use impact_cdfg::{Cdfg, OpClass};
 use impact_modlib::{ModuleLibrary, CHAINING_OVERHEAD, DEFAULT_CLOCK_NS};
 use impact_stg::Stg;
@@ -78,6 +79,40 @@ pub struct SchedulingProblem<'a> {
     pub config: ScheduleConfig,
 }
 
+impl SchedulingProblem<'_> {
+    /// Content digest of everything that determines the schedule *besides*
+    /// the CDFG and the control profile: the exact per-node delay bits, the
+    /// functional-unit binding and the scheduler configuration.
+    ///
+    /// Scoped by a workload digest (which pins the CDFG and profile), two
+    /// problems with equal digests schedule identically — even when they
+    /// come from *different* RT-level designs that differ only in
+    /// power-relevant ways (module capacitance, register activity, mux-tree
+    /// probability ordering that leaves the depths unchanged). That is what
+    /// lets an evaluation session share one memoized schedule across such
+    /// designs instead of rescheduling each.
+    pub fn digest(&self) -> u128 {
+        let mut h = FingerprintHasher::new();
+        h.write_tag(0x5C);
+        h.write_f64(self.config.clock_ns);
+        h.write_u64(
+            u64::from(self.config.chaining)
+                | u64::from(self.config.concurrent_loops) << 1
+                | u64::from(self.config.loop_overlap) << 2,
+        );
+        h.write_f64(self.config.chaining_overhead);
+        h.write_tag(1);
+        for &delay in &self.node_delays {
+            h.write_f64(delay);
+        }
+        h.write_tag(2);
+        for fu in &self.node_fu {
+            h.write_u64(fu.map_or(0, |f| f as u64 + 1));
+        }
+        h.finish().as_u128()
+    }
+}
+
 /// Output of a scheduler: the STG plus its headline metrics.
 #[derive(Clone, PartialEq, Debug)]
 pub struct SchedulingResult {
@@ -152,6 +187,37 @@ mod tests {
         assert_eq!(b.clock_ns, w.clock_ns);
         assert_eq!(ScheduleConfig::default(), w);
         assert_eq!(w.clone().with_clock(20.0).clock_ns, 20.0);
+    }
+
+    #[test]
+    fn problem_digests_track_delays_binding_and_config() {
+        let cdfg = compile(
+            "design d { input a: 8; output y: 16; var s: 16 = 0; var i: 8;
+               for (i = 0; i < 4; i = i + 1) { s = s + a * 2; }
+               y = s; }",
+        )
+        .unwrap();
+        let trace = simulate(&cdfg, &[vec![3]]).unwrap();
+        let p = uniform_problem(&cdfg, trace.profile());
+        let base = p.digest();
+        assert_eq!(base, uniform_problem(&cdfg, trace.profile()).digest());
+        let mut slower = p.clone();
+        slower.node_delays[0] += 0.5;
+        assert_ne!(slower.digest(), base, "delays are part of the digest");
+        let mut rebound = p.clone();
+        let bound = rebound
+            .node_fu
+            .iter()
+            .position(|f| f.is_some())
+            .expect("some node needs a unit");
+        rebound.node_fu[bound] = Some(991);
+        assert_ne!(rebound.digest(), base, "binding is part of the digest");
+        let mut reclocked = p.clone();
+        reclocked.config = reclocked.config.with_clock(21.5);
+        assert_ne!(reclocked.digest(), base, "the clock is part of the digest");
+        let mut unchained = p;
+        unchained.config.chaining = false;
+        assert_ne!(unchained.digest(), base, "config flags are in the digest");
     }
 
     #[test]
