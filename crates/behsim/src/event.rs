@@ -2,7 +2,9 @@
 //! behavioral simulation.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
+use impact_cdfg::fingerprint::FingerprintHasher;
 use impact_cdfg::{NodeId, VarId};
 
 use crate::profile::{BranchStats, ControlProfile, LoopStats};
@@ -29,7 +31,7 @@ pub struct OpEvent {
 /// The trace owns the per-operation events in dynamic execution order, the
 /// per-variable write sequences, the control-flow profile and the
 /// primary-output values of every pass.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExecutionTrace {
     events: Vec<OpEvent>,
     per_node: HashMap<NodeId, Vec<usize>>,
@@ -37,6 +39,24 @@ pub struct ExecutionTrace {
     profile: ControlProfile,
     outputs: Vec<HashMap<VarId, i64>>,
     passes: u32,
+    /// Lazily computed [`Self::content_digest`]; the trace is immutable, so
+    /// the first computation is kept for the trace's lifetime (and carried
+    /// by clones).
+    digest: OnceLock<u128>,
+    /// Lazily computed [`Self::first_sequences`].
+    first_seqs: OnceLock<Vec<u32>>,
+}
+
+/// Equality over the recorded simulation only — the lazily memoized digest
+/// is derived state and deliberately excluded.
+impl PartialEq for ExecutionTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.events == other.events
+            && self.var_writes == other.var_writes
+            && self.profile == other.profile
+            && self.outputs == other.outputs
+            && self.passes == other.passes
+    }
 }
 
 impl ExecutionTrace {
@@ -58,7 +78,66 @@ impl ExecutionTrace {
             profile,
             outputs,
             passes,
+            digest: OnceLock::new(),
+            first_seqs: OnceLock::new(),
         }
+    }
+
+    /// Sequence number of the first event recorded during each pass (`0` for
+    /// passes that recorded none), indexed by pass. Memoized: deriving a
+    /// register's write interleaving consults this once per pass, and the
+    /// evaluation engine derives thousands of register sequences per run —
+    /// scanning the event stream each time would be quadratic.
+    pub fn first_sequences(&self) -> &[u32] {
+        self.first_seqs.get_or_init(|| {
+            let mut first: Vec<Option<u32>> = vec![None; self.passes as usize];
+            for event in &self.events {
+                if let Some(slot) = first.get_mut(event.pass as usize) {
+                    if slot.is_none() {
+                        *slot = Some(event.sequence);
+                    }
+                }
+            }
+            first.into_iter().map(|s| s.unwrap_or(0)).collect()
+        })
+    }
+
+    /// Deterministic 128-bit content digest of the trace: the dynamic event
+    /// stream, the per-variable write sequences and the pass count.
+    /// Memoized — the trace is immutable — so sweeps that scope many
+    /// evaluation sessions by workload hash the event stream once instead of
+    /// once per run.
+    pub fn content_digest(&self) -> u128 {
+        *self.digest.get_or_init(|| {
+            let mut hasher = FingerprintHasher::new();
+            hasher.write_tag(0xE1);
+            hasher.write_u64(u64::from(self.passes));
+            hasher.write_u64(self.events.len() as u64);
+            for event in &self.events {
+                hasher.write_u64(event.node.index() as u64);
+                hasher.write_u64(event.inputs.len() as u64);
+                for &input in &event.inputs {
+                    hasher.write_i64(input);
+                }
+                hasher.write_i64(event.output);
+                hasher.write_u64(u64::from(event.pass));
+                hasher.write_u64(u64::from(event.sequence));
+            }
+            // Variable writes in variable-id order (the map iterates in
+            // arbitrary order; the digest must be stable across processes).
+            hasher.write_tag(0xF2);
+            let mut written: Vec<VarId> = self.var_writes.keys().copied().collect();
+            written.sort_unstable();
+            for var in written {
+                hasher.write_u64(var.index() as u64);
+                let writes = &self.var_writes[&var];
+                hasher.write_u64(writes.len() as u64);
+                for &value in writes {
+                    hasher.write_i64(value);
+                }
+            }
+            hasher.finish().as_u128()
+        })
     }
 
     /// All events in dynamic execution order.

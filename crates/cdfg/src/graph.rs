@@ -133,6 +133,9 @@ pub struct Cdfg {
     variables: Vec<Variable>,
     var_by_name: HashMap<String, VarId>,
     regions: Vec<Region>,
+    /// Lazily built [`Self::definers_of`] index; cleared by the (builder-only)
+    /// mutating accessors, so it can never go stale.
+    definers: std::sync::OnceLock<Vec<Vec<NodeId>>>,
 }
 
 impl Cdfg {
@@ -144,6 +147,7 @@ impl Cdfg {
             variables: Vec::new(),
             var_by_name: HashMap::new(),
             regions: Vec::new(),
+            definers: std::sync::OnceLock::new(),
         }
     }
 
@@ -252,20 +256,40 @@ impl Cdfg {
     /// Nodes whose output feeds a data port of `node` (same-iteration
     /// dependences only; loop-carried edges are excluded).
     pub fn data_predecessors(&self, node: NodeId) -> Vec<NodeId> {
-        self.node(node)
-            .inputs
-            .iter()
-            .filter_map(|&e| {
-                let edge = self.edge(e);
-                if edge.loop_carried {
-                    return None;
+        self.data_predecessors_iter(node).collect()
+    }
+
+    /// Streaming [`Self::data_predecessors`] — the schedulers' dependence
+    /// and loop-independence checks call this per node in hot loops, where
+    /// the collected form's allocation dominates.
+    pub fn data_predecessors_iter(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.node(node).inputs.iter().filter_map(move |&e| {
+            let edge = self.edge(e);
+            if edge.loop_carried {
+                return None;
+            }
+            match edge.source {
+                EdgeSource::Node(n) => Some(n),
+                EdgeSource::External => None,
+            }
+        })
+    }
+
+    /// Nodes defining `var`, in node order. The index behind this is built
+    /// lazily and kept for the graph's lifetime — trace manipulation derives
+    /// register value sequences thousands of times per synthesis run, and
+    /// scanning every node per query made that quadratic.
+    pub fn definers_of(&self, var: VarId) -> &[NodeId] {
+        let index = self.definers.get_or_init(|| {
+            let mut definers = vec![Vec::new(); self.variables.len()];
+            for (id, node) in self.nodes() {
+                if let Some(defined) = node.defines {
+                    definers[defined.index()].push(id);
                 }
-                match edge.source {
-                    EdgeSource::Node(n) => Some(n),
-                    EdgeSource::External => None,
-                }
-            })
-            .collect()
+            }
+            definers
+        });
+        index.get(var.index()).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Nodes whose output feeds `node` through a loop back-edge.
@@ -467,6 +491,7 @@ impl Cdfg {
     // ---- construction helpers used by the builder and the HDL lowering ----
 
     pub(crate) fn push_node(&mut self, node: Node) -> NodeId {
+        self.definers.take();
         let id = NodeId::new(self.nodes.len());
         self.nodes.push(node);
         id
@@ -491,6 +516,7 @@ impl Cdfg {
     }
 
     pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        self.definers.take();
         &mut self.nodes[id.index()]
     }
 

@@ -5,7 +5,12 @@
 //!
 //! * trace statistics (per-unit, per-register and per-mux-site activity),
 //!   keyed by structural *content* so candidate designs share them,
-//! * per-design evaluation contexts (base delays, binding and power profile),
+//! * basic-block schedules keyed by
+//!   [`block_digest`](impact_sched::block_digest), shared by hierarchical
+//!   schedules that differ only in blocks a change touched (delta-aware
+//!   schedule repair),
+//! * per-design evaluation contexts (base delays, binding and power profile)
+//!   and whole hierarchical schedules per problem digest,
 //! * fully evaluated [`DesignPoint`]s per `(workload, design, vdd)` and the
 //!   outcome of the full supply search per `(workload, design, enc budget)`.
 //!
@@ -21,9 +26,10 @@
 //! race to fill the same entry — both sides compute identical values, and the
 //! last store wins. Design points are stored behind `Arc`, so the per-level
 //! entries of the Vdd search and the fully-scaled entry share allocations and
-//! a hit clones a pointer, not the design. When a map outgrows its capacity
-//! bound it is cleared wholesale; the evictions are counted and the simple
-//! policy keeps hit paths branch-light.
+//! a hit clones a pointer, not the design. When a new entry would overflow a
+//! map's capacity bound the map is cleared and the triggering entry inserted
+//! into the fresh map (a store is always visible to the next lookup); the
+//! evictions are counted and the simple policy keeps hit paths branch-light.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -31,12 +37,12 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use impact_power::PowerProfile;
 use impact_rtl::MuxSite;
-use impact_sched::SchedulingResult;
+use impact_sched::{BlockSchedule, SchedulingResult};
 use impact_trace::{FuStats, RegStats};
 
 use crate::evaluate::DesignPoint;
 use crate::fingerprint::{
-    ContextKey, FuStatsKey, MuxStatsKey, PointKey, RegStatsKey, ScaledKey, ScheduleKey,
+    BlockKey, ContextKey, FuStatsKey, MuxStatsKey, PointKey, RegStatsKey, ScaledKey, ScheduleKey,
 };
 
 /// Everything about one design that the Vdd search reuses across supply
@@ -68,6 +74,23 @@ pub struct DesignContext {
     pub(crate) site_restructured: Vec<bool>,
     /// Depth of every source in each site's tree, parallel to `sites`.
     pub(crate) site_depths: Vec<Vec<usize>>,
+    /// Lazily built index of `sites` by sink. One parent context serves a
+    /// whole ranking stage of candidate patches; building the map per patch
+    /// was a measurable share of context derivation.
+    pub(crate) site_index: std::sync::OnceLock<HashMap<impact_rtl::MuxSink, usize>>,
+}
+
+impl DesignContext {
+    /// The memoized sink → site-position index of this context's sites.
+    pub(crate) fn site_index(&self) -> &HashMap<impact_rtl::MuxSink, usize> {
+        self.site_index.get_or_init(|| {
+            self.sites
+                .iter()
+                .enumerate()
+                .map(|(index, site)| (site.sink, index))
+                .collect()
+        })
+    }
 }
 
 /// Memoized statistics of one mux site: the tree's switching activity, the
@@ -124,11 +147,16 @@ pub struct CacheStats {
     pub contexts: usize,
     /// Memoized hierarchical schedules currently held.
     pub schedules: usize,
+    /// Memoized basic-block schedules currently held.
+    pub block_schedules: usize,
     /// Traffic on the raw trace-statistics maps (per-unit, per-register and
     /// per-mux-site activity combined).
     pub trace_stats: LayerStats,
     /// Traffic on the per-design context map.
     pub context: LayerStats,
+    /// Traffic on the per-block schedule map (delta-aware repair and block
+    /// memoization).
+    pub block: LayerStats,
     /// Traffic on the memoized-schedule map.
     pub schedule: LayerStats,
     /// Traffic on the per-`(design, vdd)` point map.
@@ -174,6 +202,10 @@ pub trait CacheBackend: Send + Sync + fmt::Debug {
     fn lookup_schedule(&self, key: &ScheduleKey) -> Option<Arc<SchedulingResult>>;
     /// Stores a hierarchical schedule.
     fn store_schedule(&self, key: ScheduleKey, value: Arc<SchedulingResult>);
+    /// Fetches a memoized basic-block schedule.
+    fn lookup_block(&self, key: &BlockKey) -> Option<Arc<BlockSchedule>>;
+    /// Stores a basic-block schedule.
+    fn store_block(&self, key: BlockKey, value: Arc<BlockSchedule>);
     /// Fetches memoized per-unit trace statistics.
     fn lookup_fu(&self, key: &FuStatsKey) -> Option<FuStats>;
     /// Stores per-unit trace statistics.
@@ -212,6 +244,8 @@ pub struct CacheSnapshot {
     pub contexts: HashMap<ContextKey, Arc<DesignContext>>,
     /// Memoized hierarchical schedules.
     pub schedules: HashMap<ScheduleKey, Arc<SchedulingResult>>,
+    /// Memoized basic-block schedules.
+    pub block_schedules: HashMap<BlockKey, Arc<BlockSchedule>>,
     /// Per-unit trace statistics.
     pub fu_stats: HashMap<FuStatsKey, FuStats>,
     /// Per-register trace statistics.
@@ -227,6 +261,7 @@ impl CacheSnapshot {
             + self.scaled.len()
             + self.contexts.len()
             + self.schedules.len()
+            + self.block_schedules.len()
             + self.fu_stats.len()
             + self.reg_stats.len()
             + self.mux_stats.len()
@@ -244,6 +279,7 @@ struct CacheInner {
     scaled: HashMap<ScaledKey, Option<Arc<DesignPoint>>>,
     contexts: HashMap<ContextKey, Arc<DesignContext>>,
     schedules: HashMap<ScheduleKey, Arc<SchedulingResult>>,
+    block_schedules: HashMap<BlockKey, Arc<BlockSchedule>>,
     fu_stats: HashMap<FuStatsKey, FuStats>,
     reg_stats: HashMap<RegStatsKey, RegStats>,
     mux_stats: HashMap<MuxStatsKey, MuxEntry>,
@@ -251,16 +287,19 @@ struct CacheInner {
     scaled_traffic: LayerStats,
     contexts_traffic: LayerStats,
     schedules_traffic: LayerStats,
+    blocks_traffic: LayerStats,
     fu_traffic: LayerStats,
     reg_traffic: LayerStats,
     mux_traffic: LayerStats,
     evictions: u64,
 }
 
-/// Capacity bounds; a map exceeding its bound on insert is cleared.
+/// Capacity bounds; a map whose bound a new entry would overflow is cleared
+/// and the triggering entry is inserted into the fresh map.
 const MAX_POINTS: usize = 16_384;
 const MAX_CONTEXTS: usize = 4_096;
 const MAX_SCHEDULES: usize = 16_384;
+const MAX_BLOCKS: usize = 65_536;
 const MAX_STATS: usize = 65_536;
 
 /// The in-process [`CacheBackend`]: one mutex-protected map set, shared by
@@ -301,7 +340,11 @@ macro_rules! backend_map {
 
         fn $store(&self, key: $key, value: $value) {
             let mut inner = self.lock();
-            if inner.$field.len() >= $cap {
+            // Only a *new* key can overflow the bound: overwriting an entry
+            // already present (e.g. the racing-store case) must never wipe
+            // the map. After a clear the triggering entry is inserted into
+            // the fresh map, so a store followed by a lookup always hits.
+            if inner.$field.len() >= $cap && !inner.$field.contains_key(&key) {
                 inner.$field.clear();
                 inner.evictions += 1;
             }
@@ -347,6 +390,15 @@ impl CacheBackend for InMemoryCache {
         Arc<SchedulingResult>,
         MAX_SCHEDULES
     );
+    backend_map!(
+        lookup_block,
+        store_block,
+        block_schedules,
+        blocks_traffic,
+        BlockKey,
+        Arc<BlockSchedule>,
+        MAX_BLOCKS
+    );
     backend_map!(lookup_fu, store_fu, fu_stats, fu_traffic, FuStatsKey, FuStats, MAX_STATS);
     backend_map!(
         lookup_reg,
@@ -375,6 +427,7 @@ impl CacheBackend for InMemoryCache {
             .plus(inner.mux_traffic);
         let total = trace_stats
             .plus(inner.contexts_traffic)
+            .plus(inner.blocks_traffic)
             .plus(inner.schedules_traffic)
             .plus(inner.points_traffic)
             .plus(inner.scaled_traffic);
@@ -385,8 +438,10 @@ impl CacheBackend for InMemoryCache {
             points: inner.points.len(),
             contexts: inner.contexts.len(),
             schedules: inner.schedules.len(),
+            block_schedules: inner.block_schedules.len(),
             trace_stats,
             context: inner.contexts_traffic,
+            block: inner.blocks_traffic,
             schedule: inner.schedules_traffic,
             point: inner.points_traffic,
             scaled: inner.scaled_traffic,
@@ -400,6 +455,7 @@ impl CacheBackend for InMemoryCache {
             scaled: inner.scaled.clone(),
             contexts: inner.contexts.clone(),
             schedules: inner.schedules.clone(),
+            block_schedules: inner.block_schedules.clone(),
             fu_stats: inner.fu_stats.clone(),
             reg_stats: inner.reg_stats.clone(),
             mux_stats: inner.mux_stats.clone(),
@@ -432,6 +488,7 @@ impl CacheBackend for InMemoryCache {
         merge_map!(scaled, MAX_POINTS);
         merge_map!(contexts, MAX_CONTEXTS);
         merge_map!(schedules, MAX_SCHEDULES);
+        merge_map!(block_schedules, MAX_BLOCKS);
         merge_map!(fu_stats, MAX_STATS);
         merge_map!(reg_stats, MAX_STATS);
         merge_map!(mux_stats, MAX_STATS);
@@ -466,6 +523,7 @@ mod tests {
             sites: Vec::new(),
             site_restructured: Vec::new(),
             site_depths: Vec::new(),
+            site_index: std::sync::OnceLock::new(),
         })
     }
 
@@ -483,9 +541,57 @@ mod tests {
         // The traffic landed on the context layer and nowhere else.
         assert_eq!(stats.context, LayerStats { hits: 1, misses: 1 });
         assert!((stats.context.hit_rate() - 0.5).abs() < 1e-12);
-        for idle in [stats.point, stats.scaled, stats.schedule, stats.trace_stats] {
+        for idle in [
+            stats.point,
+            stats.scaled,
+            stats.schedule,
+            stats.block,
+            stats.trace_stats,
+        ] {
             assert_eq!(idle, LayerStats::default());
         }
+    }
+
+    #[test]
+    fn block_layer_counts_its_own_traffic() {
+        let cache = InMemoryCache::new();
+        let key = BlockKey::new(WorkloadId(1), 42);
+        assert!(cache.lookup_block(&key).is_none());
+        cache.store_block(key, Arc::new(BlockSchedule::default()));
+        assert!(cache.lookup_block(&key).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.block, LayerStats { hits: 1, misses: 1 });
+        assert_eq!(stats.block_schedules, 1);
+    }
+
+    #[test]
+    fn a_store_followed_by_a_lookup_always_hits_at_capacity() {
+        // Regression for capacity eviction: the entry whose insertion
+        // triggers the overflow must land in the freshly cleared map — a
+        // wholesale clear that discarded it would make the store invisible
+        // to the very next lookup.
+        let cache = InMemoryCache::new();
+        for tag in 0..=(MAX_CONTEXTS as u64) {
+            cache.store_context(context_key(tag), sample_context());
+            assert!(
+                cache.lookup_context(&context_key(tag)).is_some(),
+                "entry {tag} must be readable immediately after its store"
+            );
+        }
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn overwriting_an_existing_key_at_capacity_does_not_evict() {
+        let cache = InMemoryCache::new();
+        for tag in 0..(MAX_CONTEXTS as u64) {
+            cache.store_context(context_key(tag), sample_context());
+        }
+        // A racing re-store of a held key must not clear a full map.
+        cache.store_context(context_key(0), sample_context());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 0, "overwrites never clear the map");
+        assert_eq!(stats.contexts, MAX_CONTEXTS);
     }
 
     #[test]

@@ -41,11 +41,21 @@ pub struct EngineConfig {
     /// capacitance, register grouping, probability reordering that keeps the
     /// mux depths) share one schedule across the session. Requires `cache`.
     pub schedule_memo: bool,
+    /// Repair schedules block by block instead of rescheduling the whole
+    /// CDFG: on a schedule-memo miss whose parent schedule is in the cache,
+    /// only the blocks the move touched are list-scheduled and the rest are
+    /// spliced from the parent; every block scheduled this way also flows
+    /// through a shared per-block cache layer keyed by
+    /// [`block_digest`](impact_sched::block_digest). Requires `cache`;
+    /// results are bit-identical to a full reschedule (the oracle path, kept
+    /// behind [`EngineConfig::full_reschedule`] for differential testing).
+    pub schedule_repair: bool,
 }
 
 impl EngineConfig {
-    /// The incremental engine: caching, delta patching and schedule
-    /// memoization on, ranking parallelized over the available CPUs.
+    /// The incremental engine: caching, delta patching, schedule memoization
+    /// and delta-aware schedule repair on, ranking parallelized over the
+    /// available CPUs.
     pub fn incremental() -> Self {
         Self {
             cache: true,
@@ -53,6 +63,7 @@ impl EngineConfig {
             ranking_threads: 0,
             delta_patching: true,
             schedule_memo: true,
+            schedule_repair: true,
         }
     }
 
@@ -64,6 +75,18 @@ impl EngineConfig {
         Self {
             delta_patching: false,
             schedule_memo: false,
+            schedule_repair: false,
+            ..Self::incremental()
+        }
+    }
+
+    /// The incremental engine with schedule *repair* disabled: every
+    /// schedule-memo miss pays a full hierarchical reschedule, exactly the
+    /// PR 4 delta evaluator. This is the oracle the repaired path is
+    /// differentially tested (and benchmarked) against.
+    pub fn full_reschedule() -> Self {
+        Self {
+            schedule_repair: false,
             ..Self::incremental()
         }
     }
@@ -77,6 +100,7 @@ impl EngineConfig {
             ranking_threads: 0,
             delta_patching: false,
             schedule_memo: false,
+            schedule_repair: false,
         }
     }
 }
@@ -243,11 +267,16 @@ mod tests {
         assert!(EngineConfig::default().parallel_ranking);
         assert!(EngineConfig::default().delta_patching);
         assert!(EngineConfig::default().schedule_memo);
+        assert!(EngineConfig::default().schedule_repair);
         let rebuild = EngineConfig::full_rebuild();
         assert!(rebuild.cache && !rebuild.delta_patching && !rebuild.schedule_memo);
+        assert!(!rebuild.schedule_repair);
+        let resched = EngineConfig::full_reschedule();
+        assert!(resched.cache && resched.delta_patching && resched.schedule_memo);
+        assert!(!resched.schedule_repair);
         let seq = EngineConfig::sequential();
         assert!(!seq.cache && !seq.parallel_ranking);
-        assert!(!seq.delta_patching && !seq.schedule_memo);
+        assert!(!seq.delta_patching && !seq.schedule_memo && !seq.schedule_repair);
         let c = SynthesisConfig::power_optimized(2.0).with_engine(seq);
         assert_eq!(c.engine, seq);
         assert_eq!(

@@ -178,7 +178,7 @@ impl Impact {
         };
         Ok(SynthesisOutcome {
             design: current.design,
-            schedule: current.schedule,
+            schedule: (*current.schedule).clone(),
             report,
             history,
             cache_stats: evaluator.cache_stats(),
@@ -406,7 +406,7 @@ mod tests {
             outcome.report.power_at_reference_mw,
             outcome.report.initial_power_mw
         );
-        assert!(outcome.report.enc <= outcome.report.enc_limit + 1e-6);
+        assert!(outcome.report.enc <= outcome.report.enc_limit + crate::evaluate::ENC_EPS);
         assert!(outcome.report.vdd <= 5.0);
     }
 
@@ -417,7 +417,7 @@ mod tests {
             .synthesize(&cdfg, &trace)
             .unwrap();
         assert!(outcome.report.area < outcome.report.initial_area);
-        assert!(outcome.report.enc <= outcome.report.enc_limit + 1e-6);
+        assert!(outcome.report.enc <= outcome.report.enc_limit + crate::evaluate::ENC_EPS);
         assert!(!outcome.history.is_empty());
     }
 
@@ -468,7 +468,7 @@ mod tests {
             .synthesize(&cdfg, &trace)
             .unwrap();
         assert!(outcome.report.power_mw > 0.0);
-        assert!(outcome.report.enc <= outcome.report.enc_limit + 1e-6);
+        assert!(outcome.report.enc <= outcome.report.enc_limit + crate::evaluate::ENC_EPS);
     }
 
     #[test]

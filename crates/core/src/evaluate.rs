@@ -22,7 +22,7 @@
 //! the brute-force loop bit-identically — the cache only memoizes pure
 //! functions.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use impact_behsim::ExecutionTrace;
@@ -30,20 +30,30 @@ use impact_cdfg::{Cdfg, NodeId};
 use impact_modlib::{ModuleLibrary, VDD_REFERENCE};
 use impact_power::{PowerBreakdown, PowerEstimator, PowerProfile};
 use impact_rtl::{
-    DesignDelta, DesignFingerprint, FingerprintHasher, FuId, FunctionalUnit, MuxSink, MuxSite,
-    MuxTree, RegId, Register, RtlDesign,
+    DesignDelta, DesignFingerprint, FingerprintHasher, FuId, FunctionalUnit, MuxSite, MuxTree,
+    RegId, Register, RtlDesign,
 };
-use impact_sched::{ScheduleConfig, Scheduler, SchedulingProblem, SchedulingResult, WaveScheduler};
+use impact_sched::{
+    BlockSchedule, BlockSource, ScheduleConfig, ScheduleDeltaProblem, Scheduler, SchedulingProblem,
+    SchedulingResult, WaveScheduler,
+};
 use impact_trace::RtTraces;
 
 use crate::cache::{CacheBackend, CacheStats, DesignContext, MuxEntry};
 use crate::config::{OptimizationMode, SynthesisConfig};
 use crate::error::SynthesisError;
 use crate::fingerprint::{
-    ContextKey, FuStatsKey, MuxStatsKey, PointKey, RegStatsKey, ScaledKey, ScheduleKey, WorkloadId,
+    BlockKey, ContextKey, FuStatsKey, MuxStatsKey, PointKey, RegStatsKey, ScaledKey, ScheduleKey,
+    WorkloadId,
 };
 use crate::moves::Move;
 use crate::session::SweepSession;
+
+/// Feasibility tolerance on the ENC budget: a design whose ENC exceeds the
+/// budget by at most this much still passes. One shared constant keeps the
+/// cached read-time filter, the uncached computation-time check and the
+/// engine's tests from disagreeing at the boundary.
+pub(crate) const ENC_EPS: f64 = 1e-9;
 
 /// Provenance of a candidate design inside move-aware evaluation: its parent
 /// design, the parent's structural fingerprint and the move's change-set.
@@ -63,8 +73,10 @@ struct MoveLineage<'a> {
 pub struct DesignPoint {
     /// The RT-level architecture.
     pub design: RtlDesign,
-    /// Its schedule at the selected supply voltage.
-    pub schedule: SchedulingResult,
+    /// Its schedule at the selected supply voltage. Shared: memoized
+    /// schedules are handed out by pointer, so cloning a point (or serving a
+    /// schedule-memo hit) never deep-copies the STG.
+    pub schedule: Arc<SchedulingResult>,
     /// Selected supply voltage in volts.
     pub vdd: f64,
     /// Power at the selected supply voltage.
@@ -509,7 +521,7 @@ impl<'a> Evaluator<'a> {
             return Ok(cached);
         }
         let context = self.context_for(design, fingerprint, lineage);
-        let schedule = self.schedule_with_context(&context, vdd)?;
+        let schedule = self.schedule_with_context(&context, vdd, lineage)?;
         // The full point (power at both supplies, area, design clone) is
         // built even when this evaluator's budget will reject it: a budget
         // check here would make the entry depend on the laxity factor and
@@ -524,7 +536,7 @@ impl<'a> Evaluator<'a> {
     /// This evaluator's ENC-budget filter: the read-time counterpart of the
     /// feasibility check the uncached path applies at computation time.
     fn within_budget(&self, point: Arc<DesignPoint>) -> Option<Arc<DesignPoint>> {
-        if point.enc() > self.enc_limit + 1e-9 {
+        if point.enc() > self.enc_limit + ENC_EPS {
             None
         } else {
             Some(point)
@@ -541,8 +553,8 @@ impl<'a> Evaluator<'a> {
         design: &RtlDesign,
         vdd: f64,
     ) -> Result<Option<DesignPoint>, SynthesisError> {
-        let schedule = self.schedule_with_context(context, vdd)?;
-        if schedule.enc > self.enc_limit + 1e-9 {
+        let schedule = self.schedule_with_context(context, vdd, None)?;
+        if schedule.enc > self.enc_limit + ENC_EPS {
             return Ok(None);
         }
         Ok(Some(
@@ -558,7 +570,7 @@ impl<'a> Evaluator<'a> {
         context: &DesignContext,
         design: &RtlDesign,
         vdd: f64,
-        schedule: SchedulingResult,
+        schedule: Arc<SchedulingResult>,
     ) -> DesignPoint {
         let estimator = PowerEstimator::new(&self.library, self.config.power.clone().at_vdd(vdd));
         let power = estimator.estimate_profiled(&context.profile, &schedule);
@@ -620,11 +632,7 @@ impl<'a> Evaluator<'a> {
     ) -> (f64, f64) {
         let stats = match self.backend() {
             Some(backend) => {
-                let key = FuStatsKey {
-                    workload: self.workload,
-                    ops: design.ops_on(fu),
-                    width: unit.width,
-                };
+                let key = FuStatsKey::of(self.workload, design, fu, unit.width);
                 match backend.lookup_fu(&key) {
                     Some(stats) => stats,
                     None => {
@@ -644,11 +652,7 @@ impl<'a> Evaluator<'a> {
     fn reg_stat_values(&self, rt: &RtTraces<'_>, reg: RegId, register: &Register) -> (f64, f64) {
         let stats = match self.backend() {
             Some(backend) => {
-                let key = RegStatsKey {
-                    workload: self.workload,
-                    variables: register.variables.clone(),
-                    width: register.width,
-                };
+                let key = RegStatsKey::of(self.workload, &register.variables, register.width);
                 match backend.lookup_reg(&key) {
                     Some(stats) => stats,
                     None => {
@@ -761,6 +765,7 @@ impl<'a> Evaluator<'a> {
             sites,
             site_restructured,
             site_depths,
+            site_index: std::sync::OnceLock::new(),
         }
     }
 
@@ -805,12 +810,7 @@ impl<'a> Evaluator<'a> {
             .iter()
             .map(|site| design.is_restructured(site.sink))
             .collect();
-        let parent_site_index: HashMap<MuxSink, usize> = parent
-            .sites
-            .iter()
-            .enumerate()
-            .map(|(index, site)| (site.sink, index))
-            .collect();
+        let parent_site_index = parent.site_index();
         let sources_untouched = |site: &MuxSite| {
             site.sources.iter().all(|source| match source.key {
                 impact_rtl::SignalKey::Register(reg) => !touched_regs.contains(&reg),
@@ -907,11 +907,10 @@ impl<'a> Evaluator<'a> {
         // parent's entries (stored activities are already floored, and the
         // floor is idempotent) and recompute touched ones through the
         // memoized statistics.
-        let candidate_site_index: HashMap<MuxSink, usize> = sites
-            .iter()
-            .enumerate()
-            .map(|(index, site)| (site.sink, index))
-            .collect();
+        // `assemble_with_sites` visits `sites` in order, one mux-stats call
+        // per site (every candidate site has fan-in >= 2), so the site's
+        // position is a running counter — no per-patch index map.
+        let next_site = std::cell::Cell::new(0usize);
         let profile = PowerProfile::assemble_with_sites(
             &self.library,
             design,
@@ -931,7 +930,9 @@ impl<'a> Evaluator<'a> {
                 _ => self.reg_stat_values(&rt, reg, register),
             },
             |site, restructured| {
-                let index = candidate_site_index[&site.sink];
+                let index = next_site.get();
+                next_site.set(index + 1);
+                debug_assert_eq!(sites[index].sink, site.sink, "sites visited in order");
                 match reused_parent_site[index] {
                     Some(pi) => {
                         let entry = &parent.profile.muxes[pi];
@@ -953,6 +954,7 @@ impl<'a> Evaluator<'a> {
             sites,
             site_restructured,
             site_depths,
+            site_index: std::sync::OnceLock::new(),
         }
     }
 
@@ -977,42 +979,129 @@ impl<'a> Evaluator<'a> {
         entry
     }
 
+    /// The scheduling problem of a context at one supply level: base delays
+    /// scaled by the supply-dependent factor, the context's binding and the
+    /// run's Wavesched configuration.
+    fn problem_for(&self, context: &DesignContext, factor: f64) -> SchedulingProblem<'a> {
+        SchedulingProblem {
+            cdfg: self.cdfg,
+            node_delays: context.base_delays.iter().map(|d| d * factor).collect(),
+            node_fu: context.binding.clone(),
+            profile: self.trace.profile(),
+            config: ScheduleConfig::wavesched().with_clock(self.config.clock_ns),
+        }
+    }
+
     /// Schedules from a prebuilt context: base delays are scaled by the
     /// supply-dependent factor, so no trace or mux analysis happens per
     /// level. With schedule memoization enabled, the result is shared
     /// through the session by a `(delays, binding, clock)` digest, so two
     /// designs differing only in power-irrelevant ways (and any number of
     /// laxity factors) schedule once.
+    ///
+    /// On a memo miss with schedule repair enabled, the schedule is composed
+    /// from the session's per-block layer — and when `lineage` (the move's
+    /// parentage) is given and the parent's schedule at this level is
+    /// cached, untouched blocks are spliced from it directly
+    /// ([`impact_sched::repair_with_source`]), so only the blocks the move
+    /// perturbed are list-scheduled. The parent's context is fetched only on
+    /// that miss path (a cache hit — it was built when the parent was
+    /// evaluated), never on a memo hit. Every path is bit-identical to the
+    /// full reschedule
+    /// ([`EngineConfig::full_reschedule`](crate::EngineConfig) keeps that
+    /// oracle selectable).
     fn schedule_with_context(
         &self,
         context: &DesignContext,
         vdd: f64,
-    ) -> Result<SchedulingResult, SynthesisError> {
+        lineage: Option<&MoveLineage<'_>>,
+    ) -> Result<Arc<SchedulingResult>, SynthesisError> {
         let factor = self.library.vdd().delay_factor(vdd);
-        let node_delays = context.base_delays.iter().map(|d| d * factor).collect();
-        let problem = SchedulingProblem {
-            cdfg: self.cdfg,
-            node_delays,
-            node_fu: context.binding.clone(),
-            profile: self.trace.profile(),
-            config: ScheduleConfig::wavesched().with_clock(self.config.clock_ns),
+        let engine = &self.config.engine;
+        let Some(backend) = self.backend() else {
+            let problem = self.problem_for(context, factor);
+            return WaveScheduler::new()
+                .schedule(&problem)
+                .map(Arc::new)
+                .map_err(SynthesisError::from);
         };
-        if self.config.engine.schedule_memo {
-            if let Some(backend) = self.backend() {
-                let key = ScheduleKey::new(self.workload, problem.digest());
-                if let Some(cached) = backend.lookup_schedule(&key) {
-                    return Ok((*cached).clone());
-                }
-                let result = WaveScheduler::new()
-                    .schedule(&problem)
-                    .map_err(SynthesisError::from)?;
-                backend.store_schedule(key, Arc::new(result.clone()));
-                return Ok(result);
+        // The memo key is digested straight from the context (streamed), so
+        // a hit never materializes the scheduling problem's vectors.
+        let memo_key = engine.schedule_memo.then(|| {
+            let config = ScheduleConfig::wavesched().with_clock(self.config.clock_ns);
+            ScheduleKey::new(
+                self.workload,
+                impact_sched::problem_digest(
+                    &config,
+                    context.base_delays.iter().map(|d| d * factor),
+                    context.binding.iter().copied(),
+                ),
+            )
+        });
+        if let Some(key) = &memo_key {
+            if let Some(cached) = backend.lookup_schedule(key) {
+                return Ok(cached);
             }
         }
-        WaveScheduler::new()
-            .schedule(&problem)
-            .map_err(SynthesisError::from)
+        let problem = self.problem_for(context, factor);
+        let result = if engine.schedule_repair {
+            let mut blocks = SessionBlocks {
+                backend: &**backend,
+                workload: self.workload,
+            };
+            let repaired = lineage.and_then(|lineage| {
+                // The parent's schedule key and the touched-node set come
+                // straight from the cached context — the parent problem is
+                // never materialized. `problem_digest` over the scaled
+                // delays matches `SchedulingProblem::digest` bit for bit,
+                // and the configs are equal by construction.
+                let parent_context =
+                    self.context_for(lineage.parent, lineage.parent_fingerprint, None);
+                let parent_key = ScheduleKey::new(
+                    self.workload,
+                    impact_sched::problem_digest(
+                        &problem.config,
+                        parent_context.base_delays.iter().map(|d| d * factor),
+                        parent_context.binding.iter().copied(),
+                    ),
+                );
+                let parent_schedule = backend.lookup_schedule(&parent_key)?;
+                let touched = (0..problem.node_delays.len())
+                    .map(|i| {
+                        parent_context
+                            .base_delays
+                            .get(i)
+                            .map(|d| (d * factor).to_bits())
+                            != Some(problem.node_delays[i].to_bits())
+                            || parent_context.binding.get(i).copied() != Some(problem.node_fu[i])
+                    })
+                    .collect();
+                let delta = ScheduleDeltaProblem {
+                    problem: &problem,
+                    touched,
+                };
+                Some(impact_sched::repair_with_source(
+                    &parent_schedule,
+                    &delta,
+                    &mut blocks,
+                ))
+            });
+            match repaired {
+                Some(result) => result.map_err(SynthesisError::from)?,
+                None => {
+                    impact_sched::compose(&problem, &mut blocks).map_err(SynthesisError::from)?
+                }
+            }
+        } else {
+            WaveScheduler::new()
+                .schedule(&problem)
+                .map_err(SynthesisError::from)?
+        };
+        let result = Arc::new(result);
+        if let Some(key) = memo_key {
+            backend.store_schedule(key, result.clone());
+        }
+        Ok(result)
     }
 
     /// Schedules a design at the given supply voltage with the Wavesched
@@ -1062,6 +1151,33 @@ impl<'a> Evaluator<'a> {
             *d *= delay_factor;
         }
         delays
+    }
+}
+
+/// [`BlockSource`] over the session's shared block-schedule layer: blocks
+/// are fetched (or list-scheduled and stored) by `(workload, block digest)`,
+/// so repaired and fully composed schedules share per-block entries across
+/// designs, supply levels and sweep runs.
+struct SessionBlocks<'b> {
+    backend: &'b dyn CacheBackend,
+    workload: WorkloadId,
+}
+
+impl BlockSource for SessionBlocks<'_> {
+    fn block(
+        &mut self,
+        problem: &SchedulingProblem<'_>,
+        _index: usize,
+        nodes: &[NodeId],
+    ) -> Result<(u128, Arc<BlockSchedule>), impact_sched::SchedError> {
+        let digest = impact_sched::block_digest(problem, nodes);
+        let key = BlockKey::new(self.workload, digest);
+        if let Some(block) = self.backend.lookup_block(&key) {
+            return Ok((digest, block));
+        }
+        let block = Arc::new(impact_sched::schedule_block(problem, nodes)?);
+        self.backend.store_block(key, block.clone());
+        Ok((digest, block))
     }
 }
 
@@ -1173,7 +1289,7 @@ mod tests {
         let (cdfg, trace, config) = gcd_setup(2.5);
         let evaluator = Evaluator::new(&cdfg, &trace, config).unwrap();
         let point = evaluator.initial_point().unwrap();
-        assert!(point.enc() <= evaluator.enc_limit() + 1e-9);
+        assert!(point.enc() <= evaluator.enc_limit() + ENC_EPS);
         assert!(
             point.vdd < VDD_REFERENCE,
             "slack should be converted into a lower supply"
@@ -1212,7 +1328,7 @@ mod tests {
         // either be infeasible or cost strictly more cycles at 5 V.
         match evaluator.evaluate(&design).unwrap() {
             None => {}
-            Some(point) => assert!(point.enc() <= evaluator.enc_limit() + 1e-9),
+            Some(point) => assert!(point.enc() <= evaluator.enc_limit() + ENC_EPS),
         }
     }
 

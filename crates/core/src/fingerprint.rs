@@ -22,9 +22,8 @@
 //! benchmarks without id collisions, and independently populated shard caches
 //! merge without ambiguity.
 
-use impact_cdfg::NodeId;
 use impact_cdfg::VarId;
-use impact_rtl::{DesignFingerprint, MuxSite, RtlDesign, SignalKey};
+use impact_rtl::{DesignFingerprint, FingerprintHasher, FuId, MuxSite, RtlDesign, SignalKey};
 
 /// Content digest of one evaluation workload: the CDFG, the execution trace
 /// and the technology parameters (clock period, power configuration) shared
@@ -115,6 +114,27 @@ impl ScheduleKey {
     }
 }
 
+/// Key of one memoized basic-block schedule: the workload (which pins the
+/// CDFG behind the node ids) plus the
+/// [`block_digest`](impact_sched::block_digest) over the block's node list,
+/// the exact per-node delay bits and binding, and the configuration fields
+/// the block scheduler reads. Finer-grained than [`ScheduleKey`]: a problem
+/// whose whole-schedule digest misses still shares every block a change did
+/// not touch, across designs, supply levels and sweep runs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BlockKey {
+    /// Workload the block schedule was computed under.
+    pub(crate) workload: WorkloadId,
+    /// [`block_digest`](impact_sched::block_digest) of the block.
+    pub(crate) digest: u128,
+}
+
+impl BlockKey {
+    pub(crate) fn new(workload: WorkloadId, digest: u128) -> Self {
+        Self { workload, digest }
+    }
+}
+
 /// Key of one per-design evaluation context (laxity-independent).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ContextKey {
@@ -130,59 +150,106 @@ impl ContextKey {
     }
 }
 
-/// Content identity of a physical signal, stable across designs (raw
-/// [`SignalKey`]s carry allocation indices, which shift as moves add and
-/// remove resources).
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
-pub(crate) enum SignalContent {
-    /// A register, identified by the variables it stores (in storage order,
-    /// which determines write interleaving) and its width.
-    Register(Vec<VarId>, u8),
-    /// A functional-unit output, identified by the operations bound to the
-    /// unit and its width.
-    FuOutput(Vec<NodeId>, u8),
-    /// A hard-wired constant.
-    Constant(i64),
-}
-
-/// Key of per-unit trace statistics: the merged operations plus the width the
-/// activity is normalized to.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+/// Key of per-unit trace statistics: a 128-bit content digest over the
+/// merged operations plus the width the activity is normalized to. Stats
+/// keys used to store (and deep-hash) the content vectors themselves; the
+/// engine performs thousands of stats lookups per run, so the keys are
+/// digested once at construction — the same collision-resistance assumption
+/// every other digest-keyed layer already makes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct FuStatsKey {
     pub(crate) workload: WorkloadId,
-    pub(crate) ops: Vec<NodeId>,
-    pub(crate) width: u8,
+    pub(crate) digest: u128,
 }
 
-/// Key of per-register trace statistics.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+/// Key of per-register trace statistics: a content digest over the stored
+/// variables (in storage order, which determines write interleaving) and the
+/// register width.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct RegStatsKey {
     pub(crate) workload: WorkloadId,
-    pub(crate) variables: Vec<VarId>,
-    pub(crate) width: u8,
+    pub(crate) digest: u128,
 }
 
-/// Key of per-mux-site statistics: the site's sources by content identity (in
-/// site order, which fixes the tree shape) plus the tree construction used.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+/// Key of per-mux-site statistics: a content digest over the site's sources
+/// by content identity (in site order, which fixes the tree shape) plus the
+/// tree construction used. Content identity — not raw [`SignalKey`]s, which
+/// carry allocation indices that shift as moves add and remove resources.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct MuxStatsKey {
     pub(crate) workload: WorkloadId,
-    pub(crate) sources: Vec<(SignalContent, Vec<NodeId>)>,
-    pub(crate) restructured: bool,
+    pub(crate) digest: u128,
 }
 
-impl SignalContent {
-    pub(crate) fn of(design: &RtlDesign, key: SignalKey) -> Self {
-        match key {
-            SignalKey::Register(reg) => match design.register(reg) {
-                Ok(r) => SignalContent::Register(r.variables.clone(), r.width),
-                Err(_) => SignalContent::Register(Vec::new(), 0),
-            },
-            SignalKey::FuOutput(fu) => {
-                let width = design.functional_unit(fu).map(|f| f.width).unwrap_or(8);
-                SignalContent::FuOutput(design.ops_on(fu), width)
+/// Writes the content identity of a physical signal: registers by stored
+/// variables and width, unit outputs by bound operations and width,
+/// constants by value.
+fn write_signal_content(hasher: &mut FingerprintHasher, design: &RtlDesign, key: SignalKey) {
+    match key {
+        SignalKey::Register(reg) => {
+            hasher.write_u64(1);
+            match design.register(reg) {
+                Ok(r) => {
+                    hasher.write_u64(u64::from(r.width));
+                    hasher.write_u64(r.variables.len() as u64);
+                    for &var in &r.variables {
+                        hasher.write_u64(var.index() as u64);
+                    }
+                }
+                Err(_) => {
+                    hasher.write_u64(0);
+                    hasher.write_u64(0);
+                }
             }
-            SignalKey::Constant(c) => SignalContent::Constant(c),
+        }
+        SignalKey::FuOutput(fu) => {
+            hasher.write_u64(2);
+            let width = design.functional_unit(fu).map(|f| f.width).unwrap_or(8);
+            hasher.write_u64(u64::from(width));
+            let mut count = 0u64;
+            for op in design.ops_on_iter(fu) {
+                hasher.write_u64(op.index() as u64);
+                count += 1;
+            }
+            hasher.write_u64(count);
+        }
+        SignalKey::Constant(c) => {
+            hasher.write_u64(3);
+            hasher.write_i64(c);
+        }
+    }
+}
+
+impl FuStatsKey {
+    pub(crate) fn of(workload: WorkloadId, design: &RtlDesign, fu: FuId, width: u8) -> Self {
+        let mut hasher = FingerprintHasher::new();
+        hasher.write_tag(0xA1);
+        let mut count = 0u64;
+        for op in design.ops_on_iter(fu) {
+            hasher.write_u64(op.index() as u64);
+            count += 1;
+        }
+        hasher.write_u64(count);
+        hasher.write_u64(u64::from(width));
+        Self {
+            workload,
+            digest: hasher.finish().as_u128(),
+        }
+    }
+}
+
+impl RegStatsKey {
+    pub(crate) fn of(workload: WorkloadId, variables: &[VarId], width: u8) -> Self {
+        let mut hasher = FingerprintHasher::new();
+        hasher.write_tag(0xA2);
+        hasher.write_u64(variables.len() as u64);
+        for &var in variables {
+            hasher.write_u64(var.index() as u64);
+        }
+        hasher.write_u64(u64::from(width));
+        Self {
+            workload,
+            digest: hasher.finish().as_u128(),
         }
     }
 }
@@ -194,14 +261,20 @@ impl MuxStatsKey {
         site: &MuxSite,
         restructured: bool,
     ) -> Self {
+        let mut hasher = FingerprintHasher::new();
+        hasher.write_tag(0xA3);
+        hasher.write_u64(site.sources.len() as u64);
+        for src in &site.sources {
+            write_signal_content(&mut hasher, design, src.key);
+            hasher.write_u64(src.ops.len() as u64);
+            for &op in &src.ops {
+                hasher.write_u64(op.index() as u64);
+            }
+        }
+        hasher.write_u64(u64::from(restructured));
         Self {
             workload,
-            sources: site
-                .sources
-                .iter()
-                .map(|src| (SignalContent::of(design, src.key), src.ops.clone()))
-                .collect(),
-            restructured,
+            digest: hasher.finish().as_u128(),
         }
     }
 }

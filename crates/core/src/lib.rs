@@ -51,7 +51,8 @@ pub use engine::{Impact, MoveRecord, SynthesisOutcome, SynthesisReport};
 pub use error::SynthesisError;
 pub use evaluate::{DesignPoint, Evaluator};
 pub use fingerprint::{
-    ContextKey, FuStatsKey, MuxStatsKey, PointKey, RegStatsKey, ScaledKey, ScheduleKey, WorkloadId,
+    BlockKey, ContextKey, FuStatsKey, MuxStatsKey, PointKey, RegStatsKey, ScaledKey, ScheduleKey,
+    WorkloadId,
 };
 pub use moves::Move;
 pub use session::SweepSession;

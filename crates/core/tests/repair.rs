@@ -1,0 +1,216 @@
+//! Property tests of delta-aware schedule repair: for arbitrary move
+//! sequences, seeds, laxities and supply levels, the repaired engine (only
+//! the blocks a move touched are rescheduled, untouched blocks spliced from
+//! the parent schedule) is bit-identical — STG states, ENC and power — to
+//! the full-reschedule oracle (`EngineConfig::full_reschedule`) and to the
+//! brute-force sequential path.
+
+use impact_behsim::simulate;
+use impact_cdfg::Cdfg;
+use impact_core::{EngineConfig, Evaluator, Impact, Move, SynthesisConfig};
+use impact_modlib::ModuleLibrary;
+use impact_rtl::RtlDesign;
+use impact_sched::{repair, uniform_problem, ScheduleDeltaProblem, Scheduler, WaveScheduler};
+use proptest::prelude::*;
+
+fn gcd_setup(passes: usize) -> (Cdfg, impact_behsim::ExecutionTrace) {
+    let bench = impact_benchmarks::gcd();
+    let cdfg = bench.compile().unwrap();
+    let inputs = bench.input_sequences(passes, 29);
+    let trace = simulate(&cdfg, &inputs).unwrap();
+    (cdfg, trace)
+}
+
+/// Every move applicable to `design` (the test's own enumeration,
+/// independent of the engine's generator).
+fn candidate_moves(cdfg: &Cdfg, library: &ModuleLibrary, design: &RtlDesign) -> Vec<Move> {
+    let mut moves = Vec::new();
+    for site in design.mux_sites(cdfg) {
+        if site.fan_in() >= 2 && !design.is_restructured(site.sink) {
+            moves.push(Move::RestructureMux { sink: site.sink });
+        }
+    }
+    for (fu, unit) in design.functional_units() {
+        for variant in library.variants_for(unit.class) {
+            if variant != unit.module {
+                moves.push(Move::SubstituteModule {
+                    fu,
+                    module: variant,
+                });
+            }
+        }
+    }
+    let units: Vec<_> = design
+        .functional_units()
+        .map(|(id, u)| (id, u.class))
+        .collect();
+    for (i, &(a, class_a)) in units.iter().enumerate() {
+        for &(b, class_b) in units.iter().skip(i + 1) {
+            if class_a == class_b {
+                moves.push(Move::ShareFus { keep: a, remove: b });
+            }
+        }
+    }
+    for (fu, _) in design.functional_units() {
+        let ops = design.ops_on(fu);
+        if ops.len() >= 2 {
+            moves.push(Move::SplitFu {
+                fu,
+                op: ops[ops.len() - 1],
+            });
+        }
+    }
+    let regs: Vec<_> = design.registers().map(|(id, _)| id).collect();
+    for (i, &a) in regs.iter().enumerate() {
+        for &b in regs.iter().skip(i + 1) {
+            moves.push(Move::ShareRegisters { keep: a, remove: b });
+        }
+    }
+    moves
+}
+
+/// Deterministic pseudo-random successor (LCG).
+fn next_seed(seed: u64) -> u64 {
+    seed.wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
+}
+
+/// Applies a seed-selected sequence of up to `depth` moves.
+fn apply_sequence(
+    cdfg: &Cdfg,
+    library: &ModuleLibrary,
+    design: &mut RtlDesign,
+    mut seed: u64,
+    depth: usize,
+) {
+    for _ in 0..depth {
+        let moves = candidate_moves(cdfg, library, design);
+        if moves.is_empty() {
+            break;
+        }
+        let mv = moves[(seed as usize) % moves.len()].clone();
+        seed = next_seed(seed);
+        let _ = mv.apply(cdfg, library, design);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn repaired_evaluation_matches_the_full_reschedule_oracle(
+        seed in 0u64..1_000_000,
+        depth in 0usize..5,
+        level_index in 0usize..39,
+        laxity_steps in 0u32..11,
+    ) {
+        let laxity = 1.0 + 0.2 * f64::from(laxity_steps);
+        let (cdfg, trace) = gcd_setup(8);
+        let config = SynthesisConfig::power_optimized(laxity);
+        let repaired = Evaluator::new(&cdfg, &trace, config.clone()).unwrap();
+        let oracle = Evaluator::new(
+            &cdfg,
+            &trace,
+            config.clone().with_engine(EngineConfig::full_reschedule()),
+        )
+        .unwrap();
+        let brute = Evaluator::new(
+            &cdfg,
+            &trace,
+            config.with_engine(EngineConfig::sequential()),
+        )
+        .unwrap();
+        // An arbitrary parent: the initial architecture after a seed-selected
+        // move sequence.
+        let mut parent = RtlDesign::initial_parallel(&cdfg, repaired.library());
+        apply_sequence(&cdfg, repaired.library(), &mut parent, seed, depth);
+        let levels = repaired.library().vdd().levels().to_vec();
+        let vdd = levels[level_index % levels.len()];
+        // The parent must be in the repaired evaluator's cache first — that
+        // is the precondition under which candidate scheduling repairs
+        // instead of rescheduling.
+        prop_assert_eq!(
+            repaired.evaluate(&parent).unwrap(),
+            brute.evaluate(&parent).unwrap()
+        );
+        // Every candidate move off this parent is costed identically by the
+        // three paths, at a fixed level and under the full supply search.
+        // DesignPoint equality covers the schedule bit-for-bit: STG states
+        // and transitions, ENC, cycle bounds, block records and power.
+        let moves = candidate_moves(&cdfg, repaired.library(), &parent);
+        let mut probe = seed;
+        for _ in 0..4 {
+            let mv = &moves[(probe as usize) % moves.len()];
+            probe = next_seed(probe);
+            let spliced = repaired.evaluate_move_at_vdd(&parent, mv, vdd).unwrap();
+            let rescheduled = oracle.evaluate_move_at_vdd(&parent, mv, vdd).unwrap();
+            let cold = brute.evaluate_move_at_vdd(&parent, mv, vdd).unwrap();
+            prop_assert_eq!(&spliced, &rescheduled, "repair vs full reschedule at {}", vdd);
+            prop_assert_eq!(&spliced, &cold, "repair vs brute force at {}", vdd);
+            let spliced_full = repaired.evaluate_move(&parent, mv).unwrap();
+            let rescheduled_full = oracle.evaluate_move(&parent, mv).unwrap();
+            let cold_full = brute.evaluate_move(&parent, mv).unwrap();
+            prop_assert_eq!(&spliced_full, &rescheduled_full);
+            prop_assert_eq!(&spliced_full, &cold_full);
+        }
+    }
+
+    #[test]
+    fn all_blocks_touched_degenerates_to_a_full_reschedule(
+        seed in 0u64..1_000_000,
+        scale_milli in 1001u64..3000,
+    ) {
+        // A delta marking every node touched (the projection of a move that
+        // perturbs nodes in every block, or of a supply change) must repair
+        // into exactly the oracle's schedule, block for block.
+        let (cdfg, trace) = gcd_setup(6);
+        let problem = uniform_problem(&cdfg, trace.profile());
+        let parent = WaveScheduler::new().schedule(&problem).unwrap();
+        let mut child = problem.clone();
+        let scale = scale_milli as f64 / 1000.0;
+        let mut lcg = seed;
+        for d in child.node_delays.iter_mut() {
+            lcg = next_seed(lcg);
+            // Scale plus a tiny per-node jitter so every delay's bits move.
+            *d = *d * scale + 0.001 * ((lcg % 97) as f64 + 1.0);
+        }
+        let delta = ScheduleDeltaProblem {
+            problem: &child,
+            touched: vec![true; child.node_delays.len()],
+        };
+        let repaired = repair(&parent, &delta).unwrap();
+        let oracle = WaveScheduler::new().schedule(&child).unwrap();
+        prop_assert_eq!(repaired, oracle);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn repaired_engine_synthesizes_identically_to_the_oracle_engine(
+        laxity_steps in 0u32..5,
+    ) {
+        let laxity = 1.0 + 0.5 * f64::from(laxity_steps);
+        let (cdfg, trace) = gcd_setup(10);
+        let config = SynthesisConfig::power_optimized(laxity).with_effort(2, 3);
+        let spliced = Impact::new(config.clone().with_engine(EngineConfig::incremental()))
+            .synthesize(&cdfg, &trace)
+            .unwrap();
+        let oracle = Impact::new(config.clone().with_engine(EngineConfig::full_reschedule()))
+            .synthesize(&cdfg, &trace)
+            .unwrap();
+        let brute = Impact::new(config.with_engine(EngineConfig::sequential()))
+            .synthesize(&cdfg, &trace)
+            .unwrap();
+        prop_assert_eq!(&spliced.report, &oracle.report);
+        prop_assert_eq!(&spliced.report, &brute.report);
+        prop_assert_eq!(&spliced.design, &oracle.design);
+        prop_assert_eq!(&spliced.design, &brute.design);
+        prop_assert_eq!(spliced.history.len(), oracle.history.len());
+        // The repaired engine actually exercises the block layer; the oracle
+        // never touches it.
+        prop_assert!(spliced.cache_stats.block.hits + spliced.cache_stats.block.misses > 0);
+        prop_assert_eq!(oracle.cache_stats.block.hits + oracle.cache_stats.block.misses, 0);
+    }
+}

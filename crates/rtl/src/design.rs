@@ -307,12 +307,18 @@ impl RtlDesign {
 
     /// Operations bound to a functional unit.
     pub fn ops_on(&self, fu: FuId) -> Vec<NodeId> {
+        self.ops_on_iter(fu).collect()
+    }
+
+    /// Operations bound to a functional unit, in node order, without
+    /// materializing the list (cache-key hashing iterates these thousands of
+    /// times per run).
+    pub fn ops_on_iter(&self, fu: FuId) -> impl Iterator<Item = NodeId> + '_ {
         self.op_binding
             .iter()
             .enumerate()
-            .filter(|&(_, b)| *b == Some(fu))
+            .filter(move |&(_, b)| *b == Some(fu))
             .map(|(i, _)| NodeId::new(i))
-            .collect()
     }
 
     /// Active units of a given class.
@@ -758,9 +764,26 @@ impl RtlDesign {
     pub fn mux_sites(&self, cdfg: &Cdfg) -> Vec<MuxSite> {
         let mut sites = Vec::new();
 
+        // Group the bindings once: the per-unit (and per-register) scans over
+        // the whole design were quadratic, and site enumeration runs once per
+        // evaluated candidate. Grouping in node order reproduces the scans'
+        // enumeration order exactly.
+        let mut ops_per_fu: Vec<Vec<NodeId>> = vec![Vec::new(); self.fus.len()];
+        for (index, binding) in self.op_binding.iter().enumerate() {
+            if let Some(fu) = binding {
+                ops_per_fu[fu.index()].push(NodeId::new(index));
+            }
+        }
+        let mut writers_per_reg: Vec<Vec<NodeId>> = vec![Vec::new(); self.registers.len()];
+        for (node_id, node) in cdfg.nodes() {
+            if let Some(defined) = node.defines {
+                writers_per_reg[self.register_of(defined).index()].push(node_id);
+            }
+        }
+
         // Functional-unit input ports.
         for (fu_id, unit) in self.functional_units() {
-            let ops = self.ops_on(fu_id);
+            let ops = &ops_per_fu[fu_id.index()];
             let max_ports = ops
                 .iter()
                 .map(|&n| cdfg.node(n).operation.arity())
@@ -768,7 +791,7 @@ impl RtlDesign {
                 .unwrap_or(0);
             for port in 0..max_ports {
                 let mut by_key: BTreeMap<SignalKey, Vec<NodeId>> = BTreeMap::new();
-                for &op in &ops {
+                for &op in ops {
                     let node = cdfg.node(op);
                     let Some(&edge_id) = node.inputs.get(port) else {
                         continue;
@@ -796,13 +819,8 @@ impl RtlDesign {
         // Register inputs.
         for (reg_id, reg) in self.registers() {
             let mut by_key: BTreeMap<SignalKey, Vec<NodeId>> = BTreeMap::new();
-            for (node_id, node) in cdfg.nodes() {
-                let Some(defined) = node.defines else {
-                    continue;
-                };
-                if self.register_of(defined) != reg_id {
-                    continue;
-                }
+            for &node_id in &writers_per_reg[reg_id.index()] {
+                let node = cdfg.node(node_id);
                 match self.fu_of(node_id) {
                     Some(fu) => {
                         by_key

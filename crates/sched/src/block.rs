@@ -1,7 +1,9 @@
 //! Resource- and clock-constrained list scheduling of one basic block.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
+use impact_cdfg::fingerprint::FingerprintHasher;
 use impact_cdfg::NodeId;
 
 use crate::error::SchedError;
@@ -50,6 +52,48 @@ impl BlockSchedule {
     }
 }
 
+/// The schedule of one basic block as recorded on a
+/// [`SchedulingResult`](crate::SchedulingResult): the nodes in traversal
+/// order, the content digest the schedule is keyed by, and the shared block
+/// schedule itself. This is the unit of reuse of delta-aware schedule repair
+/// ([`repair`](crate::repair)) and of block-level schedule memoization.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BlockOutcome {
+    /// The block's nodes, in the composer's traversal order.
+    pub nodes: Vec<NodeId>,
+    /// [`block_digest`] of the block under the problem it was scheduled for.
+    pub digest: u128,
+    /// The block's schedule.
+    pub schedule: Arc<BlockSchedule>,
+}
+
+/// Content digest of everything [`schedule_block`] reads for one block:
+/// the node list (ids in order — the CDFG behind them is pinned by the
+/// caller's workload scope), the exact per-node delay bits and
+/// functional-unit binding, and the configuration fields the block scheduler
+/// consults (clock period, chaining flag, chaining overhead). The
+/// hierarchical knobs (`concurrent_loops`, `loop_overlap`) are deliberately
+/// excluded — they shape the *composition*, never a block's internal
+/// schedule — so baseline and overlapping compositions share block entries.
+///
+/// Two blocks with equal digests schedule identically, which is what lets a
+/// cache serve one [`BlockSchedule`] to every design, supply level and sweep
+/// run that perturbs only other blocks.
+pub fn block_digest(problem: &SchedulingProblem<'_>, nodes: &[NodeId]) -> u128 {
+    let mut h = FingerprintHasher::new();
+    h.write_tag(0x5B);
+    h.write_f64(problem.config.clock_ns);
+    h.write_u64(u64::from(problem.config.chaining));
+    h.write_f64(problem.config.chaining_overhead);
+    h.write_u64(nodes.len() as u64);
+    for &node in nodes {
+        h.write_u64(node.index() as u64);
+        h.write_f64(problem.node_delays[node.index()]);
+        h.write_u64(problem.node_fu[node.index()].map_or(0, |f| f as u64 + 1));
+    }
+    h.finish().as_u128()
+}
+
 /// Schedules the nodes of one basic block.
 ///
 /// Dependences are the same-iteration data-dependence edges restricted to the
@@ -87,8 +131,7 @@ pub fn schedule_block(
     for &node in nodes {
         let p: Vec<NodeId> = problem
             .cdfg
-            .data_predecessors(node)
-            .into_iter()
+            .data_predecessors_iter(node)
             .filter(|p| member.contains(p))
             .collect();
         preds.insert(node, p);

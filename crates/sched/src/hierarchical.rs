@@ -1,13 +1,67 @@
 //! Hierarchical composition of block schedules into a state transition graph,
 //! following the CDFG region tree.
+//!
+//! The composer is split from block scheduling: every basic block the
+//! traversal encounters is requested from a [`BlockSource`] (by default
+//! inline list scheduling, but callers can serve blocks from a digest-keyed
+//! cache or from a parent schedule being repaired), and the STG, the ENC and
+//! the cycle bounds are assembled from the block results. The traversal — and
+//! therefore the block order, the state numbering and every tail-placement
+//! decision — is deterministic given the problem, which is what makes
+//! composition over cached or repaired block schedules bit-identical to
+//! scheduling everything inline.
+
+use std::sync::Arc;
 
 use impact_behsim::branch_count;
 use impact_cdfg::{NodeId, Region};
 use impact_stg::{Guard, ScheduledOp, StateId, Stg};
 
-use crate::block::schedule_block;
+use crate::block::{block_digest, schedule_block, BlockOutcome, BlockSchedule};
 use crate::error::SchedError;
 use crate::problem::{ScheduleConfig, SchedulingProblem, SchedulingResult};
+
+/// Supplier of basic-block schedules to the hierarchical composer.
+///
+/// The composer requests every block in traversal order (`index` counts the
+/// requests) and splices the results into the STG. Implementations must
+/// return exactly what [`schedule_block`] would produce for the problem and
+/// node list, together with the [`block_digest`] identifying that
+/// computation — block schedules are pure functions of their digest, so any
+/// source that honors the contract composes bit-identically to
+/// [`InlineBlocks`].
+pub trait BlockSource {
+    /// Produces the schedule of the `index`-th block of the traversal.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchedError`] when the block cannot be scheduled (cyclic
+    /// intra-block dependences, incomplete per-node tables).
+    fn block(
+        &mut self,
+        problem: &SchedulingProblem<'_>,
+        index: usize,
+        nodes: &[NodeId],
+    ) -> Result<(u128, Arc<BlockSchedule>), SchedError>;
+}
+
+/// The default [`BlockSource`]: list-schedule every block inline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InlineBlocks;
+
+impl BlockSource for InlineBlocks {
+    fn block(
+        &mut self,
+        problem: &SchedulingProblem<'_>,
+        _index: usize,
+        nodes: &[NodeId],
+    ) -> Result<(u128, Arc<BlockSchedule>), SchedError> {
+        Ok((
+            block_digest(problem, nodes),
+            Arc::new(schedule_block(problem, nodes)?),
+        ))
+    }
+}
 
 /// Common interface of the IMPACT schedulers.
 pub trait Scheduler {
@@ -85,13 +139,34 @@ struct SeqResult {
     entry: Option<StateId>,
 }
 
-struct Builder<'p, 'a> {
+struct Builder<'p, 'a, 's> {
     problem: &'p SchedulingProblem<'a>,
     stg: Stg,
     first_state: Option<StateId>,
+    source: &'s mut dyn BlockSource,
+    blocks: Vec<BlockOutcome>,
 }
 
 fn run(problem: &SchedulingProblem<'_>) -> Result<SchedulingResult, SchedError> {
+    compose(problem, &mut InlineBlocks)
+}
+
+/// Composes the hierarchical schedule of `problem` from block schedules
+/// served by `source`: the composer walks the region tree, requests every
+/// basic block from the source, splices the block STGs together and derives
+/// the ENC and cycle bounds. With [`InlineBlocks`] this *is* the scheduler;
+/// with a caching or repairing source only the blocks the source cannot
+/// serve are list-scheduled, and the composition is bit-identical either
+/// way.
+///
+/// # Errors
+///
+/// Returns a [`SchedError`] when the problem is malformed (incomplete
+/// per-node tables, cyclic intra-block dependences).
+pub fn compose(
+    problem: &SchedulingProblem<'_>,
+    source: &mut dyn BlockSource,
+) -> Result<SchedulingResult, SchedError> {
     let required = problem.cdfg.node_count();
     if problem.node_delays.len() < required || problem.node_fu.len() < required {
         return Err(SchedError::IncompleteProblem {
@@ -103,6 +178,8 @@ fn run(problem: &SchedulingProblem<'_>) -> Result<SchedulingResult, SchedError> 
         problem,
         stg: Stg::new(problem.cdfg.name(), problem.config.clock_ns),
         first_state: None,
+        source,
+        blocks: Vec::new(),
     };
     let result = builder.schedule_sequence(problem.cdfg.regions(), Vec::new(), 0)?;
     // Whatever probability mass is still dangling terminates the pass.
@@ -133,10 +210,11 @@ fn run(problem: &SchedulingProblem<'_>) -> Result<SchedulingResult, SchedError> 
         enc,
         min_cycles,
         max_cycles,
+        blocks: builder.blocks,
     })
 }
 
-impl<'p, 'a> Builder<'p, 'a> {
+impl<'p, 'a, 's> Builder<'p, 'a, 's> {
     fn add_state(&mut self) -> StateId {
         let id = self.stg.add_state();
         if self.first_state.is_none() {
@@ -221,46 +299,30 @@ impl<'p, 'a> Builder<'p, 'a> {
             return 1;
         }
         let mut run = 1;
+        // A candidate extends the run iff it is independent of *every* loop
+        // already in it, which is exactly independence against their union —
+        // accumulate the union instead of re-deriving per-pair node sets.
+        let mut prior_nodes: std::collections::HashSet<NodeId> =
+            regions[start].nodes().into_iter().collect();
         while start + run < regions.len() && simple_loop(&regions[start + run]) {
-            // Check pairwise independence against every loop already in the run.
             let candidate_nodes = regions[start + run].nodes();
-            let mut independent = true;
-            for prior in &regions[start..start + run] {
-                let prior_nodes: std::collections::HashSet<NodeId> =
-                    prior.nodes().into_iter().collect();
-                let candidate_set: std::collections::HashSet<NodeId> =
-                    candidate_nodes.iter().copied().collect();
-                for &n in &candidate_nodes {
-                    if self
-                        .problem
-                        .cdfg
-                        .data_predecessors(n)
-                        .iter()
-                        .any(|p| prior_nodes.contains(p))
-                    {
-                        independent = false;
-                        break;
-                    }
-                }
-                for &n in &prior_nodes {
-                    if self
-                        .problem
-                        .cdfg
-                        .data_predecessors(n)
-                        .iter()
-                        .any(|p| candidate_set.contains(p))
-                    {
-                        independent = false;
-                        break;
-                    }
-                }
-                if !independent {
-                    break;
-                }
-            }
-            if !independent {
+            let candidate_set: std::collections::HashSet<NodeId> =
+                candidate_nodes.iter().copied().collect();
+            let dependent = candidate_nodes.iter().any(|&n| {
+                self.problem
+                    .cdfg
+                    .data_predecessors_iter(n)
+                    .any(|p| prior_nodes.contains(&p))
+            }) || prior_nodes.iter().any(|&n| {
+                self.problem
+                    .cdfg
+                    .data_predecessors_iter(n)
+                    .any(|p| candidate_set.contains(&p))
+            });
+            if dependent {
                 break;
             }
+            prior_nodes.extend(candidate_nodes);
             run += 1;
         }
         run
@@ -304,7 +366,13 @@ impl<'p, 'a> Builder<'p, 'a> {
         nodes: &[NodeId],
         incoming: Vec<PendingEdge>,
     ) -> Result<SeqResult, SchedError> {
-        let block = schedule_block(self.problem, nodes)?;
+        let index = self.blocks.len();
+        let (digest, block) = self.source.block(self.problem, index, nodes)?;
+        self.blocks.push(BlockOutcome {
+            nodes: nodes.to_vec(),
+            digest,
+            schedule: block.clone(),
+        });
         if block.state_count == 0 {
             return Ok(SeqResult {
                 outgoing: incoming,
@@ -312,7 +380,10 @@ impl<'p, 'a> Builder<'p, 'a> {
                 entry: None,
             });
         }
-        let states: Vec<StateId> = (0..block.state_count).map(|_| self.add_state()).collect();
+        let states = self.stg.add_chain(block.state_count);
+        if self.first_state.is_none() {
+            self.first_state = Some(states[0]);
+        }
         for op in &block.ops {
             self.stg.add_op(
                 states[op.state],
@@ -320,9 +391,6 @@ impl<'p, 'a> Builder<'p, 'a> {
             );
         }
         self.connect(&incoming, states[0]);
-        for w in states.windows(2) {
-            self.stg.add_transition(w[0], w[1], Guard::Always, 1.0);
-        }
         Ok(SeqResult {
             outgoing: vec![PendingEdge {
                 from: *states.last().expect("at least one state"),
@@ -430,11 +498,15 @@ impl<'p, 'a> Builder<'p, 'a> {
         };
 
         let p_continue = expected_iterations / (expected_iterations + 1.0);
+        // One guard allocation per loop; every routed edge clones the
+        // interned label.
+        let continue_guard = Guard::loop_back(label, true);
+        let exit_guard = Guard::loop_back(label, false);
         let body_incoming: Vec<PendingEdge> = header_out
             .iter()
             .map(|e| PendingEdge {
                 from: e.from,
-                guard: Guard::loop_back(label, true),
+                guard: continue_guard.clone(),
                 probability: e.probability * p_continue,
             })
             .collect();
@@ -442,7 +514,7 @@ impl<'p, 'a> Builder<'p, 'a> {
             .iter()
             .map(|e| PendingEdge {
                 from: e.from,
-                guard: Guard::loop_back(label, false),
+                guard: exit_guard.clone(),
                 probability: e.probability * (1.0 - p_continue),
             })
             .collect();
@@ -482,13 +554,13 @@ impl<'p, 'a> Builder<'p, 'a> {
                 self.stg.add_transition(
                     e.from,
                     body_entry,
-                    Guard::loop_back(label, true),
+                    continue_guard.clone(),
                     e.probability * p_continue,
                 );
                 // … or leave the loop.
                 outgoing.push(PendingEdge {
                     from: e.from,
-                    guard: Guard::loop_back(label, false),
+                    guard: exit_guard.clone(),
                     probability: e.probability * (1.0 - p_continue),
                 });
             }
@@ -571,16 +643,19 @@ impl<'p, 'a> Builder<'p, 'a> {
         for &state in &tails {
             let s = self.stg.state(state);
             let mut occupancy = s.occupancy_ns();
-            let mut used: std::collections::HashSet<usize> = s
+            // The busy-unit sets here are a handful of entries; a linear
+            // probe beats hashing.
+            let mut used: Vec<usize> = s
                 .ops
                 .iter()
                 .filter_map(|op| self.problem.node_fu[op.node.index()])
                 .collect();
             for &node in nodes {
                 if let Some(fu) = self.problem.node_fu[node.index()] {
-                    if !used.insert(fu) {
+                    if used.contains(&fu) {
                         return false;
                     }
+                    used.push(fu);
                 }
                 let delay = self.problem.node_delays[node.index()];
                 let effective = if occupancy > 0.0 {

@@ -43,8 +43,14 @@ pub mod block;
 mod error;
 mod hierarchical;
 mod problem;
+mod repair;
 
-pub use block::{schedule_block, BlockSchedule, PlacedOp};
+pub use block::{block_digest, schedule_block, BlockOutcome, BlockSchedule, PlacedOp};
 pub use error::SchedError;
-pub use hierarchical::{BaselineScheduler, Scheduler, WaveScheduler};
-pub use problem::{uniform_problem, ScheduleConfig, SchedulingProblem, SchedulingResult};
+pub use hierarchical::{
+    compose, BaselineScheduler, BlockSource, InlineBlocks, Scheduler, WaveScheduler,
+};
+pub use problem::{
+    problem_digest, uniform_problem, ScheduleConfig, SchedulingProblem, SchedulingResult,
+};
+pub use repair::{repair, repair_with_source, ScheduleDeltaProblem};

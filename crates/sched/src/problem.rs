@@ -92,25 +92,42 @@ impl SchedulingProblem<'_> {
     /// lets an evaluation session share one memoized schedule across such
     /// designs instead of rescheduling each.
     pub fn digest(&self) -> u128 {
-        let mut h = FingerprintHasher::new();
-        h.write_tag(0x5C);
-        h.write_f64(self.config.clock_ns);
-        h.write_u64(
-            u64::from(self.config.chaining)
-                | u64::from(self.config.concurrent_loops) << 1
-                | u64::from(self.config.loop_overlap) << 2,
-        );
-        h.write_f64(self.config.chaining_overhead);
-        h.write_tag(1);
-        for &delay in &self.node_delays {
-            h.write_f64(delay);
-        }
-        h.write_tag(2);
-        for fu in &self.node_fu {
-            h.write_u64(fu.map_or(0, |f| f as u64 + 1));
-        }
-        h.finish().as_u128()
+        problem_digest(
+            &self.config,
+            self.node_delays.iter().copied(),
+            self.node_fu.iter().copied(),
+        )
     }
+}
+
+/// [`SchedulingProblem::digest`] computed from streamed parts, for callers
+/// that know the per-node delays and binding without materializing a problem
+/// — e.g. an evaluator deriving a *parent* problem's schedule key from a
+/// cached context and a supply factor. Bit-identical to building the problem
+/// and digesting it.
+pub fn problem_digest(
+    config: &ScheduleConfig,
+    node_delays: impl Iterator<Item = f64>,
+    node_fu: impl Iterator<Item = Option<usize>>,
+) -> u128 {
+    let mut h = FingerprintHasher::new();
+    h.write_tag(0x5C);
+    h.write_f64(config.clock_ns);
+    h.write_u64(
+        u64::from(config.chaining)
+            | u64::from(config.concurrent_loops) << 1
+            | u64::from(config.loop_overlap) << 2,
+    );
+    h.write_f64(config.chaining_overhead);
+    h.write_tag(1);
+    for delay in node_delays {
+        h.write_f64(delay);
+    }
+    h.write_tag(2);
+    for fu in node_fu {
+        h.write_u64(fu.map_or(0, |f| f as u64 + 1));
+    }
+    h.finish().as_u128()
 }
 
 /// Output of a scheduler: the STG plus its headline metrics.
@@ -126,6 +143,11 @@ pub struct SchedulingResult {
     /// Longest acyclic schedule length in cycles (worst-case single visit of
     /// every loop).
     pub max_cycles: u32,
+    /// The per-block schedules the STG was composed from, in traversal
+    /// order. This is what [`repair`](crate::repair) reuses: a later problem
+    /// that leaves a block's digest unchanged splices the recorded schedule
+    /// instead of list-scheduling the block again.
+    pub blocks: Vec<crate::block::BlockOutcome>,
 }
 
 /// Builds a fully-parallel scheduling problem with default characterization:

@@ -81,6 +81,20 @@ impl Stg {
         }
     }
 
+    /// Per-state successor lists over the positive-probability transitions,
+    /// built in one pass. The schedule-length analyses below walk the graph
+    /// repeatedly; scanning the flat transition list per visit would make
+    /// them quadratic in the STG size.
+    fn successors(&self) -> Vec<Vec<usize>> {
+        let mut adjacency = vec![Vec::new(); self.state_count()];
+        for t in self.transitions() {
+            if t.probability > 0.0 {
+                adjacency[t.from.index()].push(t.to.index());
+            }
+        }
+        adjacency
+    }
+
     /// Minimum schedule length: the smallest number of cycles in which a pass
     /// can complete (shortest path from the entry to any exiting state).
     /// Returns `None` when no exiting state is reachable.
@@ -89,6 +103,14 @@ impl Stg {
         if n == 0 {
             return None;
         }
+        // Exit detection matches the historical definition: a state exits
+        // when it has explicit exit probability or no outgoing transition at
+        // all (zero-probability edges included).
+        let mut has_outgoing = vec![false; n];
+        for t in self.transitions() {
+            has_outgoing[t.from.index()] = true;
+        }
+        let successors = self.successors();
         let mut dist = vec![u32::MAX; n];
         let mut queue = VecDeque::new();
         dist[self.entry().index()] = 1;
@@ -97,18 +119,13 @@ impl Stg {
         while let Some(state) = queue.pop_front() {
             let d = dist[state.index()];
             let s = self.state(state);
-            let is_exit = s.exit_probability > 0.0 || self.outgoing(state).is_empty();
-            if is_exit {
+            if s.exit_probability > 0.0 || !has_outgoing[state.index()] {
                 best = Some(best.map_or(d, |b| b.min(d)));
             }
-            for t in self.outgoing(state) {
-                if t.probability <= 0.0 {
-                    continue;
-                }
-                let next = t.to.index();
+            for &next in &successors[state.index()] {
                 if dist[next] == u32::MAX {
                     dist[next] = d + 1;
-                    queue.push_back(t.to);
+                    queue.push_back(StateId(next));
                 }
             }
         }
@@ -120,26 +137,24 @@ impl Stg {
     /// the first traversal. This bounds the schedule length of a pass in
     /// which every loop exits after at most one iteration.
     pub fn max_acyclic_cycles(&self) -> u32 {
-        fn dfs(stg: &Stg, state: StateId, on_path: &mut Vec<bool>, depth: u32) -> u32 {
+        fn dfs(successors: &[Vec<usize>], state: usize, on_path: &mut [bool], depth: u32) -> u32 {
             let mut best = depth;
-            on_path[state.index()] = true;
-            for t in stg.outgoing(state) {
-                if t.probability <= 0.0 {
+            on_path[state] = true;
+            for &next in &successors[state] {
+                if on_path[next] {
                     continue;
                 }
-                if on_path[t.to.index()] {
-                    continue;
-                }
-                best = best.max(dfs(stg, t.to, on_path, depth + 1));
+                best = best.max(dfs(successors, next, on_path, depth + 1));
             }
-            on_path[state.index()] = false;
+            on_path[state] = false;
             best
         }
         if self.state_count() == 0 {
             return 0;
         }
+        let successors = self.successors();
         let mut on_path = vec![false; self.state_count()];
-        dfs(self, self.entry(), &mut on_path, 1)
+        dfs(&successors, self.entry().index(), &mut on_path, 1)
     }
 }
 

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use impact_cdfg::NodeId;
 
@@ -23,8 +24,9 @@ pub enum Guard {
     },
     /// Loop back-edge (or exit edge) of the loop with the given label.
     Loop {
-        /// The loop label.
-        label: String,
+        /// The loop label. Shared: guards are cloned along every edge the
+        /// composer routes, so the label is interned rather than re-allocated.
+        label: Arc<str>,
         /// `true` for the back-edge (another iteration), `false` for the exit.
         continues: bool,
     },
@@ -34,7 +36,7 @@ impl Guard {
     /// Convenience constructor for a loop guard.
     pub fn loop_back(label: &str, continues: bool) -> Self {
         Guard::Loop {
-            label: label.to_string(),
+            label: Arc::from(label),
             continues,
         }
     }
@@ -150,6 +152,17 @@ impl Stg {
     /// Panics if the state does not exist.
     pub fn add_op(&mut self, state: StateId, op: ScheduledOp) {
         self.states[state.0].ops.push(op);
+    }
+
+    /// Appends `count` fresh states linked in order by unconditional
+    /// transitions of probability 1.0 and returns their ids — the state
+    /// skeleton one basic block's schedule is spliced into.
+    pub fn add_chain(&mut self, count: usize) -> Vec<StateId> {
+        let states: Vec<StateId> = (0..count).map(|_| self.add_state()).collect();
+        for w in states.windows(2) {
+            self.add_transition(w[0], w[1], Guard::Always, 1.0);
+        }
+        states
     }
 
     /// Adds a transition.

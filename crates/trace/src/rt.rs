@@ -136,33 +136,27 @@ impl<'a> RtTraces<'a> {
         let Ok(register) = self.design.register(reg) else {
             return Vec::new();
         };
+        // Writes carry unique global sequence numbers, so gathering them per
+        // variable (through the graph's definer index) instead of scanning
+        // every node leaves the sorted sequence unchanged.
         let mut writes: Vec<(u32, i64)> = Vec::new();
-        for (node_id, node) in self.cdfg.nodes() {
-            let Some(defined) = node.defines else {
-                continue;
-            };
-            if !register.variables.contains(&defined) {
-                continue;
-            }
-            for event in self.trace.events_for(node_id) {
-                writes.push((event.sequence, event.output));
+        for &var in &register.variables {
+            for &node_id in self.cdfg.definers_of(var) {
+                for event in self.trace.events_for(node_id) {
+                    writes.push((event.sequence, event.output));
+                }
             }
         }
         // Primary inputs are loaded at the start of each pass, before any
         // recorded event of that pass.
+        let first_seqs = self.trace.first_sequences();
         for &var in &register.variables {
             if self.cdfg.variable(var).kind == VariableKind::Input {
                 let values = self.trace.variable_writes(var);
                 // Interleave them at the beginning of each pass by giving
                 // them the sequence number of the pass's first event.
                 for (pass, &value) in values.iter().enumerate() {
-                    let first_seq = self
-                        .trace
-                        .events()
-                        .iter()
-                        .find(|e| e.pass == pass as u32)
-                        .map(|e| e.sequence)
-                        .unwrap_or(0);
+                    let first_seq = first_seqs.get(pass).copied().unwrap_or(0);
                     writes.push((first_seq.saturating_sub(1), value));
                 }
             }

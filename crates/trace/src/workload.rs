@@ -14,7 +14,7 @@
 //! `(workload, resource)` pair hashes to the same key everywhere.
 
 use impact_behsim::ExecutionTrace;
-use impact_cdfg::{Cdfg, VarId};
+use impact_cdfg::Cdfg;
 use impact_rtl::FingerprintHasher;
 
 /// Deterministic 128-bit content digest of one `(CDFG, trace)` workload.
@@ -71,31 +71,11 @@ pub fn workload_digest(cdfg: &Cdfg, trace: &ExecutionTrace) -> u128 {
         hasher.write_i64(variable.initial.unwrap_or(i64::MIN));
     }
 
-    hasher.write_tag(0xE1);
-    hasher.write_u64(u64::from(trace.passes()));
-    hasher.write_u64(trace.event_count() as u64);
-    for event in trace.events() {
-        hasher.write_u64(event.node.index() as u64);
-        hasher.write_u64(event.inputs.len() as u64);
-        for &input in &event.inputs {
-            hasher.write_i64(input);
-        }
-        hasher.write_i64(event.output);
-        hasher.write_u64(u64::from(event.pass));
-        hasher.write_u64(u64::from(event.sequence));
-    }
-
-    // Variable writes, in variable-id order (the map itself iterates in
-    // arbitrary order).
-    hasher.write_tag(0xF2);
-    for index in 0..cdfg.variable_count() {
-        let writes = trace.variable_writes(VarId::new(index));
-        hasher.write_u64(index as u64);
-        hasher.write_u64(writes.len() as u64);
-        for &value in writes {
-            hasher.write_i64(value);
-        }
-    }
+    // The trace side is one memoized digest over the event stream and the
+    // per-variable write sequences: a sweep session scoping many runs by
+    // workload hashes the (large, immutable) trace once instead of per run.
+    hasher.write_tag(0xE0);
+    hasher.write_u128(trace.content_digest());
 
     hasher.finish().as_u128()
 }
