@@ -13,83 +13,40 @@
 //! process exits non-zero if any design's reports diverge, making the
 //! bit-identity check a hard gate wherever the bench runs.
 
-use std::io::Write as _;
-
 use impact_bench::{
-    delta_comparison, format_layer_stats, quick_laxities, DeltaComparison, DEFAULT_EFFORT,
-    DEFAULT_PASSES,
+    delta_comparison, example_designs, fail_if, format_layer_stats, min_metric, quick_laxities,
+    report_json, write_report, BenchCli, DeltaComparison, DEFAULT_EFFORT, DEFAULT_PASSES,
 };
 
-/// The example designs the comparison runs on, smallest first.
-fn designs() -> Vec<impact_benchmarks::Benchmark> {
-    vec![
-        impact_benchmarks::gcd(),
-        impact_benchmarks::x25_send(),
-        impact_benchmarks::dealer(),
-        impact_benchmarks::paulin(),
-    ]
-}
-
-fn json_for(results: &[DeltaComparison], mode: &str, laxity_points: usize) -> String {
-    let mut out = String::from("{\n");
-    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
-    out.push_str(&format!("  \"laxity_points\": {laxity_points},\n"));
-    out.push_str("  \"designs\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"cold_ms\": {:.3}, \"shared_ms\": {:.3}, \
-             \"delta_ms\": {:.3}, \"speedup_vs_cold\": {:.3}, \"speedup_vs_shared\": {:.3}, \
-             \"identical\": {}, \"schedule_hit_rate\": {:.4}, \"context_hit_rate\": {:.4}, \
-             \"point_hit_rate\": {:.4}}}{}\n",
-            r.benchmark,
-            r.cold_ms,
-            r.shared_ms,
-            r.delta_ms,
-            r.speedup_vs_cold(),
-            r.speedup_vs_shared(),
-            r.identical,
-            r.delta_cache.schedule.hit_rate(),
-            r.delta_cache.context.hit_rate(),
-            r.delta_cache.point.hit_rate(),
-            if i + 1 < results.len() { "," } else { "" },
-        ));
-    }
-    out.push_str("  ],\n");
-    let min_of = |metric: fn(&DeltaComparison) -> f64| {
-        let min = results.iter().map(metric).fold(f64::INFINITY, f64::min);
-        if min.is_finite() {
-            min
-        } else {
-            0.0
-        }
-    };
-    out.push_str(&format!(
-        "  \"headline\": {{\"min_speedup_vs_cold\": {:.3}, \"min_speedup_vs_shared\": {:.3}, \
-         \"all_identical\": {}}}\n",
-        min_of(DeltaComparison::speedup_vs_cold),
-        min_of(DeltaComparison::speedup_vs_shared),
-        results.iter().all(|r| r.identical),
-    ));
-    out.push('}');
-    out.push('\n');
-    out
+fn design_object(r: &DeltaComparison) -> String {
+    format!(
+        "{{\"name\": \"{}\", \"cold_ms\": {:.3}, \"shared_ms\": {:.3}, \
+         \"delta_ms\": {:.3}, \"speedup_vs_cold\": {:.3}, \"speedup_vs_shared\": {:.3}, \
+         \"identical\": {}, \"schedule_hit_rate\": {:.4}, \"context_hit_rate\": {:.4}, \
+         \"point_hit_rate\": {:.4}}}",
+        r.benchmark,
+        r.cold_ms,
+        r.shared_ms,
+        r.delta_ms,
+        r.speedup_vs_cold(),
+        r.speedup_vs_shared(),
+        r.identical,
+        r.delta_cache.schedule.hit_rate(),
+        r.delta_cache.context.hit_rate(),
+        r.delta_cache.point.hit_rate(),
+    )
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_delta.json".to_string());
+    let cli = BenchCli::parse();
+    let out_path = cli.out_path("BENCH_delta.json");
 
-    let (passes, effort, laxities) = if smoke {
+    let (passes, effort, laxities) = if cli.smoke() {
         (10, (2, 3), vec![1.0, 2.0, 3.0])
     } else {
         (DEFAULT_PASSES, DEFAULT_EFFORT, quick_laxities())
     };
-    let mode = if smoke { "smoke" } else { "full" };
+    let mode = cli.mode();
 
     println!(
         "delta bench ({mode}): {} laxity points, {passes} passes, effort {effort:?}, \
@@ -103,7 +60,7 @@ fn main() {
     );
 
     let mut results = Vec::new();
-    for bench in designs() {
+    for bench in example_designs() {
         let result = delta_comparison(&bench, &laxities, passes, effort);
         println!(
             "{:>10} {:>12.1} {:>12.1} {:>12.1} {:>10.2} {:>11.2} {:>10}",
@@ -123,28 +80,34 @@ fn main() {
         results.push(result);
     }
 
-    let json = json_for(&results, mode, laxities.len());
-    let mut file = std::fs::File::create(&out_path).expect("bench output file is writable");
-    file.write_all(json.as_bytes())
-        .expect("bench output writes");
-    println!("wrote {out_path}");
+    let design_objects: Vec<String> = results.iter().map(design_object).collect();
+    let headline = format!(
+        "{{\"min_speedup_vs_cold\": {:.3}, \"min_speedup_vs_shared\": {:.3}, \
+         \"all_identical\": {}}}",
+        min_metric(&results, DeltaComparison::speedup_vs_cold),
+        min_metric(&results, DeltaComparison::speedup_vs_shared),
+        results.iter().all(|r| r.identical),
+    );
+    let json = report_json(
+        &[
+            ("mode", format!("\"{mode}\"")),
+            ("laxity_points", laxities.len().to_string()),
+        ],
+        &[("designs", &design_objects)],
+        &headline,
+    );
+    write_report(&out_path, &json);
 
-    let min_cold = results
-        .iter()
-        .map(DeltaComparison::speedup_vs_cold)
-        .fold(f64::INFINITY, f64::min);
-    let min_shared = results
-        .iter()
-        .map(DeltaComparison::speedup_vs_shared)
-        .fold(f64::INFINITY, f64::min);
     println!(
-        "headline: delta evaluation is at least {min_cold:.2}x faster than the PR 2 cold \
-         evaluator and {min_shared:.2}x faster than the PR 3 shared-session path across {} designs",
+        "headline: delta evaluation is at least {:.2}x faster than the PR 2 cold \
+         evaluator and {:.2}x faster than the PR 3 shared-session path across {} designs",
+        min_metric(&results, DeltaComparison::speedup_vs_cold),
+        min_metric(&results, DeltaComparison::speedup_vs_shared),
         results.len()
     );
 
-    if results.iter().any(|r| !r.identical) {
-        eprintln!("FAIL: delta-patched reports diverged from the full-rebuild oracle");
-        std::process::exit(1);
-    }
+    fail_if(
+        results.iter().any(|r| !r.identical),
+        "delta-patched reports diverged from the full-rebuild oracle",
+    );
 }

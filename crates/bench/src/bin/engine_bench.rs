@@ -11,75 +11,38 @@
 //! process exits non-zero if any design's reports diverge, making the
 //! equivalence check a hard gate wherever the bench runs.
 
-use std::io::Write as _;
-
 use impact_bench::{
-    engine_comparison, format_layer_stats, EngineComparison, DEFAULT_EFFORT, DEFAULT_PASSES,
+    engine_comparison, example_designs, fail_if, format_layer_stats, report_json, write_report,
+    BenchCli, EngineComparison, DEFAULT_EFFORT, DEFAULT_PASSES,
 };
 
-/// The example designs the comparison runs on, smallest first.
-fn designs() -> Vec<impact_benchmarks::Benchmark> {
-    vec![
-        impact_benchmarks::gcd(),
-        impact_benchmarks::x25_send(),
-        impact_benchmarks::dealer(),
-        impact_benchmarks::paulin(),
-    ]
-}
-
-fn json_for(results: &[EngineComparison], mode: &str, laxity: f64) -> String {
-    let mut out = String::from("{\n");
-    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
-    out.push_str(&format!("  \"laxity\": {laxity},\n"));
-    out.push_str("  \"designs\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"nodes\": {}, \"sequential_ms\": {:.3}, \
-             \"incremental_ms\": {:.3}, \"speedup\": {:.3}, \"identical\": {}, \
-             \"cache_hits\": {}, \"cache_misses\": {}}}{}\n",
-            r.benchmark,
-            r.nodes,
-            r.sequential_ms,
-            r.incremental_ms,
-            r.speedup(),
-            r.identical,
-            r.cache.hits,
-            r.cache.misses,
-            if i + 1 < results.len() { "," } else { "" },
-        ));
-    }
-    out.push_str("  ],\n");
-    let largest = results.iter().max_by_key(|r| r.nodes);
-    if let Some(largest) = largest {
-        out.push_str(&format!(
-            "  \"headline\": {{\"design\": \"{}\", \"speedup\": {:.3}}}\n",
-            largest.benchmark,
-            largest.speedup()
-        ));
-    } else {
-        out.push_str("  \"headline\": null\n");
-    }
-    out.push('}');
-    out.push('\n');
-    out
+fn design_object(r: &EngineComparison) -> String {
+    format!(
+        "{{\"name\": \"{}\", \"nodes\": {}, \"sequential_ms\": {:.3}, \
+         \"incremental_ms\": {:.3}, \"speedup\": {:.3}, \"identical\": {}, \
+         \"cache_hits\": {}, \"cache_misses\": {}}}",
+        r.benchmark,
+        r.nodes,
+        r.sequential_ms,
+        r.incremental_ms,
+        r.speedup(),
+        r.identical,
+        r.cache.hits,
+        r.cache.misses,
+    )
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let cli = BenchCli::parse();
+    let out_path = cli.out_path("BENCH_engine.json");
 
-    let (passes, effort) = if smoke {
+    let (passes, effort) = if cli.smoke() {
         (12, (2, 3))
     } else {
         (DEFAULT_PASSES, DEFAULT_EFFORT)
     };
     let laxity = 2.0;
-    let mode = if smoke { "smoke" } else { "full" };
+    let mode = cli.mode();
 
     println!(
         "engine bench ({mode}): {} passes, effort {:?}, laxity {laxity}",
@@ -91,7 +54,7 @@ fn main() {
     );
 
     let mut results = Vec::new();
-    for bench in designs() {
+    for bench in example_designs() {
         let result = engine_comparison(&bench, passes, effort, laxity);
         let hit_rate = 100.0 * result.cache.hit_rate();
         println!(
@@ -108,11 +71,24 @@ fn main() {
         results.push(result);
     }
 
-    let json = json_for(&results, mode, laxity);
-    let mut file = std::fs::File::create(&out_path).expect("bench output file is writable");
-    file.write_all(json.as_bytes())
-        .expect("bench output writes");
-    println!("wrote {out_path}");
+    let design_objects: Vec<String> = results.iter().map(design_object).collect();
+    let headline = match results.iter().max_by_key(|r| r.nodes) {
+        Some(largest) => format!(
+            "{{\"design\": \"{}\", \"speedup\": {:.3}}}",
+            largest.benchmark,
+            largest.speedup()
+        ),
+        None => "null".to_string(),
+    };
+    let json = report_json(
+        &[
+            ("mode", format!("\"{mode}\"")),
+            ("laxity", laxity.to_string()),
+        ],
+        &[("designs", &design_objects)],
+        &headline,
+    );
+    write_report(&out_path, &json);
 
     if let Some(largest) = results.iter().max_by_key(|r| r.nodes) {
         println!(
@@ -123,8 +99,8 @@ fn main() {
         );
     }
 
-    if results.iter().any(|r| !r.identical) {
-        eprintln!("FAIL: sequential and incremental engines diverged");
-        std::process::exit(1);
-    }
+    fail_if(
+        results.iter().any(|r| !r.identical),
+        "sequential and incremental engines diverged",
+    );
 }

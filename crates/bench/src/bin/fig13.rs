@@ -12,17 +12,14 @@
 //! with the `A-Power`, `I-Power` and `I-Area` series of the corresponding
 //! sub-figure.
 
-use impact_bench::{figure13_series, paper_laxities, quick_laxities, DEFAULT_PASSES};
+use impact_bench::{figure13_series, paper_laxities, quick_laxities, BenchCli, DEFAULT_PASSES};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let paper = args.iter().any(|a| a == "--paper");
-    let passes = arg_value(&args, "--passes")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(DEFAULT_PASSES);
-    let only = arg_value(&args, "--benchmark");
+    let cli = BenchCli::parse();
+    let passes = cli.parsed("--passes").unwrap_or(DEFAULT_PASSES);
+    let only = cli.value("--benchmark");
 
-    let laxities = if paper {
+    let laxities = if cli.paper() {
         paper_laxities()
     } else {
         quick_laxities()
@@ -70,11 +67,4 @@ fn main() {
             100.0 * series.max_area_overhead()
         );
     }
-}
-
-fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
 }

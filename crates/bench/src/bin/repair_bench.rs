@@ -15,86 +15,44 @@
 //! process exits non-zero if any design's reports diverge, making the
 //! bit-identity check a hard gate wherever the bench runs.
 
-use std::io::Write as _;
-
 use impact_bench::{
-    format_layer_stats, quick_laxities, repair_comparison, RepairComparison, DEFAULT_EFFORT,
+    example_designs, fail_if, format_layer_stats, min_metric, quick_laxities, repair_comparison,
+    report_json, write_report, BenchCli, RepairComparison, DEFAULT_EFFORT,
 };
 
-/// The example designs the comparison runs on, smallest first.
-fn designs() -> Vec<impact_benchmarks::Benchmark> {
-    vec![
-        impact_benchmarks::gcd(),
-        impact_benchmarks::x25_send(),
-        impact_benchmarks::dealer(),
-        impact_benchmarks::paulin(),
-    ]
-}
-
-fn json_for(results: &[RepairComparison], mode: &str, laxity_points: usize) -> String {
-    let mut out = String::from("{\n");
-    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
-    out.push_str(&format!("  \"laxity_points\": {laxity_points},\n"));
-    out.push_str("  \"designs\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"cold_ms\": {:.3}, \"memoized_ms\": {:.3}, \
-             \"repaired_ms\": {:.3}, \"speedup_vs_cold\": {:.3}, \"speedup_vs_memoized\": {:.3}, \
-             \"identical\": {}, \"block_hit_rate\": {:.4}, \"schedule_hit_rate\": {:.4}, \
-             \"block_schedules\": {}}}{}\n",
-            r.benchmark,
-            r.cold_ms,
-            r.memoized_ms,
-            r.repaired_ms,
-            r.speedup_vs_cold(),
-            r.speedup_vs_memoized(),
-            r.identical,
-            r.repaired_cache.block.hit_rate(),
-            r.repaired_cache.schedule.hit_rate(),
-            r.repaired_cache.block_schedules,
-            if i + 1 < results.len() { "," } else { "" },
-        ));
-    }
-    out.push_str("  ],\n");
-    let min_of = |metric: fn(&RepairComparison) -> f64| {
-        let min = results.iter().map(metric).fold(f64::INFINITY, f64::min);
-        if min.is_finite() {
-            min
-        } else {
-            0.0
-        }
-    };
-    out.push_str(&format!(
-        "  \"headline\": {{\"min_speedup_vs_cold\": {:.3}, \"min_speedup_vs_memoized\": {:.3}, \
-         \"all_identical\": {}}}\n",
-        min_of(RepairComparison::speedup_vs_cold),
-        min_of(RepairComparison::speedup_vs_memoized),
-        results.iter().all(|r| r.identical),
-    ));
-    out.push('}');
-    out.push('\n');
-    out
+fn design_object(r: &RepairComparison) -> String {
+    format!(
+        "{{\"name\": \"{}\", \"cold_ms\": {:.3}, \"memoized_ms\": {:.3}, \
+         \"repaired_ms\": {:.3}, \"speedup_vs_cold\": {:.3}, \"speedup_vs_memoized\": {:.3}, \
+         \"identical\": {}, \"block_hit_rate\": {:.4}, \"schedule_hit_rate\": {:.4}, \
+         \"block_schedules\": {}}}",
+        r.benchmark,
+        r.cold_ms,
+        r.memoized_ms,
+        r.repaired_ms,
+        r.speedup_vs_cold(),
+        r.speedup_vs_memoized(),
+        r.identical,
+        r.repaired_cache.block.hit_rate(),
+        r.repaired_cache.schedule.hit_rate(),
+        r.repaired_cache.block_schedules,
+    )
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_repair.json".to_string());
+    let cli = BenchCli::parse();
+    let out_path = cli.out_path("BENCH_repair.json");
 
     // Full mode uses a 16-pass trace rather than the drivers' default: the
     // three generations differ only in the scheduling stage, and longer
     // traces only inflate the trace-statistics stage — identical in all
     // three — which buries the quantity under measurement.
-    let (passes, effort, laxities) = if smoke {
+    let (passes, effort, laxities) = if cli.smoke() {
         (10, (2, 3), vec![1.0, 2.0, 3.0])
     } else {
         (16, DEFAULT_EFFORT, quick_laxities())
     };
-    let mode = if smoke { "smoke" } else { "full" };
+    let mode = cli.mode();
 
     println!(
         "repair bench ({mode}): {} laxity points, {passes} passes, effort {effort:?}, \
@@ -114,7 +72,7 @@ fn main() {
     );
 
     let mut results = Vec::new();
-    for bench in designs() {
+    for bench in example_designs() {
         let result = repair_comparison(&bench, &laxities, passes, effort);
         println!(
             "{:>10} {:>12.1} {:>13.1} {:>13.1} {:>10.2} {:>12.2} {:>10}",
@@ -134,29 +92,35 @@ fn main() {
         results.push(result);
     }
 
-    let json = json_for(&results, mode, laxities.len());
-    let mut file = std::fs::File::create(&out_path).expect("bench output file is writable");
-    file.write_all(json.as_bytes())
-        .expect("bench output writes");
-    println!("wrote {out_path}");
+    let design_objects: Vec<String> = results.iter().map(design_object).collect();
+    let headline = format!(
+        "{{\"min_speedup_vs_cold\": {:.3}, \"min_speedup_vs_memoized\": {:.3}, \
+         \"all_identical\": {}}}",
+        min_metric(&results, RepairComparison::speedup_vs_cold),
+        min_metric(&results, RepairComparison::speedup_vs_memoized),
+        results.iter().all(|r| r.identical),
+    );
+    let json = report_json(
+        &[
+            ("mode", format!("\"{mode}\"")),
+            ("laxity_points", laxities.len().to_string()),
+        ],
+        &[("designs", &design_objects)],
+        &headline,
+    );
+    write_report(&out_path, &json);
 
-    let min_cold = results
-        .iter()
-        .map(RepairComparison::speedup_vs_cold)
-        .fold(f64::INFINITY, f64::min);
-    let min_memo = results
-        .iter()
-        .map(RepairComparison::speedup_vs_memoized)
-        .fold(f64::INFINITY, f64::min);
     println!(
-        "headline: schedule repair is at least {min_cold:.2}x faster than the PR 2 cold \
-         evaluator and {min_memo:.2}x faster than the re-based PR 4 delta evaluator \
+        "headline: schedule repair is at least {:.2}x faster than the PR 2 cold \
+         evaluator and {:.2}x faster than the re-based PR 4 delta evaluator \
          (EngineConfig::full_reschedule in this build) across {} designs",
+        min_metric(&results, RepairComparison::speedup_vs_cold),
+        min_metric(&results, RepairComparison::speedup_vs_memoized),
         results.len()
     );
 
-    if results.iter().any(|r| !r.identical) {
-        eprintln!("FAIL: repaired schedules diverged from the full-reschedule oracle");
-        std::process::exit(1);
-    }
+    fail_if(
+        results.iter().any(|r| !r.identical),
+        "repaired schedules diverged from the full-reschedule oracle",
+    );
 }

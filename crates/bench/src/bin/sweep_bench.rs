@@ -2,107 +2,95 @@
 //! laxity sweep of every example design cold (independent per-laxity runs,
 //! fresh caches — the historical sweep cost), then with one shared
 //! [`SweepSession`](impact_core::SweepSession) over the batch driver's worker
-//! pool, and finally replays it over two merged half-sweep shard sessions.
-//! Reports must agree bit-for-bit across all three; the measurements go to
-//! `BENCH_sweep.json`.
+//! pool, then replays it over two merged half-sweep shard sessions, and
+//! finally measures the persistence path: sweep, snapshot, reload into a
+//! fresh session, rerun warm. Reports must agree bit-for-bit across every
+//! variant and the warm rerun must answer every design-point lookup from the
+//! snapshot; the measurements go to `BENCH_sweep.json`.
 //!
-//! Usage: `sweep_bench [--smoke] [--paper] [--workers N] [--out PATH]`
+//! Usage: `sweep_bench [--smoke] [--paper] [--workers N] [--out PATH]
+//! [--snapshot-dir DIR] [--expect-resume]`
 //!
 //! `--smoke` runs a reduced input set (fewer passes, smaller search effort,
 //! the coarse 5-point laxity grid) so CI can track the trajectory in seconds.
-//! `--paper` sweeps the full 11-point grid of the figure. The process exits
-//! non-zero if any design's cold, shared and merged-shard reports diverge,
-//! making the equivalence check a hard gate wherever the bench runs.
-
-use std::io::Write as _;
+//! `--paper` sweeps the full 11-point grid of the figure. With
+//! `--snapshot-dir` the warm-start snapshots round-trip through
+//! `DIR/<design>.impactcache` instead of staying in memory, and a second run
+//! against the same directory verifies cross-process byte identity;
+//! `--expect-resume` turns that verification into a hard gate. The process
+//! exits non-zero if any variant diverges from the cold runs or the warm
+//! rerun misses the point layer.
 
 use impact_bench::{
-    format_layer_stats, paper_laxities, quick_laxities, sweep_comparison, SweepComparison,
-    DEFAULT_EFFORT, DEFAULT_PASSES,
+    example_designs, fail_if, format_layer_stats, min_metric, paper_laxities, quick_laxities,
+    report_json, sweep_comparison, warm_start_comparison, write_report, BenchCli, SweepComparison,
+    WarmStartComparison, DEFAULT_EFFORT, DEFAULT_PASSES,
 };
 
-/// The example designs the comparison runs on, smallest first.
-fn designs() -> Vec<impact_benchmarks::Benchmark> {
-    vec![
-        impact_benchmarks::gcd(),
-        impact_benchmarks::x25_send(),
-        impact_benchmarks::dealer(),
-        impact_benchmarks::paulin(),
-    ]
+fn design_object(r: &SweepComparison) -> String {
+    format!(
+        "{{\"name\": \"{}\", \"cold_ms\": {:.3}, \"cold_parallel_ms\": {:.3}, \
+         \"shared_ms\": {:.3}, \"speedup\": {:.3}, \"cache_speedup\": {:.3}, \
+         \"identical\": {}, \"merged_identical\": {}, \
+         \"shared_hit_rate\": {:.4}, \"merged_hit_rate\": {:.4}}}",
+        r.benchmark,
+        r.cold_ms,
+        r.cold_parallel_ms,
+        r.shared_ms,
+        r.speedup(),
+        r.cache_speedup(),
+        r.identical,
+        r.merged_identical,
+        r.shared_cache.hit_rate(),
+        r.merged_cache.hit_rate(),
+    )
 }
 
-fn json_for(results: &[SweepComparison], mode: &str, laxity_points: usize) -> String {
-    let mut out = String::from("{\n");
-    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
-    out.push_str(&format!("  \"laxity_points\": {laxity_points},\n"));
-    out.push_str("  \"designs\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"cold_ms\": {:.3}, \"cold_parallel_ms\": {:.3}, \
-             \"shared_ms\": {:.3}, \"speedup\": {:.3}, \"cache_speedup\": {:.3}, \
-             \"identical\": {}, \"merged_identical\": {}, \
-             \"shared_hit_rate\": {:.4}, \"merged_hit_rate\": {:.4}}}{}\n",
-            r.benchmark,
-            r.cold_ms,
-            r.cold_parallel_ms,
-            r.shared_ms,
-            r.speedup(),
-            r.cache_speedup(),
-            r.identical,
-            r.merged_identical,
-            r.shared_cache.hit_rate(),
-            r.merged_cache.hit_rate(),
-            if i + 1 < results.len() { "," } else { "" },
-        ));
-    }
-    out.push_str("  ],\n");
-    let min_of = |metric: fn(&SweepComparison) -> f64| {
-        let min = results.iter().map(metric).fold(f64::INFINITY, f64::min);
-        if min.is_finite() {
-            min
-        } else {
-            0.0
-        }
-    };
-    out.push_str(&format!(
-        "  \"headline\": {{\"min_speedup\": {:.3}, \"min_cache_speedup\": {:.3}, \
-         \"all_identical\": {}}}\n",
-        min_of(SweepComparison::speedup),
-        min_of(SweepComparison::cache_speedup),
-        results.iter().all(|r| r.identical && r.merged_identical),
-    ));
-    out.push('}');
-    out.push('\n');
-    out
-}
-
-fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+fn warm_object(r: &WarmStartComparison) -> String {
+    let c = &r.warm_cache;
+    format!(
+        "{{\"name\": \"{}\", \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"speedup\": {:.3}, \
+         \"save_ms\": {:.3}, \"load_ms\": {:.3}, \"snapshot_bytes\": {}, \"absorbed\": {}, \
+         \"identical\": {}, \"resumed\": {}, \"layer_hit_rates\": {{\"stats\": {:.4}, \
+         \"context\": {:.4}, \"block\": {:.4}, \"schedule\": {:.4}, \"point\": {:.4}, \
+         \"scaled\": {:.4}}}}}",
+        r.benchmark,
+        r.cold_ms,
+        r.warm_ms,
+        r.speedup(),
+        r.save_ms,
+        r.load_ms,
+        r.snapshot_bytes,
+        r.absorbed,
+        r.identical,
+        r.resumed,
+        c.trace_stats.hit_rate(),
+        c.context.hit_rate(),
+        c.block.hit_rate(),
+        c.schedule.hit_rate(),
+        c.point.hit_rate(),
+        c.scaled.hit_rate(),
+    )
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let paper = args.iter().any(|a| a == "--paper");
-    let workers = arg_value(&args, "--workers")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0usize);
-    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let cli = BenchCli::parse();
+    let workers = cli.parsed("--workers").unwrap_or(0usize);
+    let out_path = cli.out_path("BENCH_sweep.json");
+    let snapshot_dir = cli.value("--snapshot-dir").map(std::path::PathBuf::from);
+    let expect_resume = cli.flag("--expect-resume");
 
-    let (passes, effort) = if smoke {
+    let (passes, effort) = if cli.smoke() {
         (10, (2, 3))
     } else {
         (DEFAULT_PASSES, DEFAULT_EFFORT)
     };
-    let laxities = if paper {
+    let laxities = if cli.paper() {
         paper_laxities()
     } else {
         quick_laxities()
     };
-    let mode = if smoke { "smoke" } else { "full" };
+    let mode = cli.mode();
 
     println!(
         "sweep bench ({mode}): {} laxity points, {passes} passes, effort {effort:?}, \
@@ -125,7 +113,7 @@ fn main() {
     );
 
     let mut results = Vec::new();
-    for bench in designs() {
+    for bench in example_designs() {
         let result = sweep_comparison(&bench, &laxities, passes, effort, workers);
         println!(
             "{:>10} {:>12.1} {:>13.1} {:>12.1} {:>9.2} {:>9.2} {:>10} {:>8} {:>13.1} {:>13.1}",
@@ -148,29 +136,106 @@ fn main() {
         results.push(result);
     }
 
-    let json = json_for(&results, mode, laxities.len());
-    let mut file = std::fs::File::create(&out_path).expect("bench output file is writable");
-    file.write_all(json.as_bytes())
-        .expect("bench output writes");
-    println!("wrote {out_path}");
-
-    let min_speedup = results
-        .iter()
-        .map(SweepComparison::speedup)
-        .fold(f64::INFINITY, f64::min);
-    let min_cache_speedup = results
-        .iter()
-        .map(SweepComparison::cache_speedup)
-        .fold(f64::INFINITY, f64::min);
+    println!();
     println!(
-        "headline: shared-session sweep is at least {min_speedup:.2}x faster than the \
-         sequential cold sweep ({min_cache_speedup:.2}x at the same worker count) \
-         across {} designs",
+        "warm start (sweep → snapshot → reload → rerun{})",
+        snapshot_dir
+            .as_deref()
+            .map(|d| format!(", snapshots in {}", d.display()))
+            .unwrap_or_default()
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>12} {:>8}",
+        "design",
+        "cold (ms)",
+        "warm (ms)",
+        "speedup",
+        "save (ms)",
+        "load (ms)",
+        "bytes",
+        "identical",
+        "point hit %",
+        "resumed"
+    );
+    let mut warm_results = Vec::new();
+    for bench in example_designs() {
+        let path = snapshot_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{}.impactcache", bench.name)));
+        let result =
+            warm_start_comparison(&bench, &laxities, passes, effort, workers, path.as_deref());
+        println!(
+            "{:>10} {:>12.1} {:>12.1} {:>9.2} {:>10.2} {:>10.2} {:>10} {:>10} {:>12.1} {:>8}",
+            result.benchmark,
+            result.cold_ms,
+            result.warm_ms,
+            result.speedup(),
+            result.save_ms,
+            result.load_ms,
+            result.snapshot_bytes,
+            result.identical,
+            100.0 * result.point_hit_rate(),
+            result.resumed,
+        );
+        println!(
+            "{:>10} warm layers: {}",
+            "",
+            format_layer_stats(&result.warm_cache)
+        );
+        warm_results.push(result);
+    }
+
+    let design_objects: Vec<String> = results.iter().map(design_object).collect();
+    let warm_objects: Vec<String> = warm_results.iter().map(warm_object).collect();
+    let headline = format!(
+        "{{\"min_speedup\": {:.3}, \"min_cache_speedup\": {:.3}, \"all_identical\": {}, \
+         \"min_warm_speedup\": {:.3}, \"all_warm_identical\": {}, \"all_fully_warm\": {}, \
+         \"all_resumed\": {}}}",
+        min_metric(&results, SweepComparison::speedup),
+        min_metric(&results, SweepComparison::cache_speedup),
+        results.iter().all(|r| r.identical && r.merged_identical)
+            && warm_results.iter().all(|r| r.identical),
+        min_metric(&warm_results, WarmStartComparison::speedup),
+        warm_results.iter().all(|r| r.identical),
+        warm_results.iter().all(WarmStartComparison::fully_warm),
+        warm_results.iter().all(|r| r.resumed),
+    );
+    let json = report_json(
+        &[
+            ("mode", format!("\"{mode}\"")),
+            ("laxity_points", laxities.len().to_string()),
+        ],
+        &[("designs", &design_objects), ("warm", &warm_objects)],
+        &headline,
+    );
+    write_report(&out_path, &json);
+
+    println!(
+        "headline: shared-session sweep is at least {:.2}x faster than the sequential cold \
+         sweep ({:.2}x at the same worker count), and a warm start from a snapshot is at \
+         least {:.2}x faster than cold, across {} designs",
+        min_metric(&results, SweepComparison::speedup),
+        min_metric(&results, SweepComparison::cache_speedup),
+        min_metric(&warm_results, WarmStartComparison::speedup),
         results.len()
     );
 
-    if results.iter().any(|r| !r.identical || !r.merged_identical) {
-        eprintln!("FAIL: shared-session or merged-shard sweep diverged from cold runs");
-        std::process::exit(1);
+    fail_if(
+        results.iter().any(|r| !r.identical || !r.merged_identical),
+        "shared-session or merged-shard sweep diverged from cold runs",
+    );
+    fail_if(
+        warm_results.iter().any(|r| !r.identical),
+        "warm-started sweep diverged from its cold run",
+    );
+    fail_if(
+        warm_results.iter().any(|r| !r.fully_warm()),
+        "warm rerun missed the point layer (expected a 100% hit rate)",
+    );
+    if expect_resume {
+        fail_if(
+            warm_results.iter().any(|r| !r.resumed),
+            "expected byte-identical snapshots from the previous run (--expect-resume)",
+        );
     }
 }

@@ -1,6 +1,8 @@
 //! The batch job driver: many `(benchmark, configuration)` synthesis jobs
 //! scheduled over a scoped worker pool, optionally sharing one
-//! [`SweepSession`].
+//! [`SweepSession`] — plus the CLI and report plumbing every bench binary
+//! shares ([`BenchCli`], [`example_designs`], [`report_json`],
+//! [`write_report`], [`min_metric`], [`fail_if`], [`TimedBatch`]).
 //!
 //! Every experiment driver that used to hand-roll its own timing loop
 //! (`engine_bench`, the Figure 13 sweep) now goes through [`run_batch`]: one
@@ -10,11 +12,13 @@
 //! ranking-thread count, so parallel batches produce bit-identical reports to
 //! sequential ones — the pool only changes wall-clock.
 
+use std::io::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use impact_behsim::ExecutionTrace;
+use impact_benchmarks::Benchmark;
 use impact_cdfg::Cdfg;
 use impact_core::{Impact, SweepSession, SynthesisConfig, SynthesisOutcome};
 
@@ -129,6 +133,206 @@ pub fn run_batch(
                 .expect("every claimed job stored its result")
         })
         .collect()
+}
+
+/// Parsed command line of a bench binary: the flags every driver shares
+/// (`--smoke`, `--paper`, `--out PATH`) plus typed access to
+/// binary-specific arguments.
+#[derive(Clone, Debug)]
+pub struct BenchCli {
+    args: Vec<String>,
+}
+
+impl BenchCli {
+    /// Parses the process arguments.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1).collect())
+    }
+
+    /// Builds a CLI from an explicit argument list (for tests).
+    pub fn from_args(args: Vec<String>) -> Self {
+        Self { args }
+    }
+
+    /// Whether a bare flag (e.g. `--smoke`) is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    /// `--smoke`: reduced inputs so CI tracks the trajectory in seconds.
+    pub fn smoke(&self) -> bool {
+        self.flag("--smoke")
+    }
+
+    /// `--paper`: the full 11-point laxity grid of Figure 13.
+    pub fn paper(&self) -> bool {
+        self.flag("--paper")
+    }
+
+    /// The mode label reports carry: `"smoke"` or `"full"`.
+    pub fn mode(&self) -> &'static str {
+        if self.smoke() {
+            "smoke"
+        } else {
+            "full"
+        }
+    }
+
+    /// The operand following `key` (e.g. `--workers 4`), verbatim.
+    pub fn value(&self, key: &str) -> Option<String> {
+        self.args
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.args.get(i + 1))
+            .cloned()
+    }
+
+    /// The operand following `key`, parsed; `None` when absent or malformed.
+    pub fn parsed<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.value(key).and_then(|v| v.parse().ok())
+    }
+
+    /// The report path: `--out PATH` or the binary's default.
+    pub fn out_path(&self, default: &str) -> String {
+        self.value("--out").unwrap_or_else(|| default.to_string())
+    }
+}
+
+/// The example designs the comparison benches run on, smallest first.
+pub fn example_designs() -> Vec<Benchmark> {
+    vec![
+        impact_benchmarks::gcd(),
+        impact_benchmarks::x25_send(),
+        impact_benchmarks::dealer(),
+        impact_benchmarks::paulin(),
+    ]
+}
+
+/// Assembles the report envelope the bench binaries share: scalar header
+/// fields (values are raw JSON), one or more named arrays of pre-rendered
+/// objects, and a `headline` object.
+pub fn report_json(
+    scalars: &[(&str, String)],
+    arrays: &[(&str, &[String])],
+    headline: &str,
+) -> String {
+    let mut out = String::from("{\n");
+    for (name, value) in scalars {
+        out.push_str(&format!("  \"{name}\": {value},\n"));
+    }
+    for (name, items) in arrays {
+        out.push_str(&format!("  \"{name}\": [\n"));
+        for (i, item) in items.iter().enumerate() {
+            out.push_str(&format!(
+                "    {item}{}\n",
+                if i + 1 < items.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+    }
+    out.push_str(&format!("  \"headline\": {headline}\n"));
+    out.push_str("}\n");
+    out
+}
+
+/// Writes a report to `path` and logs the destination.
+///
+/// # Panics
+///
+/// Panics when the path is not writable — bench reports are the product of
+/// the run, so failing to record them is a hard error.
+pub fn write_report(path: &str, json: &str) {
+    let mut file = std::fs::File::create(path).expect("bench output file is writable");
+    file.write_all(json.as_bytes())
+        .expect("bench output writes");
+    println!("wrote {path}");
+}
+
+/// The smallest value of `metric` across `results` (`0.0` for an empty
+/// slice) — the conservative summary the bench headlines report.
+pub fn min_metric<T>(results: &[T], metric: impl Fn(&T) -> f64) -> f64 {
+    let min = results.iter().map(metric).fold(f64::INFINITY, f64::min);
+    if min.is_finite() {
+        min
+    } else {
+        0.0
+    }
+}
+
+/// Exits non-zero with `FAIL: message` when `diverged` holds, making a
+/// bench's equivalence check a hard gate wherever it runs.
+pub fn fail_if(diverged: bool, message: &str) {
+    if diverged {
+        eprintln!("FAIL: {message}");
+        std::process::exit(1);
+    }
+}
+
+/// Best-of-N repeat runner for timing-sensitive comparisons: every `run`
+/// repeats the identical experiment (a fresh session per repeat when
+/// requested, so repeats stay cold) and the fastest repeat's results,
+/// wall-clock and session are kept. Taking the minimum of identical runs is
+/// the standard way to recover the stable floor under machine noise.
+pub struct TimedBatch {
+    results: Option<Vec<JobResult>>,
+    best_ms: f64,
+    session: Option<SweepSession>,
+}
+
+impl TimedBatch {
+    /// Creates an empty runner.
+    pub fn new() -> Self {
+        Self {
+            results: None,
+            best_ms: f64::INFINITY,
+            session: None,
+        }
+    }
+
+    /// Runs one repeat on a single worker and keeps it if it was fastest.
+    pub fn run(&mut self, jobs: &[SweepJob<'_>], with_session: bool) {
+        let session = with_session.then(SweepSession::new);
+        let started = Instant::now();
+        let results = run_batch(jobs, session.as_ref(), 1);
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        if ms < self.best_ms {
+            self.best_ms = ms;
+            self.results = Some(results);
+            self.session = session;
+        }
+    }
+
+    /// Fastest repeat's wall-clock, in milliseconds.
+    pub fn best_ms(&self) -> f64 {
+        self.best_ms
+    }
+
+    /// Fastest repeat's results.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no repeat ran.
+    pub fn into_results(self) -> Vec<JobResult> {
+        self.results.expect("at least one repeat runs")
+    }
+
+    /// Fastest repeat's results and (when sessions were requested) session.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no repeat ran.
+    pub fn into_parts(self) -> (Vec<JobResult>, Option<SweepSession>) {
+        (
+            self.results.expect("at least one repeat runs"),
+            self.session,
+        )
+    }
+}
+
+impl Default for TimedBatch {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 #[cfg(test)]

@@ -6,20 +6,24 @@
 //! are expressed as batches of [`SweepJob`]s over the [`run_batch`] driver,
 //! sharing one [`SweepSession`] where the runs cover the same workload.
 
+use std::path::Path;
 use std::time::Instant;
 
 use impact_behsim::{simulate, ExecutionTrace};
 use impact_benchmarks::Benchmark;
 use impact_cdfg::Cdfg;
 use impact_core::{
-    CacheStats, EngineConfig, Impact, SweepSession, SynthesisConfig, SynthesisOutcome,
-    SynthesisReport,
+    CacheStats, EngineConfig, Impact, SnapshotScope, SnapshotStats, SweepSession, SynthesisConfig,
+    SynthesisOutcome, SynthesisReport,
 };
 use impact_sched::{uniform_problem, BaselineScheduler, Scheduler, WaveScheduler};
 
 mod driver;
 
-pub use driver::{run_batch, JobResult, SweepJob};
+pub use driver::{
+    example_designs, fail_if, min_metric, report_json, run_batch, write_report, BenchCli,
+    JobResult, SweepJob, TimedBatch,
+};
 
 /// Number of input passes used by the experiment drivers ("typical input
 /// sequences"). Kept modest so the full Figure 13 sweep runs in minutes.
@@ -405,13 +409,29 @@ pub fn format_layer_stats(stats: &CacheStats) -> String {
         )
     };
     format!(
-        "{} | {} | {} | {} | {} | {}",
+        "{} | {} | {} | {} | {} | {} | {}",
         layer("stats", stats.trace_stats),
         layer("context", stats.context),
         layer("block", stats.block),
         layer("schedule", stats.schedule),
         layer("point", stats.point),
         layer("scaled", stats.scaled),
+        format_snapshot_stats(&stats.snapshot),
+    )
+}
+
+/// One-line rendering of the snapshot save/load counters, including the
+/// per-reason load rejections: `snapshot saves N loads N rejected N
+/// (version N, digest N, truncated N)`.
+pub fn format_snapshot_stats(stats: &SnapshotStats) -> String {
+    format!(
+        "snapshot saves {} loads {} rejected {} (version {}, digest {}, truncated {})",
+        stats.saves,
+        stats.loads,
+        stats.rejected(),
+        stats.rejected_version,
+        stats.rejected_digest,
+        stats.rejected_truncated,
     )
 }
 
@@ -601,32 +621,7 @@ pub fn repair_comparison(
     // time); the fastest repeat per generation is the noise-free estimate.
     // The generations are *interleaved* within each round so a slow machine
     // phase degrades all three equally instead of biasing one.
-    struct Timed {
-        results: Option<Vec<JobResult>>,
-        best_ms: f64,
-        session: Option<SweepSession>,
-    }
-    impl Timed {
-        fn new() -> Self {
-            Self {
-                results: None,
-                best_ms: f64::INFINITY,
-                session: None,
-            }
-        }
-        fn run(&mut self, jobs: &[SweepJob<'_>], with_session: bool) {
-            let session = with_session.then(SweepSession::new);
-            let started = Instant::now();
-            let results = run_batch(jobs, session.as_ref(), 1);
-            let ms = started.elapsed().as_secs_f64() * 1e3;
-            if ms < self.best_ms {
-                self.best_ms = ms;
-                self.results = Some(results);
-                self.session = session;
-            }
-        }
-    }
-
+    //
     // PR 2 baseline: full rebuild, a fresh private cache per run. PR 4
     // baseline: the delta evaluator with repair disabled — every
     // schedule-memo miss reschedules the whole CDFG. This PR: block-granular
@@ -634,26 +629,28 @@ pub fn repair_comparison(
     let cold_jobs = jobs_with(EngineConfig::full_rebuild());
     let memo_jobs = jobs_with(EngineConfig::full_reschedule());
     let repair_jobs = jobs_with(EngineConfig::incremental());
-    let (mut cold, mut memoized, mut repaired) = (Timed::new(), Timed::new(), Timed::new());
+    let (mut cold, mut memoized, mut repaired) =
+        (TimedBatch::new(), TimedBatch::new(), TimedBatch::new());
     for _ in 0..REPAIR_BENCH_REPEATS {
         cold.run(&cold_jobs, false);
         memoized.run(&memo_jobs, true);
         repaired.run(&repair_jobs, true);
     }
 
-    let cold_results = cold.results.expect("at least one repeat runs");
-    let memo_results = memoized.results.expect("at least one repeat runs");
-    let repair_results = repaired.results.expect("at least one repeat runs");
+    let (cold_ms, memoized_ms, repaired_ms) =
+        (cold.best_ms(), memoized.best_ms(), repaired.best_ms());
+    let cold_results = cold.into_results();
+    let memo_results = memoized.into_results();
+    let (repair_results, repair_session) = repaired.into_parts();
     RepairComparison {
         benchmark: bench.name.to_string(),
         laxity_points: laxities.len(),
-        cold_ms: cold.best_ms,
-        memoized_ms: memoized.best_ms,
-        repaired_ms: repaired.best_ms,
+        cold_ms,
+        memoized_ms,
+        repaired_ms,
         identical: batches_identical(&cold_results, &memo_results)
             && batches_identical(&cold_results, &repair_results),
-        repaired_cache: repaired
-            .session
+        repaired_cache: repair_session
             .expect("the repaired generation runs with a session")
             .stats(),
     }
@@ -715,6 +712,136 @@ pub fn sweep_comparison(
         merged_identical: batches_identical(&cold, &replay),
         shared_cache: session.stats(),
         merged_cache: merged.stats(),
+    }
+}
+
+/// One benchmark's cold-vs-warm-start comparison: a sweep over a fresh
+/// session, a snapshot save, a load into a second fresh session, and a rerun
+/// of the same sweep against the loaded entries. The warm rerun must
+/// reproduce the cold reports bit-for-bit and answer every design-point
+/// lookup from the snapshot.
+#[derive(Clone, Debug)]
+pub struct WarmStartComparison {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Number of laxity points swept.
+    pub laxity_points: usize,
+    /// Wall-clock of the cold sweep, in milliseconds.
+    pub cold_ms: f64,
+    /// Wall-clock of the warm rerun, in milliseconds.
+    pub warm_ms: f64,
+    /// Wall-clock of encoding the snapshot, in milliseconds.
+    pub save_ms: f64,
+    /// Wall-clock of verifying + absorbing the snapshot, in milliseconds.
+    pub load_ms: f64,
+    /// Size of the encoded snapshot, in bytes.
+    pub snapshot_bytes: usize,
+    /// Entries the warm session absorbed from the snapshot.
+    pub absorbed: usize,
+    /// Whether the warm rerun reproduced the cold reports bit-for-bit.
+    pub identical: bool,
+    /// Whether a snapshot file from a previous process already existed and
+    /// was byte-identical to this run's fresh save (cross-process
+    /// determinism; always `false` without a snapshot path or on the first
+    /// run against one).
+    pub resumed: bool,
+    /// Cache counters of the warm session after the rerun (its `snapshot`
+    /// field carries the save/load counters of this comparison).
+    pub warm_cache: CacheStats,
+}
+
+impl WarmStartComparison {
+    /// Cold over warm wall-clock.
+    pub fn speedup(&self) -> f64 {
+        if self.warm_ms > 0.0 {
+            self.cold_ms / self.warm_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Point-layer hit rate of the warm rerun.
+    pub fn point_hit_rate(&self) -> f64 {
+        self.warm_cache.point.hit_rate()
+    }
+
+    /// Whether the warm rerun answered every design-point lookup from the
+    /// snapshot (100 % point-layer hit rate).
+    pub fn fully_warm(&self) -> bool {
+        self.warm_cache.point.hits > 0 && self.warm_cache.point.misses == 0
+    }
+}
+
+/// Runs one benchmark's Figure 13 sweep cold, snapshots the session, reloads
+/// the snapshot into a fresh session and reruns the sweep warm. With a
+/// `snapshot_path` the bytes round-trip through the filesystem (atomic write,
+/// verified load) and `resumed` reports whether a pre-existing file from an
+/// earlier process was byte-identical to this run's save; without one the
+/// bytes stay in memory. `effort` is `(max_passes, max_sequence_length)`;
+/// `workers` sizes the pool of both sweeps (`0` = one per CPU).
+///
+/// # Panics
+///
+/// Panics when the snapshot this run just saved fails verification — that is
+/// a codec bug, not an input problem — or when `snapshot_path` is not
+/// writable.
+pub fn warm_start_comparison(
+    bench: &Benchmark,
+    laxities: &[f64],
+    passes: usize,
+    effort: (usize, usize),
+    workers: usize,
+    snapshot_path: Option<&Path>,
+) -> WarmStartComparison {
+    let (cdfg, trace) = prepare(bench, passes, DEFAULT_SEED);
+    let jobs = figure13_jobs(&cdfg, &trace, laxities, effort);
+
+    let cold_session = SweepSession::new();
+    let started = Instant::now();
+    let cold = run_batch(&jobs, Some(&cold_session), workers);
+    let cold_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let started = Instant::now();
+    let bytes = cold_session.save_snapshot();
+    let save_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // Cross-process determinism check: a file left by a previous run must
+    // byte-match this run's save before we replace it.
+    let resumed = snapshot_path
+        .and_then(|path| std::fs::read(path).ok())
+        .is_some_and(|existing| existing == bytes);
+    if let Some(path) = snapshot_path {
+        impact_core::write_snapshot_bytes(path, &bytes).expect("snapshot path is writable");
+    }
+
+    let warm_session = SweepSession::new();
+    let started = Instant::now();
+    let absorbed = match snapshot_path {
+        Some(path) => warm_session
+            .load_from_file(path, SnapshotScope::Any)
+            .expect("a snapshot this run just wrote verifies and loads"),
+        None => warm_session
+            .load_snapshot(&bytes, SnapshotScope::Any)
+            .expect("a snapshot this run just saved verifies and loads"),
+    };
+    let load_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let started = Instant::now();
+    let warm = run_batch(&jobs, Some(&warm_session), workers);
+    let warm_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    WarmStartComparison {
+        benchmark: bench.name.to_string(),
+        laxity_points: laxities.len(),
+        cold_ms,
+        warm_ms,
+        save_ms,
+        load_ms,
+        snapshot_bytes: bytes.len(),
+        absorbed,
+        identical: batches_identical(&cold, &warm),
+        resumed,
+        warm_cache: warm_session.stats(),
     }
 }
 

@@ -41,6 +41,21 @@ impl fmt::Display for Digest128 {
     }
 }
 
+// Snapshot codec: a digest is a bare 128-bit word. Like the other
+// fixed-width identifier types it carries no version tag of its own — the
+// composite that embeds it versions the layout.
+impl impact_codec::Encode for Digest128 {
+    fn encode(&self, w: &mut impact_codec::Encoder) {
+        w.put_u128(self.0);
+    }
+}
+
+impl impact_codec::Decode for Digest128 {
+    fn decode(r: &mut impact_codec::Decoder<'_>) -> Result<Self, impact_codec::DecodeError> {
+        Ok(Self(r.take_u128()?))
+    }
+}
+
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 /// Offset basis of the second stream (the first basis hashed with itself),

@@ -60,6 +60,22 @@ macro_rules! impl_id {
                 id.index()
             }
         }
+
+        // Snapshot codec: identifiers are bare 32-bit indices (no per-value
+        // version tag — the enclosing composite versions the layout).
+        impl impact_codec::Encode for $ty {
+            fn encode(&self, w: &mut impact_codec::Encoder) {
+                w.put_u32(self.0);
+            }
+        }
+
+        impl impact_codec::Decode for $ty {
+            fn decode(
+                r: &mut impact_codec::Decoder<'_>,
+            ) -> Result<Self, impact_codec::DecodeError> {
+                Ok(Self(r.take_u32()?))
+            }
+        }
     };
 }
 

@@ -1,0 +1,129 @@
+//! Property tests of the primitive and container codecs: `decode ∘ encode`
+//! is the identity for every impl this crate ships, encodings of equal values
+//! are identical bytes, and corrupted or truncated inputs produce a
+//! [`DecodeError`] — never a panic or a silently wrong value.
+
+use std::sync::Arc;
+
+use impact_codec::{decode_from_slice, encode_to_vec, Decode, Decoder, Encode};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn assert_roundtrip<T>(value: &T)
+where
+    T: Encode + Decode + PartialEq + std::fmt::Debug,
+{
+    let bytes = encode_to_vec(value);
+    assert_eq!(bytes, encode_to_vec(value), "encoding is deterministic");
+    let back: T = decode_from_slice(&bytes).unwrap();
+    assert_eq!(&back, value, "decode ∘ encode must be the identity");
+}
+
+/// Decoding arbitrary bytes as `T` either succeeds or errors; it never
+/// panics, and a success consumes a prefix that re-encodes to itself.
+fn assert_no_panic<T>(bytes: &[u8])
+where
+    T: Encode + Decode,
+{
+    let mut r = Decoder::new(bytes);
+    if let Ok(value) = T::decode(&mut r) {
+        let consumed = bytes.len() - r.remaining();
+        assert_eq!(
+            encode_to_vec(&value),
+            &bytes[..consumed],
+            "a successful decode re-encodes to the bytes it consumed"
+        );
+    }
+}
+
+fn arbitrary_f64() -> impl Strategy<Value = f64> {
+    // Cover the full bit space, including NaN payloads, infinities, and
+    // subnormals: the codec stores the exact bit pattern.
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+fn arbitrary_string() -> impl Strategy<Value = String> {
+    vec(0u32..0xD800, 0..12).prop_map(|codes| {
+        codes
+            .into_iter()
+            .filter_map(char::from_u32)
+            .collect::<String>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn integers_round_trip(
+        a in any::<u8>(),
+        b in any::<u32>(),
+        c in any::<u64>(),
+        d in any::<i64>(),
+    ) {
+        assert_roundtrip(&a);
+        assert_roundtrip(&b);
+        assert_roundtrip(&c);
+        assert_roundtrip(&d);
+        assert_roundtrip(&((a, b), (c, d)));
+    }
+
+    #[test]
+    fn wide_and_unsized_scalars_round_trip(
+        hi in any::<u64>(),
+        lo in any::<u64>(),
+        n in any::<usize>(),
+        flag in any::<bool>(),
+    ) {
+        assert_roundtrip(&((u128::from(hi) << 64) | u128::from(lo)));
+        assert_roundtrip(&n);
+        assert_roundtrip(&flag);
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly(value in arbitrary_f64()) {
+        let bytes = encode_to_vec(&value);
+        let back: f64 = decode_from_slice(&bytes).unwrap();
+        prop_assert_eq!(back.to_bits(), value.to_bits());
+    }
+
+    #[test]
+    fn strings_round_trip(s in arbitrary_string()) {
+        assert_roundtrip(&s);
+        let shared: Arc<str> = Arc::from(s.as_str());
+        assert_roundtrip(&shared);
+    }
+
+    #[test]
+    fn options_and_sequences_round_trip(
+        values in vec(any::<u64>(), 0..20),
+        some in any::<bool>(),
+        inner in any::<u32>(),
+    ) {
+        assert_roundtrip(&values);
+        assert_roundtrip(&some.then_some(inner));
+        assert_roundtrip(&Arc::new(inner));
+        assert_roundtrip(&vec![values.clone(), Vec::new()]);
+    }
+
+    #[test]
+    fn truncated_encodings_error_instead_of_panicking(
+        values in vec(any::<u64>(), 1..10),
+        cut_seed in any::<usize>(),
+    ) {
+        let bytes = encode_to_vec(&values);
+        let cut = cut_seed % bytes.len(); // strictly shorter than the input
+        prop_assert!(decode_from_slice::<Vec<u64>>(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_any_decoder(junk in vec(any::<u8>(), 0..64)) {
+        assert_no_panic::<u8>(&junk);
+        assert_no_panic::<u64>(&junk);
+        assert_no_panic::<f64>(&junk);
+        assert_no_panic::<String>(&junk);
+        assert_no_panic::<Option<u64>>(&junk);
+        assert_no_panic::<Vec<u32>>(&junk);
+        assert_no_panic::<Vec<String>>(&junk);
+    }
+}

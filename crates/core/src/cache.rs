@@ -44,6 +44,7 @@ use crate::evaluate::DesignPoint;
 use crate::fingerprint::{
     BlockKey, ContextKey, FuStatsKey, MuxStatsKey, PointKey, RegStatsKey, ScaledKey, ScheduleKey,
 };
+use crate::snapshot::{self, SnapshotRejection, SnapshotScope, SnapshotStats};
 
 /// Everything about one design that the Vdd search reuses across supply
 /// levels: effective node delays at the reference supply, the scheduler
@@ -163,6 +164,8 @@ pub struct CacheStats {
     pub point: LayerStats,
     /// Traffic on the supply-search outcome map.
     pub scaled: LayerStats,
+    /// Snapshot save/load counters, including per-reason load rejections.
+    pub snapshot: SnapshotStats,
 }
 
 impl CacheStats {
@@ -227,6 +230,30 @@ pub trait CacheBackend: Send + Sync + fmt::Debug {
     /// function, same key), so the merge is deterministic regardless of which
     /// side wins; traffic counters are unaffected.
     fn absorb(&self, snapshot: CacheSnapshot);
+    /// Serializes every entry into the versioned snapshot wire format
+    /// (deterministic: equal contents produce identical bytes).
+    fn save_snapshot(&self) -> Vec<u8> {
+        snapshot::encode_snapshot(&self.export())
+    }
+    /// Decodes snapshot bytes, verifies them under `scope`, and merges the
+    /// entries through [`Self::absorb`]. Returns the number of entries
+    /// absorbed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejection class for stale, truncated or corrupt bytes; the
+    /// backend is left unchanged — a rejected load is a cache miss, never a
+    /// wrong hit.
+    fn load_snapshot(
+        &self,
+        bytes: &[u8],
+        scope: SnapshotScope,
+    ) -> Result<usize, SnapshotRejection> {
+        let decoded = snapshot::decode_snapshot(bytes, scope)?;
+        let count = decoded.len();
+        self.absorb(decoded);
+        Ok(count)
+    }
 }
 
 /// Portable copy of a backend's entries, produced by
@@ -292,6 +319,7 @@ struct CacheInner {
     reg_traffic: LayerStats,
     mux_traffic: LayerStats,
     evictions: u64,
+    snapshot: SnapshotStats,
 }
 
 /// Capacity bounds; a map whose bound a new entry would overflow is cleared
@@ -445,6 +473,7 @@ impl CacheBackend for InMemoryCache {
             schedule: inner.schedules_traffic,
             point: inner.points_traffic,
             scaled: inner.scaled_traffic,
+            snapshot: inner.snapshot,
         }
     }
 
@@ -492,6 +521,93 @@ impl CacheBackend for InMemoryCache {
         merge_map!(fu_stats, MAX_STATS);
         merge_map!(reg_stats, MAX_STATS);
         merge_map!(mux_stats, MAX_STATS);
+    }
+
+    fn save_snapshot(&self) -> Vec<u8> {
+        let bytes = snapshot::encode_snapshot(&self.export());
+        self.lock().snapshot.saves += 1;
+        bytes
+    }
+
+    fn load_snapshot(
+        &self,
+        bytes: &[u8],
+        scope: SnapshotScope,
+    ) -> Result<usize, SnapshotRejection> {
+        match snapshot::decode_snapshot(bytes, scope) {
+            Ok(decoded) => {
+                let count = decoded.len();
+                self.absorb(decoded);
+                self.lock().snapshot.loads += 1;
+                Ok(count)
+            }
+            Err(rejection) => {
+                self.lock().snapshot.record_rejection(rejection);
+                Err(rejection)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- snapshot codec
+
+use impact_codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+
+/// Version tag of [`MuxEntry`]'s wire layout.
+const TAG_MUX_ENTRY: u8 = 0x40;
+/// Version tag of [`DesignContext`]'s wire layout.
+const TAG_DESIGN_CONTEXT: u8 = 0x41;
+
+impl Encode for MuxEntry {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_tag(TAG_MUX_ENTRY);
+        w.put_f64(self.tree_activity);
+        self.depths.encode(w);
+        w.put_f64(self.selections_per_pass);
+    }
+}
+
+impl Decode for MuxEntry {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(TAG_MUX_ENTRY)?;
+        Ok(Self {
+            tree_activity: r.take_f64()?,
+            depths: Decode::decode(r)?,
+            selections_per_pass: r.take_f64()?,
+        })
+    }
+}
+
+impl Encode for DesignContext {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_tag(TAG_DESIGN_CONTEXT);
+        self.base_delays.encode(w);
+        self.binding.encode(w);
+        self.profile.encode(w);
+        self.fu_ids.encode(w);
+        self.reg_ids.encode(w);
+        self.sites.encode(w);
+        self.site_restructured.encode(w);
+        self.site_depths.encode(w);
+        // The sink → position index is a lazily built derivation of `sites`;
+        // a decoded context rebuilds it on first use.
+    }
+}
+
+impl Decode for DesignContext {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(TAG_DESIGN_CONTEXT)?;
+        Ok(Self {
+            base_delays: Decode::decode(r)?,
+            binding: Decode::decode(r)?,
+            profile: Decode::decode(r)?,
+            fu_ids: Decode::decode(r)?,
+            reg_ids: Decode::decode(r)?,
+            sites: Decode::decode(r)?,
+            site_restructured: Decode::decode(r)?,
+            site_depths: Decode::decode(r)?,
+            site_index: std::sync::OnceLock::new(),
+        })
     }
 }
 

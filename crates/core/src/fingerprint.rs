@@ -28,7 +28,7 @@ use impact_rtl::{DesignFingerprint, FingerprintHasher, FuId, MuxSite, RtlDesign,
 /// Content digest of one evaluation workload: the CDFG, the execution trace
 /// and the technology parameters (clock period, power configuration) shared
 /// by every design evaluated under it. Scopes all cache keys of a session.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct WorkloadId(pub(crate) u128);
 
 impl WorkloadId {
@@ -39,7 +39,7 @@ impl WorkloadId {
 }
 
 /// Key of one fully evaluated design point (laxity-independent).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct PointKey {
     /// Workload the point was evaluated under.
     pub(crate) workload: WorkloadId,
@@ -63,7 +63,7 @@ impl PointKey {
 /// carries the ENC budget and the scaling mode: the *search result* (which
 /// supply wins, or infeasibility) depends on both, even though the per-level
 /// points it probes do not.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ScaledKey {
     /// Workload the search ran under.
     pub(crate) workload: WorkloadId,
@@ -99,7 +99,7 @@ impl ScaledKey {
 /// fingerprint: designs that differ only in power-relevant ways (module
 /// capacitance, register grouping, mux probability ordering with unchanged
 /// depths) produce the same digest and share one schedule.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ScheduleKey {
     /// Workload the schedule was computed under.
     pub(crate) workload: WorkloadId,
@@ -121,7 +121,7 @@ impl ScheduleKey {
 /// the block scheduler reads. Finer-grained than [`ScheduleKey`]: a problem
 /// whose whole-schedule digest misses still shares every block a change did
 /// not touch, across designs, supply levels and sweep runs.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct BlockKey {
     /// Workload the block schedule was computed under.
     pub(crate) workload: WorkloadId,
@@ -136,7 +136,7 @@ impl BlockKey {
 }
 
 /// Key of one per-design evaluation context (laxity-independent).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ContextKey {
     /// Workload the context was built under.
     pub(crate) workload: WorkloadId,
@@ -156,7 +156,7 @@ impl ContextKey {
 /// engine performs thousands of stats lookups per run, so the keys are
 /// digested once at construction — the same collision-resistance assumption
 /// every other digest-keyed layer already makes.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct FuStatsKey {
     pub(crate) workload: WorkloadId,
     pub(crate) digest: u128,
@@ -165,7 +165,7 @@ pub struct FuStatsKey {
 /// Key of per-register trace statistics: a content digest over the stored
 /// variables (in storage order, which determines write interleaving) and the
 /// register width.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct RegStatsKey {
     pub(crate) workload: WorkloadId,
     pub(crate) digest: u128,
@@ -175,7 +175,7 @@ pub struct RegStatsKey {
 /// by content identity (in site order, which fixes the tree shape) plus the
 /// tree construction used. Content identity — not raw [`SignalKey`]s, which
 /// carry allocation indices that shift as moves add and remove resources.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct MuxStatsKey {
     pub(crate) workload: WorkloadId,
     pub(crate) digest: u128,
@@ -278,3 +278,118 @@ impl MuxStatsKey {
         }
     }
 }
+
+// ---------------------------------------------------------------- snapshot codec
+//
+// Cache keys are fixed-width field bundles. Like the other identifier types
+// they encode bare (no per-key version tag) — the snapshot section that
+// embeds them is versioned as a whole.
+
+use impact_codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+
+impl Encode for WorkloadId {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_u128(self.0);
+    }
+}
+
+impl Decode for WorkloadId {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Self(r.take_u128()?))
+    }
+}
+
+impl Encode for PointKey {
+    fn encode(&self, w: &mut Encoder) {
+        self.workload.encode(w);
+        self.design.encode(w);
+        w.put_u64(self.vdd_bits);
+    }
+}
+
+impl Decode for PointKey {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Self {
+            workload: Decode::decode(r)?,
+            design: Decode::decode(r)?,
+            vdd_bits: r.take_u64()?,
+        })
+    }
+}
+
+impl Encode for ScaledKey {
+    fn encode(&self, w: &mut Encoder) {
+        self.workload.encode(w);
+        self.design.encode(w);
+        w.put_u64(self.enc_limit_bits);
+        w.put_bool(self.vdd_scaling);
+    }
+}
+
+impl Decode for ScaledKey {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Self {
+            workload: Decode::decode(r)?,
+            design: Decode::decode(r)?,
+            enc_limit_bits: r.take_u64()?,
+            vdd_scaling: r.take_bool()?,
+        })
+    }
+}
+
+impl Encode for ScheduleKey {
+    fn encode(&self, w: &mut Encoder) {
+        self.workload.encode(w);
+        w.put_u128(self.problem);
+    }
+}
+
+impl Decode for ScheduleKey {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Self {
+            workload: Decode::decode(r)?,
+            problem: r.take_u128()?,
+        })
+    }
+}
+
+impl Encode for ContextKey {
+    fn encode(&self, w: &mut Encoder) {
+        self.workload.encode(w);
+        self.design.encode(w);
+    }
+}
+
+impl Decode for ContextKey {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Self {
+            workload: Decode::decode(r)?,
+            design: Decode::decode(r)?,
+        })
+    }
+}
+
+macro_rules! impl_digest_key_codec {
+    ($ty:ident) => {
+        impl Encode for $ty {
+            fn encode(&self, w: &mut Encoder) {
+                self.workload.encode(w);
+                w.put_u128(self.digest);
+            }
+        }
+
+        impl Decode for $ty {
+            fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+                Ok(Self {
+                    workload: Decode::decode(r)?,
+                    digest: r.take_u128()?,
+                })
+            }
+        }
+    };
+}
+
+impl_digest_key_codec!(BlockKey);
+impl_digest_key_codec!(FuStatsKey);
+impl_digest_key_codec!(RegStatsKey);
+impl_digest_key_codec!(MuxStatsKey);

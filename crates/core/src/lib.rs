@@ -42,6 +42,7 @@ mod evaluate;
 mod fingerprint;
 mod moves;
 mod session;
+mod snapshot;
 
 pub use cache::{
     CacheBackend, CacheSnapshot, CacheStats, DesignContext, InMemoryCache, LayerStats, MuxEntry,
@@ -56,6 +57,10 @@ pub use fingerprint::{
 };
 pub use moves::Move;
 pub use session::SweepSession;
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, write_snapshot_bytes, DiskCache, SnapshotError,
+    SnapshotRejection, SnapshotScope, SnapshotStats, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 // The shared digest primitives live in `impact_cdfg::fingerprint`; re-export
 // them so engine users need only this crate.
 pub use impact_rtl::{DesignDelta, DesignFingerprint, FingerprintHasher};

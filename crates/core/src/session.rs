@@ -33,9 +33,11 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use std::path::Path;
 use std::sync::Arc;
 
 use crate::cache::{CacheBackend, CacheStats, InMemoryCache};
+use crate::snapshot::{self, SnapshotError, SnapshotRejection, SnapshotScope};
 
 /// A shared, mergeable evaluation-cache handle spanning synthesis runs.
 ///
@@ -80,6 +82,54 @@ impl SweepSession {
     /// `other` keeps its entries; traffic counters are not transferred.
     pub fn merge_from(&self, other: &SweepSession) {
         self.backend.absorb(other.backend.export());
+    }
+
+    /// Serializes the session's entries into snapshot bytes (deterministic:
+    /// equal contents produce identical bytes).
+    pub fn save_snapshot(&self) -> Vec<u8> {
+        self.backend.save_snapshot()
+    }
+
+    /// Verifies snapshot bytes under `scope` and merges the entries into the
+    /// session (through the same deterministic `absorb` path shard merges
+    /// use). Returns the number of entries absorbed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejection class for stale, truncated or corrupt bytes; the
+    /// session is left unchanged — a rejected load degrades to a cold start.
+    pub fn load_snapshot(
+        &self,
+        bytes: &[u8],
+        scope: SnapshotScope,
+    ) -> Result<usize, SnapshotRejection> {
+        self.backend.load_snapshot(bytes, scope)
+    }
+
+    /// Writes the session's entries to a snapshot file, atomically (the bytes
+    /// land in a temporary sibling renamed over the target).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_to_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        snapshot::write_snapshot_bytes(path.as_ref(), &self.save_snapshot())
+    }
+
+    /// Loads a snapshot file into the session. Returns the number of entries
+    /// absorbed.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] for filesystem problems (including a missing
+    /// file) and [`SnapshotError::Rejected`] for verification failures.
+    pub fn load_from_file(
+        &self,
+        path: impl AsRef<Path>,
+        scope: SnapshotScope,
+    ) -> Result<usize, SnapshotError> {
+        let bytes = std::fs::read(path.as_ref())?;
+        Ok(self.load_snapshot(&bytes, scope)?)
     }
 }
 

@@ -889,6 +889,224 @@ impl RtlDesign {
     }
 }
 
+// ---------------------------------------------------------------- snapshot codec
+//
+// Persistent cache snapshots serialize whole designs (inside cached
+// `DesignPoint`s). Composites carry an explicit one-byte version tag — bump
+// it when a layout changes so old snapshots fail decoding (degrading to a
+// cache miss) instead of being misinterpreted. Identifier wrappers encode as
+// bare indices; the enclosing composite's tag versions them.
+
+use impact_codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+
+impl Encode for FuId {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_usize(self.0);
+    }
+}
+
+impl Decode for FuId {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Self(r.take_usize()?))
+    }
+}
+
+impl Encode for RegId {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_usize(self.0);
+    }
+}
+
+impl Decode for RegId {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Self(r.take_usize()?))
+    }
+}
+
+/// Version tag of [`FunctionalUnit`]'s wire layout.
+const TAG_FUNCTIONAL_UNIT: u8 = 0x12;
+/// Version tag of [`Register`]'s wire layout.
+const TAG_REGISTER: u8 = 0x13;
+/// Version tag of [`SignalKey`]'s wire layout.
+const TAG_SIGNAL_KEY: u8 = 0x14;
+/// Version tag of [`MuxSink`]'s wire layout.
+const TAG_MUX_SINK: u8 = 0x15;
+/// Version tag of [`SignalSource`]'s wire layout.
+const TAG_SIGNAL_SOURCE: u8 = 0x16;
+/// Version tag of [`MuxSite`]'s wire layout.
+const TAG_MUX_SITE: u8 = 0x17;
+/// Version tag of [`RtlDesign`]'s wire layout.
+const TAG_RTL_DESIGN: u8 = 0x18;
+
+impl Encode for FunctionalUnit {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_tag(TAG_FUNCTIONAL_UNIT);
+        self.class.encode(w);
+        self.module.encode(w);
+        w.put_u8(self.width);
+    }
+}
+
+impl Decode for FunctionalUnit {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(TAG_FUNCTIONAL_UNIT)?;
+        Ok(Self {
+            class: Decode::decode(r)?,
+            module: Decode::decode(r)?,
+            width: r.take_u8()?,
+        })
+    }
+}
+
+impl Encode for Register {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_tag(TAG_REGISTER);
+        self.variables.encode(w);
+        w.put_u8(self.width);
+    }
+}
+
+impl Decode for Register {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(TAG_REGISTER)?;
+        Ok(Self {
+            variables: Decode::decode(r)?,
+            width: r.take_u8()?,
+        })
+    }
+}
+
+impl Encode for SignalKey {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_tag(TAG_SIGNAL_KEY);
+        match self {
+            SignalKey::Register(reg) => {
+                w.put_u8(0);
+                reg.encode(w);
+            }
+            SignalKey::FuOutput(fu) => {
+                w.put_u8(1);
+                fu.encode(w);
+            }
+            SignalKey::Constant(value) => {
+                w.put_u8(2);
+                w.put_i64(*value);
+            }
+        }
+    }
+}
+
+impl Decode for SignalKey {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(TAG_SIGNAL_KEY)?;
+        Ok(match r.take_u8()? {
+            0 => SignalKey::Register(Decode::decode(r)?),
+            1 => SignalKey::FuOutput(Decode::decode(r)?),
+            2 => SignalKey::Constant(r.take_i64()?),
+            _ => return Err(DecodeError::Invalid("unknown SignalKey discriminant")),
+        })
+    }
+}
+
+impl Encode for MuxSink {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_tag(TAG_MUX_SINK);
+        match self {
+            MuxSink::FuInput { fu, port } => {
+                w.put_u8(0);
+                fu.encode(w);
+                w.put_u8(*port);
+            }
+            MuxSink::RegisterInput { reg } => {
+                w.put_u8(1);
+                reg.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for MuxSink {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(TAG_MUX_SINK)?;
+        Ok(match r.take_u8()? {
+            0 => MuxSink::FuInput {
+                fu: Decode::decode(r)?,
+                port: r.take_u8()?,
+            },
+            1 => MuxSink::RegisterInput {
+                reg: Decode::decode(r)?,
+            },
+            _ => return Err(DecodeError::Invalid("unknown MuxSink discriminant")),
+        })
+    }
+}
+
+impl Encode for SignalSource {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_tag(TAG_SIGNAL_SOURCE);
+        self.key.encode(w);
+        self.ops.encode(w);
+    }
+}
+
+impl Decode for SignalSource {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(TAG_SIGNAL_SOURCE)?;
+        Ok(Self {
+            key: Decode::decode(r)?,
+            ops: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for MuxSite {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_tag(TAG_MUX_SITE);
+        self.sink.encode(w);
+        self.sources.encode(w);
+        w.put_u8(self.width);
+    }
+}
+
+impl Decode for MuxSite {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(TAG_MUX_SITE)?;
+        Ok(Self {
+            sink: Decode::decode(r)?,
+            sources: Decode::decode(r)?,
+            width: r.take_u8()?,
+        })
+    }
+}
+
+impl Encode for RtlDesign {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_tag(TAG_RTL_DESIGN);
+        self.fus.encode(w);
+        self.registers.encode(w);
+        self.op_binding.encode(w);
+        self.var_binding.encode(w);
+        // The restructured set iterates in hash order; sort for a
+        // deterministic encoding (same design -> same bytes).
+        let mut restructured: Vec<MuxSink> = self.restructured.iter().copied().collect();
+        restructured.sort_unstable();
+        restructured.encode(w);
+    }
+}
+
+impl Decode for RtlDesign {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(TAG_RTL_DESIGN)?;
+        Ok(Self {
+            fus: Decode::decode(r)?,
+            registers: Decode::decode(r)?,
+            op_binding: Decode::decode(r)?,
+            var_binding: Decode::decode(r)?,
+            restructured: Vec::<MuxSink>::decode(r)?.into_iter().collect(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

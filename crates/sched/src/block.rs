@@ -312,6 +312,81 @@ fn heights(
     height
 }
 
+// ---------------------------------------------------------------- snapshot codec
+
+use impact_codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+
+/// Version tag of [`PlacedOp`]'s wire layout.
+const TAG_PLACED_OP: u8 = 0x28;
+/// Version tag of [`BlockSchedule`]'s wire layout.
+const TAG_BLOCK_SCHEDULE: u8 = 0x29;
+/// Version tag of [`BlockOutcome`]'s wire layout.
+const TAG_BLOCK_OUTCOME: u8 = 0x2A;
+
+impl Encode for PlacedOp {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_tag(TAG_PLACED_OP);
+        self.node.encode(w);
+        w.put_usize(self.state);
+        w.put_f64(self.start_ns);
+        w.put_f64(self.delay_ns);
+        w.put_usize(self.finish_state);
+        w.put_f64(self.finish_ns);
+    }
+}
+
+impl Decode for PlacedOp {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(TAG_PLACED_OP)?;
+        Ok(Self {
+            node: Decode::decode(r)?,
+            state: r.take_usize()?,
+            start_ns: r.take_f64()?,
+            delay_ns: r.take_f64()?,
+            finish_state: r.take_usize()?,
+            finish_ns: r.take_f64()?,
+        })
+    }
+}
+
+impl Encode for BlockSchedule {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_tag(TAG_BLOCK_SCHEDULE);
+        self.ops.encode(w);
+        w.put_usize(self.state_count);
+    }
+}
+
+impl Decode for BlockSchedule {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(TAG_BLOCK_SCHEDULE)?;
+        Ok(Self {
+            ops: Decode::decode(r)?,
+            state_count: r.take_usize()?,
+        })
+    }
+}
+
+impl Encode for BlockOutcome {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_tag(TAG_BLOCK_OUTCOME);
+        self.nodes.encode(w);
+        w.put_u128(self.digest);
+        self.schedule.encode(w);
+    }
+}
+
+impl Decode for BlockOutcome {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(TAG_BLOCK_OUTCOME)?;
+        Ok(Self {
+            nodes: Decode::decode(r)?,
+            digest: r.take_u128()?,
+            schedule: Decode::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -290,6 +290,100 @@ impl Stg {
     }
 }
 
+// ---------------------------------------------------------------- snapshot codec
+
+use impact_codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+
+/// Version tag of [`Guard`]'s wire layout.
+const TAG_GUARD: u8 = 0x22;
+/// Version tag of [`Transition`]'s wire layout.
+const TAG_TRANSITION: u8 = 0x23;
+/// Version tag of [`Stg`]'s wire layout.
+const TAG_STG: u8 = 0x24;
+
+impl Encode for Guard {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_tag(TAG_GUARD);
+        match self {
+            Guard::Always => w.put_u8(0),
+            Guard::Branch { index, taken } => {
+                w.put_u8(1);
+                w.put_usize(*index);
+                w.put_bool(*taken);
+            }
+            Guard::Loop { label, continues } => {
+                w.put_u8(2);
+                w.put_str(label);
+                w.put_bool(*continues);
+            }
+        }
+    }
+}
+
+impl Decode for Guard {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(TAG_GUARD)?;
+        Ok(match r.take_u8()? {
+            0 => Guard::Always,
+            1 => Guard::Branch {
+                index: r.take_usize()?,
+                taken: r.take_bool()?,
+            },
+            2 => Guard::Loop {
+                label: Arc::from(r.take_str()?),
+                continues: r.take_bool()?,
+            },
+            _ => return Err(DecodeError::Invalid("unknown Guard discriminant")),
+        })
+    }
+}
+
+impl Encode for Transition {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_tag(TAG_TRANSITION);
+        self.from.encode(w);
+        self.to.encode(w);
+        self.guard.encode(w);
+        w.put_f64(self.probability);
+    }
+}
+
+impl Decode for Transition {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(TAG_TRANSITION)?;
+        Ok(Self {
+            from: Decode::decode(r)?,
+            to: Decode::decode(r)?,
+            guard: Decode::decode(r)?,
+            probability: r.take_f64()?,
+        })
+    }
+}
+
+impl Encode for Stg {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_tag(TAG_STG);
+        w.put_str(&self.design);
+        w.put_f64(self.clock_ns);
+        self.states.encode(w);
+        self.transitions.encode(w);
+        self.entry.encode(w);
+    }
+}
+
+impl Decode for Stg {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(TAG_STG)?;
+        Ok(Self {
+            design: r.take_str()?.to_string(),
+            clock_ns: r.take_f64()?,
+            states: Decode::decode(r)?,
+            transitions: Decode::decode(r)?,
+            entry: Decode::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

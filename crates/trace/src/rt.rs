@@ -274,6 +274,53 @@ fn signal_label(key: SignalKey) -> String {
     }
 }
 
+// ---------------------------------------------------------------- snapshot codec
+
+use impact_codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+
+/// Version tag of [`FuStats`]'s wire layout.
+const TAG_FU_STATS: u8 = 0x30;
+/// Version tag of [`RegStats`]'s wire layout.
+const TAG_REG_STATS: u8 = 0x31;
+
+impl Encode for FuStats {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_tag(TAG_FU_STATS);
+        w.put_f64(self.input_activity);
+        w.put_f64(self.output_activity);
+        w.put_f64(self.activations_per_pass);
+    }
+}
+
+impl Decode for FuStats {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(TAG_FU_STATS)?;
+        Ok(Self {
+            input_activity: r.take_f64()?,
+            output_activity: r.take_f64()?,
+            activations_per_pass: r.take_f64()?,
+        })
+    }
+}
+
+impl Encode for RegStats {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_tag(TAG_REG_STATS);
+        w.put_f64(self.activity);
+        w.put_f64(self.writes_per_pass);
+    }
+}
+
+impl Decode for RegStats {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(TAG_REG_STATS)?;
+        Ok(Self {
+            activity: r.take_f64()?,
+            writes_per_pass: r.take_f64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
