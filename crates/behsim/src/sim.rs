@@ -278,6 +278,7 @@ impl<'a> Simulator<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use impact_hdl::compile;

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Times one Figure 13 design point (area-optimized + power-optimized
 //! synthesis at one laxity) per benchmark. Regenerating the whole figure is
 //! `cargo run -p impact-bench --bin fig13`; this bench tracks how expensive

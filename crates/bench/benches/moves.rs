@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Times one full design-point evaluation (schedule + trace manipulation +
 //! power estimate + Vdd scaling) and one cheap fixed-supply evaluation — the
 //! two operations the iterative-improvement inner loop performs per candidate

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Times the baseline and Wavesched schedulers on every benchmark
 //! (the scheduling step runs inside every move evaluation, so its cost
 //! dominates the synthesis runtime).

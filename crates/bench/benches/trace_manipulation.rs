@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Times trace manipulation: behavioral simulation (done once) versus the
 //! per-move trace merging and statistics extraction it amortizes
 //! (Section 2.3's motivation for avoiding re-simulation).

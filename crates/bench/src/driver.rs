@@ -121,7 +121,10 @@ pub fn run_batch(
                 let index = next.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(index) else { break };
                 let result = run_one(job);
-                *slots[index].lock().unwrap() = Some(result);
+                *slots[index]
+                    .lock()
+                    .expect("a bench job never panics while holding its result slot") =
+                    Some(result);
             });
         }
     });
@@ -336,6 +339,7 @@ impl Default for TimedBatch {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use impact_core::EngineConfig;

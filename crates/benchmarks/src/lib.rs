@@ -282,6 +282,7 @@ pub fn by_name(name: &str) -> Option<Benchmark> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use impact_behsim::simulate;

@@ -193,6 +193,7 @@ pub fn critical_path_levels(cdfg: &Cdfg) -> u32 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::builder::CdfgBuilder;

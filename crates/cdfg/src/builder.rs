@@ -775,6 +775,7 @@ impl CdfgBuilder {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::graph::VariableKind;

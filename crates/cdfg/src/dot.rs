@@ -104,6 +104,7 @@ fn escape(s: &str) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use crate::builder::CdfgBuilder;
     use crate::graph::ValueRef;

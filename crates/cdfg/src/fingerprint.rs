@@ -120,6 +120,7 @@ impl Default for FingerprintHasher {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -530,6 +530,7 @@ impl Cdfg {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::builder::CdfgBuilder;

@@ -461,6 +461,7 @@ impl<A: Decode, B: Decode> Decode for (A, B) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Property tests of the primitive and container codecs: `decode ∘ encode`
 //! is the identity for every impl this crate ships, encodings of equal values
 //! are identical bytes, and corrupted or truncated inputs produce a

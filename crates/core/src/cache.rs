@@ -612,6 +612,7 @@ impl Decode for DesignContext {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::fingerprint::WorkloadId;

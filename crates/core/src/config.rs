@@ -12,6 +12,26 @@ pub enum OptimizationMode {
     Area,
 }
 
+/// How much static invariant auditing the engine performs while it runs.
+///
+/// Auditing is implemented by the `impact_verify` checker and only compiled
+/// in when the `verify` cargo feature is enabled; without the feature every
+/// level behaves like [`VerifyLevel::Off`]. Intended for debug and CI
+/// builds — the checks re-verify artifacts the evaluator just produced, so
+/// they cost real time on top of every cache miss.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum VerifyLevel {
+    /// No auditing (the release default).
+    #[default]
+    Off,
+    /// Audit every freshly computed design point: design legality,
+    /// fingerprint recompute and schedule legality against its problem.
+    Points,
+    /// [`VerifyLevel::Points`] plus a whole-session cache-coherence audit
+    /// when a synthesis run finishes.
+    Full,
+}
+
 /// Tuning of the incremental evaluation engine: memoization and parallel
 /// candidate ranking. The default is the fully incremental engine; the
 /// sequential configuration reproduces the brute-force evaluation loop
@@ -50,6 +70,9 @@ pub struct EngineConfig {
     /// results are bit-identical to a full reschedule (the oracle path, kept
     /// behind [`EngineConfig::full_reschedule`] for differential testing).
     pub schedule_repair: bool,
+    /// Static invariant auditing of evaluator outputs (requires the
+    /// `verify` cargo feature to have any effect).
+    pub verify: VerifyLevel,
 }
 
 impl EngineConfig {
@@ -64,6 +87,7 @@ impl EngineConfig {
             delta_patching: true,
             schedule_memo: true,
             schedule_repair: true,
+            verify: VerifyLevel::Off,
         }
     }
 
@@ -101,7 +125,15 @@ impl EngineConfig {
             delta_patching: false,
             schedule_memo: false,
             schedule_repair: false,
+            verify: VerifyLevel::Off,
         }
+    }
+
+    /// Returns a copy with a different auditing level (see [`VerifyLevel`];
+    /// requires the `verify` cargo feature to have any effect).
+    pub fn with_verify(mut self, verify: VerifyLevel) -> Self {
+        self.verify = verify;
+        self
     }
 }
 

@@ -161,6 +161,13 @@ impl Impact {
             }
         }
 
+        // At the full auditing level the whole session is checked for cache
+        // coherence before the outcome is handed out.
+        #[cfg(feature = "verify")]
+        if self.config.engine.verify == crate::VerifyLevel::Full {
+            evaluator.audit_session()?;
+        }
+
         let report = SynthesisReport {
             power_mw: current.power.total_mw(),
             power_at_reference_mw: current.power_at_reference.total_mw(),
@@ -379,6 +386,7 @@ fn first_feasible<E>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use impact_behsim::simulate;

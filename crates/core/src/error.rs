@@ -20,6 +20,11 @@ pub enum SynthesisError {
     /// An internal RT-level mutation failed (indicates a bug in move
     /// generation).
     Rtl(RtlError),
+    /// Static invariant auditing found violations in a freshly produced
+    /// artifact (only raised with the `verify` cargo feature and a
+    /// [`VerifyLevel`](crate::VerifyLevel) above `Off`). Each string is one
+    /// rendered violation.
+    Verification(Vec<String>),
 }
 
 impl fmt::Display for SynthesisError {
@@ -30,6 +35,14 @@ impl fmt::Display for SynthesisError {
             }
             SynthesisError::Scheduling(e) => write!(f, "scheduling failed: {e}"),
             SynthesisError::Rtl(e) => write!(f, "RT-level transformation failed: {e}"),
+            SynthesisError::Verification(violations) => {
+                write!(
+                    f,
+                    "invariant audit found {} violation(s): {}",
+                    violations.len(),
+                    violations.join("; ")
+                )
+            }
         }
     }
 }
@@ -39,7 +52,7 @@ impl Error for SynthesisError {
         match self {
             SynthesisError::Scheduling(e) => Some(e),
             SynthesisError::Rtl(e) => Some(e),
-            SynthesisError::InfeasibleLaxity { .. } => None,
+            SynthesisError::InfeasibleLaxity { .. } | SynthesisError::Verification(_) => None,
         }
     }
 }
@@ -70,6 +83,14 @@ mod tests {
             provided: 1,
         });
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn verification_message_lists_violations() {
+        let e = SynthesisError::Verification(vec!["a".into(), "b".into()]);
+        assert!(e.to_string().contains("2 violation(s)"));
+        assert!(e.to_string().contains("a; b"));
+        assert!(e.source().is_none());
     }
 
     #[test]

@@ -214,6 +214,17 @@ impl<'a> Evaluator<'a> {
             session,
             workload,
         };
+        // With auditing enabled, the CDFG itself is checked once up front —
+        // per-point audits then only re-verify the derived artifacts.
+        #[cfg(feature = "verify")]
+        if evaluator.config.engine.verify != crate::VerifyLevel::Off {
+            let violations = impact_verify::verify_cdfg(cdfg);
+            if !violations.is_empty() {
+                return Err(SynthesisError::Verification(
+                    violations.iter().map(ToString::to_string).collect(),
+                ));
+            }
+        }
         let initial = RtlDesign::initial_parallel(cdfg, &evaluator.library);
         // With a session the minimum-ENC schedule goes through the cached
         // point path, so repeat runs of a sweep (and the subsequent
@@ -558,8 +569,103 @@ impl<'a> Evaluator<'a> {
         // the scheduling pass above, and a run at a looser budget gets the
         // finished point for free.
         let point = Arc::new(self.point_from_schedule(&context, design, vdd, schedule));
+        #[cfg(feature = "verify")]
+        self.audit_point(&context, design, Some(fingerprint), &point)?;
         backend.store_point(key, point.clone());
         Ok(point)
+    }
+
+    /// Static invariant audit of a freshly produced design point (the
+    /// `verify` cargo feature; see [`VerifyLevel`](crate::VerifyLevel)).
+    /// `fingerprint` is the possibly XOR-patched digest the point is keyed
+    /// by, when one exists — auditing it catches a patch that diverged from
+    /// a recompute.
+    #[cfg(feature = "verify")]
+    fn audit_point(
+        &self,
+        context: &DesignContext,
+        design: &RtlDesign,
+        fingerprint: Option<DesignFingerprint>,
+        point: &DesignPoint,
+    ) -> Result<(), SynthesisError> {
+        if self.config.engine.verify == crate::VerifyLevel::Off {
+            return Ok(());
+        }
+        let mut violations = impact_verify::verify_design(self.cdfg, design);
+        if let Some(expected) = fingerprint {
+            violations.extend(impact_verify::verify_fingerprint(design, expected));
+        }
+        violations.extend(impact_verify::verify_mux_sites(
+            self.cdfg,
+            design,
+            &context.sites,
+        ));
+        let factor = self.library.vdd().delay_factor(point.vdd);
+        let problem = self.problem_for(context, factor);
+        violations.extend(impact_verify::verify_schedule(
+            &problem,
+            &point.schedule,
+            None,
+        ));
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(SynthesisError::Verification(
+                violations.iter().map(ToString::to_string).collect(),
+            ))
+        }
+    }
+
+    /// Whole-session cache-coherence audit (the `verify` cargo feature; run
+    /// by the engine at [`VerifyLevel::Full`](crate::VerifyLevel)).
+    #[cfg(feature = "verify")]
+    pub(crate) fn audit_session(&self) -> Result<(), SynthesisError> {
+        let Some(session) = &self.session else {
+            return Ok(());
+        };
+        let violations = crate::verify::audit_session(session);
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(SynthesisError::Verification(
+                violations.iter().map(ToString::to_string).collect(),
+            ))
+        }
+    }
+
+    /// Full static audit of a finished synthesis outcome, as data: CDFG
+    /// well-formedness, design legality, fingerprint recompute, mux-site
+    /// consistency, and the final schedule against the scheduling problem
+    /// rebuilt at the selected supply — including the ENC budget the run was
+    /// constrained to. Pure: returns the findings instead of failing, so
+    /// drivers (the `impact-verify` binary, the true-negative tests) can
+    /// report them. Runs regardless of [`VerifyLevel`](crate::VerifyLevel).
+    #[cfg(feature = "verify")]
+    pub fn audit_outcome(
+        &self,
+        outcome: &crate::SynthesisOutcome,
+    ) -> Vec<impact_verify::Violation> {
+        let design = &outcome.design;
+        let mut violations = impact_verify::verify_cdfg(self.cdfg);
+        violations.extend(impact_verify::verify_design(self.cdfg, design));
+        violations.extend(impact_verify::verify_fingerprint(
+            design,
+            design.fingerprint(),
+        ));
+        let context = self.context_for(design, design.fingerprint(), None);
+        violations.extend(impact_verify::verify_mux_sites(
+            self.cdfg,
+            design,
+            &context.sites,
+        ));
+        let factor = self.library.vdd().delay_factor(outcome.report.vdd);
+        let problem = self.problem_for(&context, factor);
+        violations.extend(impact_verify::verify_schedule(
+            &problem,
+            &outcome.schedule,
+            Some(outcome.report.enc_limit),
+        ));
+        violations
     }
 
     /// This evaluator's ENC-budget filter: the read-time counterpart of the
@@ -586,9 +692,10 @@ impl<'a> Evaluator<'a> {
         if schedule.enc > self.enc_limit + ENC_EPS {
             return Ok(None);
         }
-        Ok(Some(
-            self.point_from_schedule(context, design, vdd, schedule),
-        ))
+        let point = self.point_from_schedule(context, design, vdd, schedule);
+        #[cfg(feature = "verify")]
+        self.audit_point(context, design, None, &point)?;
+        Ok(Some(point))
     }
 
     /// Derives the full design point from a schedule: power at the probed and
@@ -1286,6 +1393,7 @@ pub(crate) fn lowest_feasible_point<E>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use impact_behsim::simulate;

@@ -43,11 +43,13 @@ mod fingerprint;
 mod moves;
 mod session;
 mod snapshot;
+#[cfg(feature = "verify")]
+pub mod verify;
 
 pub use cache::{
     CacheBackend, CacheSnapshot, CacheStats, DesignContext, InMemoryCache, LayerStats, MuxEntry,
 };
-pub use config::{EngineConfig, OptimizationMode, SynthesisConfig};
+pub use config::{EngineConfig, OptimizationMode, SynthesisConfig, VerifyLevel};
 pub use engine::{Impact, MoveRecord, SynthesisOutcome, SynthesisReport};
 pub use error::SynthesisError;
 pub use evaluate::{DesignPoint, Evaluator};

@@ -214,6 +214,7 @@ pub fn generate(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::config::SynthesisConfig;

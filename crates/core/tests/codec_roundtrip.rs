@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Round-trip tests for every domain codec impl, driven by real synthesis
 //! artifacts: for each cache layer's key and value type, `decode ∘ encode`
 //! is the identity and re-encoding the decoded value reproduces the original

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Property tests of delta evaluation: for arbitrary move sequences, seeds
 //! and supply levels, delta-patched candidate evaluation (incremental
 //! fingerprints, patched contexts, memoized schedules) is bit-identical to

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Property tests of the incremental evaluation engine: the Vdd binary
 //! search agrees with an exhaustive linear scan of the supply grid, cached
 //! and uncached evaluation are bit-identical, and the sequential and

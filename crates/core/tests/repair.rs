@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Property tests of delta-aware schedule repair: for arbitrary move
 //! sequences, seeds, laxities and supply levels, the repaired engine (only
 //! the blocks a move touched are rescheduled, untouched blocks spliced from

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Persistence tests: snapshot round trips are lossless and deterministic,
 //! warm-started sessions replay bit-identically with a full point-layer hit
 //! rate, and stale, truncated or corrupt snapshots degrade to a cold start —

@@ -326,6 +326,7 @@ impl<'src> Lexer<'src> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

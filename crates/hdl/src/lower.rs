@@ -243,6 +243,7 @@ fn map_unary(op: UnaryOp) -> Operation {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::parser::parse;

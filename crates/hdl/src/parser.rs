@@ -421,6 +421,7 @@ fn clamp_width(width: i64) -> u8 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

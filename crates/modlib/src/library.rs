@@ -227,6 +227,7 @@ impl Default for ModuleLibrary {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

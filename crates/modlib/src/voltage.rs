@@ -89,6 +89,7 @@ impl Default for VddScaling {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

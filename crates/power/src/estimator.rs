@@ -524,6 +524,7 @@ impl Decode for PowerProfile {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use impact_behsim::{simulate, ExecutionTrace};

@@ -623,6 +623,8 @@ impl RtlDesign {
     /// value. Applying a delta produced by one of the mutation methods above
     /// reproduces that mutation exactly.
     pub fn apply_delta(&mut self, delta: &DesignDelta) {
+        #[cfg(debug_assertions)]
+        let patched = delta.patched_fingerprint(self.fingerprint());
         for change in &delta.fus {
             if self.fus.len() <= change.id.0 {
                 self.fus.resize(change.id.0 + 1, None);
@@ -648,6 +650,12 @@ impl RtlDesign {
                 self.restructured.remove(&sink);
             }
         }
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            self.fingerprint(),
+            patched,
+            "apply_delta: the XOR-patched fingerprint must equal a recompute of the mutated design"
+        );
     }
 
     /// Undoes a delta: every touched entry takes its `before` value and slot
@@ -655,6 +663,15 @@ impl RtlDesign {
     /// *exact* pre-move design (field-for-field equality, not just
     /// structural equivalence).
     pub fn revert_delta(&mut self, delta: &DesignDelta) {
+        // The XOR patch is an involution, so patching the post-move
+        // fingerprint yields the pre-move one the revert must restore.
+        #[cfg(debug_assertions)]
+        let pre_move = delta.patched_fingerprint(self.fingerprint());
+        debug_assert!(
+            self.fus.len() >= delta.fu_slots_before
+                && self.registers.len() >= delta.reg_slots_before,
+            "revert_delta: the design must be in the delta's post-move state"
+        );
         for change in &delta.fus {
             if change.id.0 < delta.fu_slots_before {
                 self.fus[change.id.0] = change.before.clone();
@@ -680,6 +697,12 @@ impl RtlDesign {
                 self.restructured.remove(&sink);
             }
         }
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            self.fingerprint(),
+            pre_move,
+            "revert_delta: reverting must restore the exact pre-move fingerprint"
+        );
     }
 
     // ------------------------------------------------------------ analyses
@@ -1108,6 +1131,7 @@ impl Decode for RtlDesign {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use impact_hdl::compile;

@@ -388,6 +388,7 @@ impl Decode for BlockOutcome {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::problem::{uniform_problem, ScheduleConfig};

@@ -731,6 +731,7 @@ impl<'p, 'a, 's> Builder<'p, 'a, 's> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::problem::uniform_problem;

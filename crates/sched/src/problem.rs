@@ -225,6 +225,7 @@ impl Decode for SchedulingResult {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use impact_behsim::simulate;

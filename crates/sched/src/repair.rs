@@ -149,6 +149,7 @@ pub fn repair_with_source(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::problem::{uniform_problem, ScheduleConfig};

@@ -81,6 +81,7 @@ pub fn workload_digest(cdfg: &Cdfg, trace: &ExecutionTrace) -> u128 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use impact_behsim::simulate;

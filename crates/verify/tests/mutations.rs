@@ -1,0 +1,421 @@
+//! Mutation-injection tests of the rule catalog: build real artifacts
+//! (compiled benchmarks, fully-parallel designs, Wavesched schedules),
+//! corrupt exactly one field, and check that the targeted rule — and only a
+//! rule, never a panic — fires. The clean artifacts must stay silent, so
+//! every rule is pinned from both sides.
+//!
+//! Corruption sites are chosen by proptest over a fixed deterministic seed
+//! (the workspace's vendored proptest is seeded by test name), so repeated
+//! runs explore the same cases.
+
+#![allow(clippy::unwrap_used)]
+
+use std::sync::Arc;
+
+use impact_cdfg::{Cdfg, CdfgBuilder, CdfgError, NodeId, Operation, ValueRef, VarId};
+use impact_modlib::ModuleLibrary;
+use impact_rtl::{DesignDelta, MuxSite, RtlDesign};
+use impact_sched::{uniform_problem, Scheduler, SchedulingResult, WaveScheduler};
+use impact_verify::{
+    has_errors, rules, structure_violation, verify_acyclic, verify_cdfg, verify_design,
+    verify_fingerprint, verify_mux_sites, verify_schedule, Severity, Violation,
+};
+use proptest::prelude::*;
+
+fn gcd_cdfg() -> Cdfg {
+    impact_benchmarks::gcd().compile().unwrap()
+}
+
+fn parallel_design(cdfg: &Cdfg) -> RtlDesign {
+    RtlDesign::initial_parallel(cdfg, &ModuleLibrary::standard())
+}
+
+fn schedule_for(
+    bench: &impact_benchmarks::Benchmark,
+    cdfg: &Cdfg,
+) -> (impact_behsim::ExecutionTrace, SchedulingResult) {
+    let trace = impact_behsim::simulate(cdfg, &bench.input_sequences(6, 7)).unwrap();
+    let result = {
+        let problem = uniform_problem(cdfg, trace.profile());
+        WaveScheduler::new().schedule(&problem).unwrap()
+    };
+    (trace, result)
+}
+
+fn schedule(cdfg: &Cdfg) -> (impact_behsim::ExecutionTrace, SchedulingResult) {
+    schedule_for(&impact_benchmarks::gcd(), cdfg)
+}
+
+/// The multi-source sites of a design — the shape cached contexts store.
+fn multi_sites(cdfg: &Cdfg, design: &RtlDesign) -> Vec<MuxSite> {
+    design
+        .mux_sites(cdfg)
+        .into_iter()
+        .filter(|site| site.fan_in() >= 2)
+        .collect()
+}
+
+fn fired(violations: &[Violation], rule: &str) -> bool {
+    violations.iter().any(|v| v.rule == rule)
+}
+
+// ---------------------------------------------------------------- baselines
+
+#[test]
+fn clean_artifacts_are_silent() {
+    let cdfg = gcd_cdfg();
+    assert_eq!(verify_cdfg(&cdfg), vec![]);
+
+    let design = parallel_design(&cdfg);
+    assert_eq!(verify_design(&cdfg, &design), vec![]);
+    assert_eq!(verify_fingerprint(&design, design.fingerprint()), vec![]);
+    assert_eq!(
+        verify_mux_sites(&cdfg, &design, &multi_sites(&cdfg, &design)),
+        vec![]
+    );
+
+    let (trace, result) = schedule(&cdfg);
+    let problem = uniform_problem(&cdfg, trace.profile());
+    assert_eq!(verify_schedule(&problem, &result, Some(result.enc)), vec![]);
+}
+
+// ---------------------------------------------------------------- CDFG rules
+
+#[test]
+fn undefined_operand_trips_the_operand_rule() {
+    let mut b = CdfgBuilder::new("undef");
+    let x = b.input("x", 8);
+    let ghost = b.local("ghost", 8, None).unwrap();
+    let y = b.output("y", 8);
+    b.binary(Operation::Add, ValueRef::Var(x), ValueRef::Var(ghost), "s")
+        .unwrap();
+    let s = b.variable("s").unwrap();
+    b.emit_output(ValueRef::Var(s), y);
+    let cdfg = b.finish().unwrap();
+    let violations = verify_cdfg(&cdfg);
+    assert!(
+        fired(&violations, rules::CDFG_OPERAND_DEFINED),
+        "{violations:?}"
+    );
+    assert!(has_errors(&violations));
+}
+
+#[test]
+fn initialized_locals_do_not_trip_the_operand_rule() {
+    let mut b = CdfgBuilder::new("init");
+    let x = b.input("x", 8);
+    let seeded = b.local("seeded", 8, Some(3)).unwrap();
+    let y = b.output("y", 8);
+    b.binary(Operation::Add, ValueRef::Var(x), ValueRef::Var(seeded), "s")
+        .unwrap();
+    let s = b.variable("s").unwrap();
+    b.emit_output(ValueRef::Var(s), y);
+    let cdfg = b.finish().unwrap();
+    assert_eq!(verify_cdfg(&cdfg), vec![]);
+}
+
+#[test]
+fn structure_errors_map_to_the_structure_rule() {
+    let violation = structure_violation(&CdfgError::UnknownVariable { var: VarId::new(7) });
+    assert_eq!(violation.rule, rules::CDFG_STRUCTURE);
+    assert_eq!(violation.severity, Severity::Error);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn injected_cycles_trip_the_acyclic_rule(n in 2usize..24, rotate in 0usize..24) {
+        // A single n-cycle through every node.
+        let violations = verify_acyclic(n, |i| vec![(i + 1 + rotate * n) % n]);
+        prop_assert!(fired(&violations, rules::CDFG_ACYCLIC));
+
+        // A self-loop on one node.
+        let looped = rotate % n;
+        let violations = verify_acyclic(n, |i| if i == looped { vec![i] } else { vec![] });
+        prop_assert!(fired(&violations, rules::CDFG_ACYCLIC));
+
+        // The same relation without the closing edge is clean.
+        let violations = verify_acyclic(n, |i| if i > 0 { vec![i - 1] } else { vec![] });
+        prop_assert!(violations.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------- RTL rules
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn unbinding_an_operation_trips_the_fu_rule(pick in 0usize..1000) {
+        let cdfg = gcd_cdfg();
+        let mut design = parallel_design(&cdfg);
+        let fu_nodes: Vec<NodeId> = cdfg
+            .nodes()
+            .filter(|(_, n)| n.operation.needs_functional_unit())
+            .map(|(id, _)| id)
+            .collect();
+        let node = fu_nodes[pick % fu_nodes.len()];
+        let mut delta = DesignDelta::default();
+        delta.op_bindings.push((node, design.fu_of(node), None));
+        design.apply_delta(&delta);
+        let violations = verify_design(&cdfg, &design);
+        prop_assert!(fired(&violations, rules::RTL_FU_BINDING));
+        prop_assert!(has_errors(&violations));
+    }
+
+    #[test]
+    fn cross_binding_a_variable_trips_the_register_rule(pick in 0usize..1000) {
+        let cdfg = gcd_cdfg();
+        let mut design = parallel_design(&cdfg);
+        let vars: Vec<_> = cdfg.variables().map(|(v, _)| v).collect();
+        let var = vars[pick % vars.len()];
+        let other = vars
+            .iter()
+            .copied()
+            .find(|&v| design.register_of(v) != design.register_of(var))
+            .unwrap();
+        let mut delta = DesignDelta::default();
+        delta
+            .var_bindings
+            .push((var, design.register_of(var), design.register_of(other)));
+        design.apply_delta(&delta);
+        let violations = verify_design(&cdfg, &design);
+        prop_assert!(fired(&violations, rules::RTL_REG_BINDING));
+    }
+}
+
+#[test]
+fn annotating_a_single_source_sink_trips_the_mux_rule() {
+    let cdfg = gcd_cdfg();
+    let mut design = parallel_design(&cdfg);
+    let lone = design
+        .mux_sites(&cdfg)
+        .into_iter()
+        .find(|site| site.fan_in() < 2)
+        .expect("the parallel design has single-source sites");
+    design.set_restructured(lone.sink, true);
+    let violations = verify_design(&cdfg, &design);
+    assert!(
+        fired(&violations, rules::RTL_MUX_ANNOTATION),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn stale_fingerprints_trip_the_fingerprint_rule() {
+    let cdfg = gcd_cdfg();
+    let mut design = parallel_design(&cdfg);
+    let stale = design.fingerprint();
+    let site = multi_sites(&cdfg, &design)
+        .into_iter()
+        .next()
+        .expect("the parallel design has multi-source sites");
+    design.set_restructured(site.sink, true);
+    let violations = verify_fingerprint(&design, stale);
+    assert!(fired(&violations, rules::RTL_FINGERPRINT));
+    // The recomputed fingerprint is silent again.
+    assert_eq!(verify_fingerprint(&design, design.fingerprint()), vec![]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn corrupted_mux_site_lists_trip_the_consistency_rule(
+        pick in 0usize..1000,
+        variant in 0usize..4,
+    ) {
+        let cdfg = gcd_cdfg();
+        let design = parallel_design(&cdfg);
+        let mut sites = multi_sites(&cdfg, &design);
+        prop_assert!(!sites.is_empty());
+        let index = pick % sites.len();
+        match variant {
+            0 => {
+                // Duplicate signal key among the sources.
+                let duplicate = sites[index].sources[0].clone();
+                sites[index].sources.push(duplicate);
+            }
+            1 => {
+                // A routed op that is foreign to the sink (no unit binding,
+                // defines nothing).
+                let foreign = cdfg
+                    .nodes()
+                    .find(|&(id, node)| design.fu_of(id).is_none() && node.defines.is_none())
+                    .map(|(id, _)| id)
+                    .unwrap();
+                sites[index].sources[0].ops.push(foreign);
+            }
+            2 => {
+                // A source that routes nothing.
+                sites[index].sources[0].ops.clear();
+            }
+            _ => {
+                // A site with no sources at all.
+                sites[index].sources.clear();
+            }
+        }
+        let violations = verify_mux_sites(&cdfg, &design, &sites);
+        prop_assert!(fired(&violations, rules::CDFG_MUX_CONSISTENT), "{violations:?}");
+    }
+}
+
+// ---------------------------------------------------------------- schedule rules
+
+/// One (block, op) position drawn from the schedule.
+fn placed_position(result: &SchedulingResult, pick: usize) -> (usize, usize) {
+    let placed: Vec<(usize, usize)> = result
+        .blocks
+        .iter()
+        .enumerate()
+        .flat_map(|(b, outcome)| (0..outcome.schedule.ops.len()).map(move |o| (b, o)))
+        .collect();
+    placed[pick % placed.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn digest_corruption_trips_the_digest_rule(pick in 0usize..1000, bit in 0u32..128) {
+        let cdfg = gcd_cdfg();
+        let (trace, mut result) = schedule(&cdfg);
+        let problem = uniform_problem(&cdfg, trace.profile());
+        let block = pick % result.blocks.len();
+        result.blocks[block].digest ^= 1u128 << bit;
+        let violations = verify_schedule(&problem, &result, None);
+        prop_assert!(fired(&violations, rules::SCHED_BLOCK_DIGEST));
+    }
+
+    #[test]
+    fn dropping_a_block_node_trips_the_coverage_rule(pick in 0usize..1000) {
+        let cdfg = gcd_cdfg();
+        let (trace, mut result) = schedule(&cdfg);
+        let problem = uniform_problem(&cdfg, trace.profile());
+        let block = (0..result.blocks.len())
+            .map(|b| (pick + b) % result.blocks.len())
+            .find(|&b| !result.blocks[b].nodes.is_empty())
+            .unwrap();
+        result.blocks[block].nodes.pop();
+        let violations = verify_schedule(&problem, &result, None);
+        prop_assert!(fired(&violations, rules::SCHED_COVERAGE));
+    }
+
+    #[test]
+    fn duplicating_a_placement_trips_the_coverage_rule(pick in 0usize..1000) {
+        let cdfg = gcd_cdfg();
+        let (_, mut result) = schedule(&cdfg);
+        let (block, op) = placed_position(&result, pick);
+        let schedule = Arc::make_mut(&mut result.blocks[block].schedule);
+        let duplicate = schedule.ops[op].clone();
+        schedule.ops.push(duplicate);
+        let violations = impact_verify::verify_schedule_artifact(&result);
+        prop_assert!(fired(&violations, rules::SCHED_COVERAGE));
+    }
+
+    #[test]
+    fn clock_overruns_trip_the_clock_rule(pick in 0usize..1000) {
+        let cdfg = gcd_cdfg();
+        let (_, mut result) = schedule(&cdfg);
+        let clock = result.stg.clock_ns();
+        let (block, op) = placed_position(&result, pick);
+        Arc::make_mut(&mut result.blocks[block].schedule).ops[op].finish_ns = clock + 1.0;
+        let violations = impact_verify::verify_schedule_artifact(&result);
+        prop_assert!(fired(&violations, rules::SCHED_CLOCK));
+    }
+
+    #[test]
+    fn delay_corruption_trips_the_clock_rule(pick in 0usize..1000) {
+        let cdfg = gcd_cdfg();
+        let (trace, mut result) = schedule(&cdfg);
+        let problem = uniform_problem(&cdfg, trace.profile());
+        let (block, op) = placed_position(&result, pick);
+        Arc::make_mut(&mut result.blocks[block].schedule).ops[op].delay_ns += 2.5;
+        let violations = verify_schedule(&problem, &result, None);
+        prop_assert!(fired(&violations, rules::SCHED_CLOCK));
+    }
+
+    #[test]
+    fn enc_corruption_trips_the_enc_rule(numerator in 1u32..100) {
+        let cdfg = gcd_cdfg();
+        let (trace, mut result) = schedule(&cdfg);
+        let problem = uniform_problem(&cdfg, trace.profile());
+
+        // A budget below the (legal) ENC.
+        let tight = result.enc * f64::from(numerator) / 101.0;
+        let violations = verify_schedule(&problem, &result, Some(tight));
+        prop_assert!(fired(&violations, rules::SCHED_ENC));
+
+        // A non-finite ENC.
+        result.enc = f64::NAN;
+        let violations = impact_verify::verify_schedule_artifact(&result);
+        prop_assert!(fired(&violations, rules::SCHED_ENC));
+    }
+}
+
+#[test]
+fn forged_resource_sharing_trips_the_resource_rule() {
+    // gcd's blocks hold one unit-bound operation each, so the double-booking
+    // corruption needs a benchmark with wider blocks.
+    let bench = impact_benchmarks::dealer();
+    let cdfg = bench.compile().unwrap();
+    let (trace, result) = schedule_for(&bench, &cdfg);
+    let mut problem = uniform_problem(&cdfg, trace.profile());
+    // Rebind two operations that overlap in time inside one block onto the
+    // same unit; the stored schedule now double-books it.
+    let (a, b) = result
+        .blocks
+        .iter()
+        .find_map(|outcome| {
+            let ops = &outcome.schedule.ops;
+            ops.iter()
+                .enumerate()
+                .flat_map(|(i, x)| ops.iter().skip(i + 1).map(move |y| (x, y)))
+                .find(|(x, y)| {
+                    x.state <= y.finish_state
+                        && y.state <= x.finish_state
+                        && problem.node_fu[x.node.index()].is_some()
+                        && problem.node_fu[y.node.index()].is_some()
+                })
+                .map(|(x, y)| (x.node, y.node))
+        })
+        .expect("the parallel schedule has concurrent operations");
+    problem.node_fu[b.index()] = problem.node_fu[a.index()];
+    let violations = verify_schedule(&problem, &result, None);
+    assert!(fired(&violations, rules::SCHED_RESOURCES), "{violations:?}");
+}
+
+#[test]
+fn reordering_a_dependence_trips_the_precedence_rule() {
+    let cdfg = gcd_cdfg();
+    let (trace, mut result) = schedule(&cdfg);
+    let problem = uniform_problem(&cdfg, trace.profile());
+    // Push some producer's finish past its in-block consumer's start state.
+    let mutation = result.blocks.iter().enumerate().find_map(|(b, outcome)| {
+        outcome.schedule.ops.iter().find_map(|op| {
+            cdfg.data_predecessors_iter(op.node)
+                .find(|pred| outcome.schedule.ops.iter().any(|p| p.node == *pred))
+                .map(|pred| (b, pred, op.state))
+        })
+    });
+    let (block, pred, consumer_state) = mutation.expect("gcd has in-block dependences");
+    let schedule = Arc::make_mut(&mut result.blocks[block].schedule);
+    let pred_op = schedule.ops.iter_mut().find(|p| p.node == pred).unwrap();
+    pred_op.finish_state = consumer_state + 1;
+    let violations = verify_schedule(&problem, &result, None);
+    assert!(
+        fired(&violations, rules::SCHED_PRECEDENCE),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn clock_mismatch_trips_the_stg_rule() {
+    let cdfg = gcd_cdfg();
+    let (trace, result) = schedule(&cdfg);
+    let mut problem = uniform_problem(&cdfg, trace.profile());
+    problem.config.clock_ns += 1.0;
+    let violations = verify_schedule(&problem, &result, None);
+    assert!(fired(&violations, rules::SCHED_STG), "{violations:?}");
+}

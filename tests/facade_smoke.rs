@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Smoke test for the `impact` facade crate: the prelude glob-import
 //! compiles, every re-exported module is reachable, and the full
 //! compile → simulate → synthesize pipeline runs through the prelude names

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! End-to-end integration tests: behavioral compilation → simulation →
 //! IMPACT synthesis for the paper's benchmarks, checking the constraints and
 //! qualitative outcomes the paper reports.

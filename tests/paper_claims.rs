@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Integration tests pinning the qualitative claims of the paper that the
 //! library must reproduce (see EXPERIMENTS.md for the quantitative record).
 

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Property-based tests (proptest) over the core data structures and
 //! invariants: mux-tree activity, switching statistics, the Vdd scaling
 //! model, operation semantics and STG expectations.

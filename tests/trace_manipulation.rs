@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Integration test for the paper's Section 2.3 trace-manipulation example
 //! (Figures 3–6): merging the per-operation traces of the three additions
 //! under resource sharing reproduces the trace the shared adder would see,
