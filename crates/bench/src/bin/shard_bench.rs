@@ -1,0 +1,240 @@
+//! Headline benchmark of the sharded multi-process search: runs the Figure
+//! 13 laxity sweep of every example design once in-process (the baseline),
+//! then over fleets of worker subprocesses coordinated by `impact_shard` —
+//! partitioned dynamically (work stealing), exchanging cache deltas through
+//! the verified snapshot codec, and merged in submission order. Every
+//! fleet's merged reports must be bit-identical to the baseline; the scaling
+//! curve goes to `BENCH_shard.json`.
+//!
+//! Usage: `shard_bench [--smoke] [--paper] [--workers-list 1,2,4,8]
+//! [--mailbox DIR] [--out PATH]`
+//!
+//! `--smoke` runs the reduced input set (fewer passes, smaller effort, the
+//! coarse laxity grid) and a 1,4 worker curve so CI finishes in minutes.
+//! With `--mailbox DIR` every exchanged snapshot is persisted as a
+//! `.impactcache` file for post-hoc audit with `impact-verify
+//! --snapshot-dir`. The process exits non-zero if any fleet's merged
+//! results diverge from the baseline.
+//!
+//! The binary is its own worker: `shard_bench --shard-worker --worker-id N`
+//! turns the process into a protocol worker on stdin/stdout (the
+//! coordinator spawns these; no one types this by hand).
+
+use impact_bench::{
+    decode_reports, example_designs, fail_if, paper_laxities, quick_laxities, report_json,
+    run_batch, run_shard_worker, run_sharded, shard_jobs, write_report, BenchCli, SweepJob,
+    DEFAULT_EFFORT, DEFAULT_PASSES, DEFAULT_SEED,
+};
+use impact_codec::encode_to_vec;
+use impact_core::{SweepSession, SynthesisReport};
+
+/// One fleet size's measurements.
+struct CurvePoint {
+    workers: u32,
+    wall_ms: f64,
+    identical: bool,
+    jobs_per_link: Vec<u64>,
+    accepted: u64,
+    rejected: u64,
+    bytes_exchanged: u64,
+    merge_absorbed: u64,
+    merge_duplicates: u64,
+}
+
+fn curve_object(point: &CurvePoint, baseline_ms: f64) -> String {
+    let balance = point
+        .jobs_per_link
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\"workers\": {}, \"wall_ms\": {:.3}, \"speedup\": {:.3}, \"identical\": {}, \
+         \"jobs_per_worker\": [{balance}], \"exchanges_accepted\": {}, \
+         \"exchanges_rejected\": {}, \"bytes_exchanged\": {}, \"merge_absorbed\": {}, \
+         \"merge_duplicates\": {}}}",
+        point.workers,
+        point.wall_ms,
+        baseline_ms / point.wall_ms,
+        point.identical,
+        point.accepted,
+        point.rejected,
+        point.bytes_exchanged,
+        point.merge_absorbed,
+        point.merge_duplicates,
+    )
+}
+
+fn main() {
+    let cli = BenchCli::parse();
+    if cli.flag("--shard-worker") {
+        let worker_id = cli.parsed("--worker-id").unwrap_or(0u32);
+        std::process::exit(run_shard_worker(worker_id));
+    }
+
+    let out_path = cli.out_path("BENCH_shard.json");
+    let mailbox = cli.value("--mailbox").map(std::path::PathBuf::from);
+    if let Some(dir) = &mailbox {
+        std::fs::create_dir_all(dir).expect("mailbox directory is creatable");
+    }
+
+    let (passes, effort) = if cli.smoke() {
+        (10, (2, 3))
+    } else {
+        (DEFAULT_PASSES, DEFAULT_EFFORT)
+    };
+    let laxities = if cli.paper() {
+        paper_laxities()
+    } else {
+        quick_laxities()
+    };
+    let fleets: Vec<u32> = cli
+        .value("--workers-list")
+        .map(|list| {
+            list.split(',')
+                .map(|w| w.trim().parse().expect("--workers-list is numbers"))
+                .collect()
+        })
+        .unwrap_or_else(|| {
+            if cli.smoke() {
+                vec![1, 4]
+            } else {
+                vec![1, 2, 4, 8]
+            }
+        });
+    let mode = cli.mode();
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let benchmarks = example_designs();
+    let jobs = shard_jobs(
+        &benchmarks,
+        &laxities,
+        passes,
+        DEFAULT_SEED,
+        effort,
+        // Workers sharing one machine each rank on a single thread; the
+        // single-worker fleet gets the whole machine like the baseline.
+        if fleets.iter().any(|&w| w > 1) { 1 } else { 0 },
+    );
+    println!(
+        "shard bench ({mode}): {} jobs over {} designs, {} laxity points, fleets {fleets:?}, \
+         {cpus} cpu(s)",
+        jobs.len(),
+        benchmarks.len(),
+        laxities.len(),
+    );
+
+    // Baseline: the same job list in one process, one shared session — the
+    // run every fleet must reproduce bit-for-bit.
+    let baseline_started = std::time::Instant::now();
+    let mut baseline: Vec<SynthesisReport> = Vec::with_capacity(jobs.len());
+    {
+        let session = SweepSession::new();
+        for bench in &benchmarks {
+            let (cdfg, trace) = impact_bench::prepare(bench, passes, DEFAULT_SEED);
+            let batch = impact_bench::figure13_jobs(&cdfg, &trace, &laxities, effort);
+            let batch: Vec<SweepJob<'_>> = batch
+                .into_iter()
+                .map(|job| SweepJob {
+                    label: format!("{}/{}", bench.name, job.label),
+                    ..job
+                })
+                .collect();
+            baseline.extend(
+                run_batch(&batch, Some(&session), 1)
+                    .into_iter()
+                    .map(|result| result.outcome.report),
+            );
+        }
+    }
+    let baseline_ms = baseline_started.elapsed().as_secs_f64() * 1e3;
+    let baseline_bytes: Vec<Vec<u8>> = baseline.iter().map(encode_to_vec).collect();
+    println!("baseline (in-process, 1 worker): {baseline_ms:.1} ms");
+
+    let exe = std::env::current_exe().expect("own executable path resolves");
+    println!(
+        "{:>8} {:>12} {:>9} {:>10} {:>10} {:>10} {:>12} {:>20}",
+        "workers", "wall (ms)", "speedup", "identical", "accepted", "rejected", "bytes", "balance"
+    );
+    let mut curve = Vec::new();
+    for &workers in &fleets {
+        let fleet_mailbox = mailbox.as_deref().filter(|_| workers > 1);
+        let started = std::time::Instant::now();
+        let (outcome, _hub) = run_sharded(&exe, workers, jobs.clone(), fleet_mailbox)
+            .unwrap_or_else(|error| panic!("sharded run with {workers} worker(s) failed: {error}"));
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        let reports = decode_reports(&outcome);
+        let identical = reports == baseline
+            && outcome
+                .results
+                .iter()
+                .zip(&baseline_bytes)
+                .all(|(result, bytes)| result.payload == *bytes)
+            && outcome
+                .results
+                .iter()
+                .zip(&jobs)
+                .all(|(result, job)| result.label == job.label);
+        let balance = outcome
+            .jobs_per_link
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join("/");
+        println!(
+            "{:>8} {:>12.1} {:>9.2} {:>10} {:>10} {:>10} {:>12} {:>20}",
+            workers,
+            wall_ms,
+            baseline_ms / wall_ms,
+            identical,
+            outcome.exchange.accepted,
+            outcome.exchange.rejected(),
+            outcome.exchange.bytes_in + outcome.exchange.bytes_out,
+            balance,
+        );
+        curve.push(CurvePoint {
+            workers,
+            wall_ms,
+            identical,
+            jobs_per_link: outcome.jobs_per_link,
+            accepted: outcome.exchange.accepted,
+            rejected: outcome.exchange.rejected(),
+            bytes_exchanged: outcome.exchange.bytes_in + outcome.exchange.bytes_out,
+            merge_absorbed: outcome.exchange.merge.absorbed,
+            merge_duplicates: outcome.exchange.merge.duplicates,
+        });
+    }
+
+    let all_identical = curve.iter().all(|p| p.identical);
+    let best_speedup = curve
+        .iter()
+        .map(|p| baseline_ms / p.wall_ms)
+        .fold(0.0, f64::max);
+    let curve_objects: Vec<String> = curve.iter().map(|p| curve_object(p, baseline_ms)).collect();
+    let headline = format!(
+        "{{\"all_identical\": {all_identical}, \"best_speedup\": {best_speedup:.3}, \
+         \"baseline_ms\": {baseline_ms:.3}, \"fleets\": {}}}",
+        curve.len()
+    );
+    let json = report_json(
+        &[
+            ("mode", format!("\"{mode}\"")),
+            ("cpus", cpus.to_string()),
+            ("jobs", jobs.len().to_string()),
+            ("laxity_points", laxities.len().to_string()),
+        ],
+        &[("curve", &curve_objects)],
+        &headline,
+    );
+    write_report(&out_path, &json);
+
+    println!(
+        "headline: every fleet merged bit-identically to the in-process baseline: \
+         {all_identical}; best fleet speedup {best_speedup:.2}x on {cpus} cpu(s)",
+    );
+    fail_if(
+        !all_identical,
+        "a sharded fleet's merged results diverged from the in-process baseline",
+    );
+}

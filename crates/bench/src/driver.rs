@@ -199,6 +199,14 @@ impl BenchCli {
     pub fn out_path(&self, default: &str) -> String {
         self.value("--out").unwrap_or_else(|| default.to_string())
     }
+
+    /// `--ranking-threads N`: pin the engine's inner ranking parallelism
+    /// (`0`, the default, means one thread per available CPU). Shard workers
+    /// pass `1` so N worker processes don't each spawn a full ranking pool on
+    /// the same machine. Ranking is deterministic under any thread count.
+    pub fn ranking_threads(&self) -> usize {
+        self.parsed("--ranking-threads").unwrap_or(0)
+    }
 }
 
 /// The example designs the comparison benches run on, smallest first.

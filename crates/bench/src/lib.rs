@@ -19,10 +19,15 @@ use impact_core::{
 use impact_sched::{uniform_problem, BaselineScheduler, Scheduler, WaveScheduler};
 
 mod driver;
+pub mod shard;
 
 pub use driver::{
     example_designs, fail_if, min_metric, report_json, run_batch, write_report, BenchCli,
     JobResult, SweepJob, TimedBatch,
+};
+pub use shard::{
+    benchmark_by_name, decode_reports, run_shard_worker, run_sharded, shard_jobs, ShardSpec,
+    SweepShardApp,
 };
 
 /// Number of input passes used by the experiment drivers ("typical input
@@ -409,14 +414,26 @@ pub fn format_layer_stats(stats: &CacheStats) -> String {
         )
     };
     format!(
-        "{} | {} | {} | {} | {} | {} | {}",
+        "{} | {} | {} | {} | {} | {} | {} | {}",
         layer("stats", stats.trace_stats),
         layer("context", stats.context),
         layer("block", stats.block),
         layer("schedule", stats.schedule),
         layer("point", stats.point),
         layer("scaled", stats.scaled),
+        format_merge_stats(&stats.merge),
         format_snapshot_stats(&stats.snapshot),
+    )
+}
+
+/// One-line rendering of the cumulative merge counters: `merge absorbed N
+/// dup N dropped N` (entries a session took in through `absorb` — shard
+/// exchanges, snapshot loads, session merges — vs duplicate-skipped and
+/// capacity-dropped offers).
+pub fn format_merge_stats(stats: &impact_core::AbsorbStats) -> String {
+    format!(
+        "merge absorbed {} dup {} dropped {}",
+        stats.absorbed, stats.duplicates, stats.dropped
     )
 }
 
@@ -816,7 +833,7 @@ pub fn warm_start_comparison(
 
     let warm_session = SweepSession::new();
     let started = Instant::now();
-    let absorbed = match snapshot_path {
+    let merged = match snapshot_path {
         Some(path) => warm_session
             .load_from_file(path, SnapshotScope::Any)
             .expect("a snapshot this run just wrote verifies and loads"),
@@ -838,7 +855,7 @@ pub fn warm_start_comparison(
         save_ms,
         load_ms,
         snapshot_bytes: bytes.len(),
-        absorbed,
+        absorbed: merged.absorbed as usize,
         identical: batches_identical(&cold, &warm),
         resumed,
         warm_cache: warm_session.stats(),

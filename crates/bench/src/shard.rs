@@ -1,0 +1,369 @@
+//! The application layer of the sharded sweep: what a shard job *is* (a
+//! benchmark + configuration spec with a wire encoding), the worker app
+//! that runs one, and the process spawner gluing `impact_shard`'s
+//! coordinator to real worker subprocesses.
+//!
+//! The shard layer itself moves opaque payloads; this module gives them
+//! meaning. A job payload is an encoded [`ShardSpec`] — everything a worker
+//! needs to reproduce the exact run `run_batch` would do in-process:
+//! benchmark name, optimization mode, laxity, input-generation knobs and
+//! search effort. A result payload is the encoded
+//! [`SynthesisReport`](impact_core::SynthesisReport); comparing those bytes
+//! against an in-process baseline is the bench's bit-identity gate.
+
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+
+use impact_behsim::ExecutionTrace;
+use impact_benchmarks::Benchmark;
+use impact_cdfg::Cdfg;
+use impact_codec::{
+    decode_from_slice, encode_to_vec, Decode, DecodeError, Decoder, Encode, Encoder,
+};
+use impact_core::{EngineConfig, Impact, SweepSession, SynthesisConfig, SynthesisReport};
+use impact_shard::{coordinate, CoordinatorOutcome, ShardApp, ShardJob, WorkerLink};
+
+use crate::prepare;
+
+const TAG_SHARD_SPEC: u8 = 0x71;
+
+const MODE_AREA: u8 = 0;
+const MODE_POWER: u8 = 1;
+
+/// Everything a worker needs to reproduce one sweep job: the workload
+/// (benchmark + input generation) and the synthesis configuration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ShardSpec {
+    /// Benchmark name (resolved with [`benchmark_by_name`]).
+    pub benchmark: String,
+    /// `true` for power optimization, `false` for area.
+    pub power: bool,
+    /// Laxity factor of the run.
+    pub laxity: f64,
+    /// Input passes fed to the behavioral simulator.
+    pub input_passes: usize,
+    /// Seed of the deterministic input generators.
+    pub seed: u64,
+    /// Improvement-pass limit of the search.
+    pub max_passes: usize,
+    /// Move-sequence length limit of the search.
+    pub max_sequence: usize,
+    /// Ranking-thread pin for the worker's engine (`0` = one per CPU).
+    /// Workers sharing a machine pass `1`; deterministic either way.
+    pub ranking_threads: usize,
+}
+
+impl ShardSpec {
+    /// The synthesis configuration this spec describes.
+    pub fn config(&self) -> SynthesisConfig {
+        let base = if self.power {
+            SynthesisConfig::power_optimized(self.laxity)
+        } else {
+            SynthesisConfig::area_optimized(self.laxity)
+        };
+        base.with_effort(self.max_passes, self.max_sequence)
+            .with_engine(EngineConfig::default().with_ranking_threads(self.ranking_threads))
+    }
+}
+
+impl Encode for ShardSpec {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_tag(TAG_SHARD_SPEC);
+        w.put_str(&self.benchmark);
+        w.put_u8(if self.power { MODE_POWER } else { MODE_AREA });
+        w.put_f64(self.laxity);
+        w.put_usize(self.input_passes);
+        w.put_u64(self.seed);
+        w.put_usize(self.max_passes);
+        w.put_usize(self.max_sequence);
+        w.put_usize(self.ranking_threads);
+    }
+}
+
+impl Decode for ShardSpec {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(TAG_SHARD_SPEC)?;
+        let benchmark = r.take_str()?.to_string();
+        let power = match r.take_u8()? {
+            MODE_AREA => false,
+            MODE_POWER => true,
+            _ => return Err(DecodeError::Invalid("unknown shard-spec mode")),
+        };
+        Ok(Self {
+            benchmark,
+            power,
+            laxity: r.take_f64()?,
+            input_passes: r.take_usize()?,
+            seed: r.take_u64()?,
+            max_passes: r.take_usize()?,
+            max_sequence: r.take_usize()?,
+            ranking_threads: r.take_usize()?,
+        })
+    }
+}
+
+/// Resolves a benchmark by the name its [`Benchmark`] carries.
+pub fn benchmark_by_name(name: &str) -> Option<Benchmark> {
+    match name {
+        "loops" => Some(impact_benchmarks::loops()),
+        "gcd" => Some(impact_benchmarks::gcd()),
+        "x25_send" => Some(impact_benchmarks::x25_send()),
+        "dealer" => Some(impact_benchmarks::dealer()),
+        "cordic" => Some(impact_benchmarks::cordic()),
+        "paulin" => Some(impact_benchmarks::paulin()),
+        _ => None,
+    }
+}
+
+/// Builds the sharded equivalent of one [`figure13_jobs`](crate::figure13_jobs)
+/// batch per benchmark, concatenated: for each benchmark the normalization
+/// base, then an area- and a power-optimized job per laxity point. Labels are
+/// `benchmark/label` (e.g. `paulin/power@1.4`), and the job order matches the
+/// in-process baseline the bench compares against.
+pub fn shard_jobs(
+    benchmarks: &[Benchmark],
+    laxities: &[f64],
+    input_passes: usize,
+    seed: u64,
+    effort: (usize, usize),
+    ranking_threads: usize,
+) -> Vec<ShardJob> {
+    let (max_passes, max_sequence) = effort;
+    let spec = |benchmark: &str, power: bool, laxity: f64| ShardSpec {
+        benchmark: benchmark.to_string(),
+        power,
+        laxity,
+        input_passes,
+        seed,
+        max_passes,
+        max_sequence,
+        ranking_threads,
+    };
+    let mut jobs = Vec::with_capacity(benchmarks.len() * (1 + 2 * laxities.len()));
+    for bench in benchmarks {
+        jobs.push(ShardJob {
+            label: format!("{}/base", bench.name),
+            payload: encode_to_vec(&spec(bench.name, false, 1.0)),
+        });
+        for &laxity in laxities {
+            jobs.push(ShardJob {
+                label: format!("{}/area@{laxity:.1}", bench.name),
+                payload: encode_to_vec(&spec(bench.name, false, laxity)),
+            });
+            jobs.push(ShardJob {
+                label: format!("{}/power@{laxity:.1}", bench.name),
+                payload: encode_to_vec(&spec(bench.name, true, laxity)),
+            });
+        }
+    }
+    jobs
+}
+
+/// The worker application of the sharded sweep: one [`SweepSession`] for
+/// every job, workloads (compile + simulate) memoized per benchmark so a
+/// worker pays the preparation once no matter how many laxity points it
+/// draws from the queue.
+pub struct SweepShardApp {
+    session: SweepSession,
+    workloads: Vec<(String, usize, u64, Cdfg, ExecutionTrace)>,
+}
+
+impl SweepShardApp {
+    /// An app with a fresh session and no prepared workloads.
+    pub fn new() -> Self {
+        Self {
+            session: SweepSession::new(),
+            workloads: Vec::new(),
+        }
+    }
+
+    fn workload_index(&mut self, spec: &ShardSpec) -> usize {
+        if let Some(index) = self
+            .workloads
+            .iter()
+            .position(|(name, passes, seed, _, _)| {
+                name == &spec.benchmark && *passes == spec.input_passes && *seed == spec.seed
+            })
+        {
+            return index;
+        }
+        let bench = benchmark_by_name(&spec.benchmark)
+            .unwrap_or_else(|| panic!("unknown shard benchmark `{}`", spec.benchmark));
+        let (cdfg, trace) = prepare(&bench, spec.input_passes, spec.seed);
+        self.workloads.push((
+            spec.benchmark.clone(),
+            spec.input_passes,
+            spec.seed,
+            cdfg,
+            trace,
+        ));
+        self.workloads.len() - 1
+    }
+}
+
+impl Default for SweepShardApp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardApp for SweepShardApp {
+    fn session(&self) -> &SweepSession {
+        &self.session
+    }
+
+    fn run(&mut self, payload: &[u8]) -> Vec<u8> {
+        let spec: ShardSpec =
+            decode_from_slice(payload).expect("coordinator sends well-formed shard specs");
+        let index = self.workload_index(&spec);
+        let (_, _, _, cdfg, trace) = &self.workloads[index];
+        let outcome = Impact::new(spec.config())
+            .synthesize_with_session(cdfg, trace, &self.session)
+            .unwrap_or_else(|error| panic!("shard job on `{}` failed: {error}", spec.benchmark));
+        encode_to_vec(&outcome.report)
+    }
+}
+
+/// Decodes the reports of a coordinated run's results, in order.
+///
+/// # Panics
+///
+/// Panics when a payload is not an encoded report — workers only ever send
+/// reports, so a mismatch is a bug, not an input problem.
+pub fn decode_reports(outcome: &CoordinatorOutcome) -> Vec<SynthesisReport> {
+    outcome
+        .results
+        .iter()
+        .map(|result| decode_from_slice(&result.payload).expect("workers return encoded reports"))
+        .collect()
+}
+
+/// Spawns `workers` copies of `exe` in worker mode and coordinates `jobs`
+/// over them. The hub session starts cold; after the run it holds every
+/// verified entry the fleet produced. Worker stderr passes through (their
+/// logs interleave with the coordinator's), stdin/stdout carry the protocol.
+///
+/// # Errors
+///
+/// Propagates spawn and protocol errors; a worker exiting nonzero after a
+/// completed run is also an error.
+pub fn run_sharded(
+    exe: &Path,
+    workers: u32,
+    jobs: Vec<ShardJob>,
+    mailbox: Option<&Path>,
+) -> std::io::Result<(CoordinatorOutcome, SweepSession)> {
+    let mut children: Vec<Child> = Vec::with_capacity(workers as usize);
+    let mut links = Vec::with_capacity(workers as usize);
+    for id in 0..workers {
+        let mut child = Command::new(exe)
+            .arg("--shard-worker")
+            .arg("--worker-id")
+            .arg(id.to_string())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        links.push(WorkerLink {
+            id,
+            reader: Box::new(BufReader::new(stdout)),
+            writer: Box::new(BufWriter::new(stdin)),
+        });
+        children.push(child);
+    }
+
+    let hub = SweepSession::new();
+    let outcome = coordinate(&hub, links, jobs, mailbox);
+    // Reap the workers regardless of how coordination went, so an error
+    // return never leaks zombie processes.
+    let mut statuses = Vec::new();
+    for child in &mut children {
+        statuses.push(child.wait());
+    }
+    let outcome = outcome?;
+    for (id, status) in statuses.into_iter().enumerate() {
+        let status = status?;
+        if !status.success() {
+            return Err(std::io::Error::other(format!(
+                "shard worker {id} exited with {status}"
+            )));
+        }
+    }
+    Ok((outcome, hub))
+}
+
+/// The worker-mode entry point of `shard_bench`: serves jobs over
+/// stdin/stdout until the coordinator shuts the link down. Returns the exit
+/// code for `main` (nonzero on a broken link).
+pub fn run_shard_worker(worker_id: u32) -> i32 {
+    let mut app = SweepShardApp::new();
+    let stdin = std::io::stdin().lock();
+    let stdout = std::io::stdout().lock();
+    match impact_shard::serve(&mut app, worker_id, stdin, BufWriter::new(stdout)) {
+        Ok(stats) => {
+            eprintln!(
+                "worker {worker_id}: {} jobs, {} syncs in ({} rejected), {} syncs out",
+                stats.jobs,
+                stats.exchange.accepted + stats.exchange.rejected(),
+                stats.exchange.rejected(),
+                stats.exchange.sent,
+            );
+            0
+        }
+        Err(error) => {
+            eprintln!("worker {worker_id}: link failed: {error}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_round_trip() {
+        let spec = ShardSpec {
+            benchmark: "paulin".into(),
+            power: true,
+            laxity: 1.4,
+            input_passes: 48,
+            seed: 1998,
+            max_passes: 3,
+            max_sequence: 5,
+            ranking_threads: 1,
+        };
+        let decoded: ShardSpec = decode_from_slice(&encode_to_vec(&spec)).unwrap();
+        assert_eq!(decoded, spec);
+    }
+
+    #[test]
+    fn job_labels_mirror_the_figure13_batch() {
+        let jobs = shard_jobs(&[impact_benchmarks::gcd()], &[1.0, 2.0], 8, 11, (2, 3), 1);
+        let labels: Vec<&str> = jobs.iter().map(|j| j.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "gcd/base",
+                "gcd/area@1.0",
+                "gcd/power@1.0",
+                "gcd/area@2.0",
+                "gcd/power@2.0"
+            ]
+        );
+        let spec: ShardSpec = decode_from_slice(&jobs[2].payload).unwrap();
+        assert!(spec.power);
+        assert_eq!(spec.laxity, 1.0);
+    }
+
+    #[test]
+    fn every_example_design_resolves_by_name() {
+        for bench in crate::example_designs() {
+            assert!(benchmark_by_name(bench.name).is_some(), "{}", bench.name);
+        }
+        assert!(benchmark_by_name("nonesuch").is_none());
+    }
+}

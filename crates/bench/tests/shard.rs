@@ -1,0 +1,214 @@
+#![allow(clippy::unwrap_used)]
+
+//! End-to-end tests of the sharded sweep: in-memory fleets merge
+//! bit-identically to the in-process baseline, corrupted cache exchanges
+//! degrade to cold starts without changing results, and the real
+//! `shard_bench` worker subprocesses reproduce the same reports.
+
+use std::path::Path;
+
+use impact_bench::{
+    decode_reports, figure13_jobs, prepare, run_batch, run_sharded, shard_jobs, SweepJob,
+    SweepShardApp,
+};
+use impact_codec::encode_to_vec;
+use impact_core::{SweepSession, SynthesisReport};
+use impact_shard::wire::pipe;
+use impact_shard::{
+    coordinate, protocol, serve, Message, ShardApp as _, ShardJob, WorkerLink, PROTOCOL_VERSION,
+};
+
+const LAXITIES: [f64; 2] = [1.4, 2.2];
+const PASSES: usize = 8;
+const SEED: u64 = 11;
+const EFFORT: (usize, usize) = (2, 3);
+
+/// The single-process reports every sharded variant must reproduce.
+fn baseline() -> Vec<SynthesisReport> {
+    let bench = impact_benchmarks::gcd();
+    let (cdfg, trace) = prepare(&bench, PASSES, SEED);
+    let jobs = figure13_jobs(&cdfg, &trace, &LAXITIES, EFFORT);
+    let jobs: Vec<SweepJob<'_>> = jobs
+        .into_iter()
+        .map(|job| SweepJob {
+            label: format!("gcd/{}", job.label),
+            ..job
+        })
+        .collect();
+    let session = SweepSession::new();
+    run_batch(&jobs, Some(&session), 1)
+        .into_iter()
+        .map(|result| result.outcome.report)
+        .collect()
+}
+
+fn jobs() -> Vec<ShardJob> {
+    shard_jobs(
+        &[impact_benchmarks::gcd()],
+        &LAXITIES,
+        PASSES,
+        SEED,
+        EFFORT,
+        1,
+    )
+}
+
+/// Spawns `count` real worker loops on threads over in-memory pipes.
+fn in_memory_fleet(count: u32) -> (Vec<WorkerLink>, Vec<std::thread::JoinHandle<()>>) {
+    let mut links = Vec::new();
+    let mut handles = Vec::new();
+    for id in 0..count {
+        let (to_worker, worker_reads) = pipe();
+        let (worker_writes, from_worker) = pipe();
+        links.push(WorkerLink {
+            id,
+            reader: Box::new(from_worker),
+            writer: Box::new(to_worker),
+        });
+        handles.push(std::thread::spawn(move || {
+            let mut app = SweepShardApp::new();
+            serve(&mut app, id, worker_reads, worker_writes).unwrap();
+        }));
+    }
+    (links, handles)
+}
+
+#[test]
+fn in_memory_fleets_merge_bit_identically() {
+    let expected = baseline();
+    for workers in [1, 3] {
+        let hub = SweepSession::new();
+        let (links, handles) = in_memory_fleet(workers);
+        let outcome = coordinate(&hub, links, jobs(), None).unwrap();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+
+        let reports = decode_reports(&outcome);
+        assert_eq!(reports, expected, "{workers}-worker fleet diverged");
+        for (result, report) in outcome.results.iter().zip(&expected) {
+            assert_eq!(
+                result.payload,
+                encode_to_vec(report),
+                "payload bytes diverged on `{}`",
+                result.label
+            );
+        }
+        assert_eq!(
+            outcome.jobs_per_link.iter().sum::<u64>(),
+            outcome.results.len() as u64
+        );
+        if workers > 1 {
+            assert!(
+                outcome.exchange.accepted > 0,
+                "a multi-worker fleet exchanges cache deltas"
+            );
+            // The hub accumulated the fleet's verified work.
+            assert!(hub.stats().points > 0);
+        }
+    }
+}
+
+/// A worker that computes honest results but garbles every cache delta it
+/// sends: the coordinator must reject the exchanges (the hub and the other
+/// workers degrade to cold starts for that work) while the merged results
+/// stay bit-identical — corruption costs wall-clock, never correctness.
+fn serve_corrupting(id: u32, mut reader: impl std::io::Read, mut writer: impl std::io::Write) {
+    let mut app = SweepShardApp::new();
+    let mut known = impact_shard::KnownKeys::new();
+    let mut stats = impact_shard::ExchangeStats::default();
+    protocol::send(
+        &mut writer,
+        &Message::Hello {
+            worker: id,
+            protocol: PROTOCOL_VERSION,
+        },
+    )
+    .unwrap();
+    while let Some(message) = protocol::receive(&mut reader).unwrap() {
+        match message {
+            Message::Sync { bytes } => {
+                let _ =
+                    impact_shard::gate_and_absorb(app.session(), &mut known, &bytes, &mut stats);
+            }
+            Message::Assign { slot, payload } => {
+                let result = app.run(&payload);
+                if let Some(mut bytes) =
+                    impact_shard::export_delta(app.session(), &mut known, &mut stats)
+                {
+                    let middle = bytes.len() / 2;
+                    bytes[middle] ^= 0xFF;
+                    protocol::send(&mut writer, &Message::Sync { bytes }).unwrap();
+                }
+                protocol::send(
+                    &mut writer,
+                    &Message::Outcome {
+                        slot,
+                        payload: result,
+                        wall_ms: 1.0,
+                    },
+                )
+                .unwrap();
+            }
+            Message::Shutdown => {
+                protocol::send(&mut writer, &Message::Bye).unwrap();
+                break;
+            }
+            _ => panic!("coordinator sent a worker-only message"),
+        }
+    }
+}
+
+#[test]
+fn corrupted_exchanges_degrade_to_cold_starts_not_wrong_results() {
+    let expected = baseline();
+    let hub = SweepSession::new();
+
+    let (to_worker, worker_reads) = pipe();
+    let (worker_writes, from_worker) = pipe();
+    let handle = std::thread::spawn(move || serve_corrupting(0, worker_reads, worker_writes));
+    let links = vec![WorkerLink {
+        id: 0,
+        reader: Box::new(from_worker),
+        writer: Box::new(to_worker),
+    }];
+    let outcome = coordinate(&hub, links, jobs(), None).unwrap();
+    handle.join().unwrap();
+
+    assert!(
+        outcome.exchange.rejected_decode > 0,
+        "every delta the worker sent was garbled"
+    );
+    assert_eq!(outcome.exchange.accepted, 0);
+    assert_eq!(hub.stats().points, 0, "the hub stayed cold — not poisoned");
+    assert_eq!(decode_reports(&outcome), expected, "results are unaffected");
+}
+
+#[test]
+fn real_worker_subprocesses_reproduce_the_baseline() {
+    let exe = Path::new(env!("CARGO_BIN_EXE_shard_bench"));
+    let mailbox = std::env::temp_dir().join(format!("shard_mailbox_{}", std::process::id()));
+    std::fs::create_dir_all(&mailbox).unwrap();
+
+    let (outcome, hub) = run_sharded(exe, 2, jobs(), Some(&mailbox)).unwrap();
+    assert_eq!(decode_reports(&outcome), baseline());
+    assert!(hub.stats().points > 0, "the hub absorbed the fleet's work");
+
+    // The mailbox holds the exchanged snapshots for post-hoc audit, and
+    // every one of them passes the verifier the coordinator used.
+    let mut audited = 0;
+    for entry in std::fs::read_dir(&mailbox).unwrap() {
+        let path = entry.unwrap().path();
+        assert_eq!(path.extension().unwrap(), "impactcache");
+        let bytes = std::fs::read(&path).unwrap();
+        let violations = impact_core::verify::audit_snapshot_bytes(&bytes);
+        assert!(
+            !impact_core::verify::has_errors(&violations),
+            "{} fails the audit",
+            path.display()
+        );
+        audited += 1;
+    }
+    assert!(audited > 0, "a 2-worker fleet persisted exchanges");
+    std::fs::remove_dir_all(&mailbox).unwrap();
+}

@@ -131,6 +131,50 @@ impl LayerStats {
     }
 }
 
+/// Outcome counters of one [`CacheBackend::absorb`] merge (and, cumulatively,
+/// of every merge a backend ever performed — see [`CacheStats::merge`]).
+///
+/// Because every cache entry is a pure function of its key, an incoming entry
+/// under a key the backend already holds carries an interchangeable value;
+/// the merge *skips* it (keeping the resident allocation) and counts it as a
+/// duplicate. These counters are what shard-exchange efficiency is reasoned
+/// about with: a healthy exchange absorbs mostly-new entries, while a high
+/// duplicate share means peers are re-sending work the receiver already has.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct AbsorbStats {
+    /// Entries newly inserted by the merge.
+    pub absorbed: u64,
+    /// Entries skipped because the key was already present (interchangeable
+    /// values — the resident entry wins).
+    pub duplicates: u64,
+    /// Entries dropped because a map was at its capacity bound.
+    pub dropped: u64,
+}
+
+impl AbsorbStats {
+    /// Entries the merge was offered (absorbed + duplicates + dropped).
+    pub fn offered(&self) -> u64 {
+        self.absorbed + self.duplicates + self.dropped
+    }
+
+    /// Fraction of offered entries that were new to the receiver.
+    pub fn fresh_rate(&self) -> f64 {
+        let offered = self.offered();
+        if offered > 0 {
+            self.absorbed as f64 / offered as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Accumulates another merge's counters (for cumulative reporting).
+    pub fn accumulate(&mut self, other: AbsorbStats) {
+        self.absorbed += other.absorbed;
+        self.duplicates += other.duplicates;
+        self.dropped += other.dropped;
+    }
+}
+
 /// Snapshot of a backend's effectiveness counters: the totals plus one
 /// [`LayerStats`] per memoization layer, from cheapest to most expensive to
 /// recompute.
@@ -166,6 +210,9 @@ pub struct CacheStats {
     pub scaled: LayerStats,
     /// Snapshot save/load counters, including per-reason load rejections.
     pub snapshot: SnapshotStats,
+    /// Cumulative merge counters over every `absorb` the backend performed
+    /// (shard merges, snapshot loads, session `merge_from`).
+    pub merge: AbsorbStats,
 }
 
 impl CacheStats {
@@ -225,19 +272,20 @@ pub trait CacheBackend: Send + Sync + fmt::Debug {
     fn stats(&self) -> CacheStats;
     /// Copies every entry out (counters are not part of the snapshot).
     fn export(&self) -> CacheSnapshot;
-    /// Merges a snapshot into this backend. Entries under keys this backend
-    /// already holds are interchangeable with the incoming ones (same pure
-    /// function, same key), so the merge is deterministic regardless of which
-    /// side wins; traffic counters are unaffected.
-    fn absorb(&self, snapshot: CacheSnapshot);
+    /// Merges a snapshot into this backend and reports what happened to the
+    /// offered entries. Entries under keys this backend already holds are
+    /// interchangeable with the incoming ones (same pure function, same key),
+    /// so the resident entry is kept and the incoming one counted as a
+    /// duplicate — the merge is deterministic regardless of arrival order;
+    /// traffic counters are unaffected.
+    fn absorb(&self, snapshot: CacheSnapshot) -> AbsorbStats;
     /// Serializes every entry into the versioned snapshot wire format
     /// (deterministic: equal contents produce identical bytes).
     fn save_snapshot(&self) -> Vec<u8> {
         snapshot::encode_snapshot(&self.export())
     }
     /// Decodes snapshot bytes, verifies them under `scope`, and merges the
-    /// entries through [`Self::absorb`]. Returns the number of entries
-    /// absorbed.
+    /// entries through [`Self::absorb`]. Returns the merge counters.
     ///
     /// # Errors
     ///
@@ -248,11 +296,9 @@ pub trait CacheBackend: Send + Sync + fmt::Debug {
         &self,
         bytes: &[u8],
         scope: SnapshotScope,
-    ) -> Result<usize, SnapshotRejection> {
+    ) -> Result<AbsorbStats, SnapshotRejection> {
         let decoded = snapshot::decode_snapshot(bytes, scope)?;
-        let count = decoded.len();
-        self.absorb(decoded);
-        Ok(count)
+        Ok(self.absorb(decoded))
     }
 }
 
@@ -260,8 +306,9 @@ pub trait CacheBackend: Send + Sync + fmt::Debug {
 /// [`CacheBackend::export`] and consumed by [`CacheBackend::absorb`]. Fields
 /// are public so external [`CacheBackend`] implementations (disk stores,
 /// remote shards) can build and consume snapshots; treat the values as
-/// opaque — they are pure functions of their keys.
-#[derive(Debug, Default)]
+/// opaque — they are pure functions of their keys. Cloning is cheap: the
+/// values are `Arc`-shared, so a clone copies pointers, not payloads.
+#[derive(Clone, Debug, Default)]
 pub struct CacheSnapshot {
     /// Fully evaluated design points.
     pub points: HashMap<PointKey, Arc<DesignPoint>>,
@@ -320,6 +367,7 @@ struct CacheInner {
     mux_traffic: LayerStats,
     evictions: u64,
     snapshot: SnapshotStats,
+    merge: AbsorbStats,
 }
 
 /// Capacity bounds; a map whose bound a new entry would overflow is cleared
@@ -474,6 +522,7 @@ impl CacheBackend for InMemoryCache {
             point: inner.points_traffic,
             scaled: inner.scaled_traffic,
             snapshot: inner.snapshot,
+            merge: inner.merge,
         }
     }
 
@@ -491,22 +540,32 @@ impl CacheBackend for InMemoryCache {
         }
     }
 
-    fn absorb(&self, snapshot: CacheSnapshot) {
+    fn absorb(&self, snapshot: CacheSnapshot) -> AbsorbStats {
         let mut inner = self.lock();
+        let mut stats = AbsorbStats::default();
         // Unlike a store, a merge never clears: incoming entries are added
         // until the capacity bound, and only the overflow is dropped (counted
         // as one eviction per map) — two full shards must not annihilate each
         // other. Which overflow entries are kept is not specified; entries
-        // are pure, so lookups stay correct either way.
+        // are pure, so lookups stay correct either way. A key the backend
+        // already holds keeps its resident entry (interchangeable values) and
+        // counts as a duplicate — the signal shard-exchange efficiency is
+        // judged by.
         macro_rules! merge_map {
             ($field:ident, $cap:expr) => {{
                 let mut dropped = false;
                 for (key, value) in snapshot.$field {
-                    if inner.$field.len() >= $cap && !inner.$field.contains_key(&key) {
+                    if inner.$field.contains_key(&key) {
+                        stats.duplicates += 1;
+                        continue;
+                    }
+                    if inner.$field.len() >= $cap {
                         dropped = true;
+                        stats.dropped += 1;
                         continue;
                     }
                     inner.$field.insert(key, value);
+                    stats.absorbed += 1;
                 }
                 if dropped {
                     inner.evictions += 1;
@@ -521,6 +580,8 @@ impl CacheBackend for InMemoryCache {
         merge_map!(fu_stats, MAX_STATS);
         merge_map!(reg_stats, MAX_STATS);
         merge_map!(mux_stats, MAX_STATS);
+        inner.merge.accumulate(stats);
+        stats
     }
 
     fn save_snapshot(&self) -> Vec<u8> {
@@ -533,13 +594,12 @@ impl CacheBackend for InMemoryCache {
         &self,
         bytes: &[u8],
         scope: SnapshotScope,
-    ) -> Result<usize, SnapshotRejection> {
+    ) -> Result<AbsorbStats, SnapshotRejection> {
         match snapshot::decode_snapshot(bytes, scope) {
             Ok(decoded) => {
-                let count = decoded.len();
-                self.absorb(decoded);
+                let stats = self.absorb(decoded);
                 self.lock().snapshot.loads += 1;
-                Ok(count)
+                Ok(stats)
             }
             Err(rejection) => {
                 self.lock().snapshot.record_rejection(rejection);
@@ -717,11 +777,22 @@ mod tests {
         let b = InMemoryCache::new();
         a.store_context(context_key(1), sample_context());
         b.store_context(context_key(2), sample_context());
-        // One overlapping key: pure-function entries, either side may win.
+        // One overlapping key: pure-function entries, the resident one wins.
         b.store_context(context_key(1), sample_context());
-        a.absorb(b.export());
+        let merged = a.absorb(b.export());
+        assert_eq!(
+            merged,
+            AbsorbStats {
+                absorbed: 1,
+                duplicates: 1,
+                dropped: 0
+            }
+        );
+        assert_eq!(merged.offered(), 2);
+        assert!((merged.fresh_rate() - 0.5).abs() < 1e-12);
         assert_eq!(a.stats().contexts, 2);
         assert_eq!(a.stats().hits, 0, "merging is not traffic");
+        assert_eq!(a.stats().merge, merged, "cumulative counters match");
         assert!(a.lookup_context(&context_key(1)).is_some());
         assert!(a.lookup_context(&context_key(2)).is_some());
         // The donor keeps its entries.
@@ -790,7 +861,10 @@ mod tests {
         for tag in 0..64u64 {
             donor.store_context(context_key(1_000_000 + tag), sample_context());
         }
-        target.absorb(donor.export());
+        let merged = target.absorb(donor.export());
+        assert_eq!(merged.absorbed, 8, "only the free capacity is filled");
+        assert_eq!(merged.dropped, 56, "the overflow is counted, not inserted");
+        assert_eq!(merged.duplicates, 0);
         let stats = target.stats();
         assert_eq!(stats.contexts, MAX_CONTEXTS, "map fills up to the bound");
         assert_eq!(stats.evictions, 1, "the dropped overflow counts once");

@@ -135,6 +135,16 @@ impl EngineConfig {
         self.verify = verify;
         self
     }
+
+    /// Returns a copy pinned to `threads` ranking workers (`0` = one per
+    /// available CPU). Shard workers use this to divide the machine between
+    /// processes — N shards each ranking on every CPU would oversubscribe
+    /// the cores. Ranking is deterministic under any thread count, so the
+    /// pin changes wall-clock, never results.
+    pub fn with_ranking_threads(mut self, threads: usize) -> Self {
+        self.ranking_threads = threads;
+        self
+    }
 }
 
 impl Default for EngineConfig {

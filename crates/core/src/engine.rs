@@ -362,6 +362,55 @@ impl Impact {
     }
 }
 
+// ------------------------------------------------------------- report codec
+
+use impact_codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+
+/// Version tag of [`SynthesisReport`]'s wire layout. The report travels
+/// between shard worker processes and their coordinator, so the layout is
+/// versioned like every cached type.
+const TAG_SYNTHESIS_REPORT: u8 = 0x50;
+
+impl Encode for SynthesisReport {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_tag(TAG_SYNTHESIS_REPORT);
+        w.put_f64(self.power_mw);
+        w.put_f64(self.power_at_reference_mw);
+        self.breakdown.encode(w);
+        w.put_f64(self.area);
+        w.put_f64(self.vdd);
+        w.put_f64(self.enc);
+        w.put_f64(self.enc_min);
+        w.put_f64(self.enc_limit);
+        w.put_f64(self.laxity);
+        w.put_f64(self.initial_power_mw);
+        w.put_f64(self.initial_area);
+        w.put_usize(self.moves_applied);
+        w.put_usize(self.passes);
+    }
+}
+
+impl Decode for SynthesisReport {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(TAG_SYNTHESIS_REPORT)?;
+        Ok(Self {
+            power_mw: r.take_f64()?,
+            power_at_reference_mw: r.take_f64()?,
+            breakdown: Decode::decode(r)?,
+            area: r.take_f64()?,
+            vdd: r.take_f64()?,
+            enc: r.take_f64()?,
+            enc_min: r.take_f64()?,
+            enc_limit: r.take_f64()?,
+            laxity: r.take_f64()?,
+            initial_power_mw: r.take_f64()?,
+            initial_area: r.take_f64()?,
+            moves_applied: r.take_usize()?,
+            passes: r.take_usize()?,
+        })
+    }
+}
+
 fn reference_cost(point: &DesignPoint, mode: OptimizationMode) -> f64 {
     match mode {
         OptimizationMode::Power => point.power_at_reference.total_mw(),

@@ -47,7 +47,8 @@ mod snapshot;
 pub mod verify;
 
 pub use cache::{
-    CacheBackend, CacheSnapshot, CacheStats, DesignContext, InMemoryCache, LayerStats, MuxEntry,
+    AbsorbStats, CacheBackend, CacheSnapshot, CacheStats, DesignContext, InMemoryCache, LayerStats,
+    MuxEntry,
 };
 pub use config::{EngineConfig, OptimizationMode, SynthesisConfig, VerifyLevel};
 pub use engine::{Impact, MoveRecord, SynthesisOutcome, SynthesisReport};

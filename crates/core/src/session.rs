@@ -36,7 +36,7 @@
 use std::path::Path;
 use std::sync::Arc;
 
-use crate::cache::{CacheBackend, CacheStats, InMemoryCache};
+use crate::cache::{AbsorbStats, CacheBackend, CacheStats, InMemoryCache};
 use crate::snapshot::{self, SnapshotError, SnapshotRejection, SnapshotScope};
 
 /// A shared, mergeable evaluation-cache handle spanning synthesis runs.
@@ -76,12 +76,14 @@ impl SweepSession {
         self.backend.stats()
     }
 
-    /// Merges every entry of `other` into this session. Deterministic: cache
-    /// entries are pure functions of their keys, so overlapping keys carry
-    /// interchangeable values and merge order cannot influence later lookups.
-    /// `other` keeps its entries; traffic counters are not transferred.
-    pub fn merge_from(&self, other: &SweepSession) {
-        self.backend.absorb(other.backend.export());
+    /// Merges every entry of `other` into this session and returns the merge
+    /// counters (new entries absorbed vs duplicate-skipped). Deterministic:
+    /// cache entries are pure functions of their keys, so overlapping keys
+    /// carry interchangeable values and merge order cannot influence later
+    /// lookups. `other` keeps its entries; traffic counters are not
+    /// transferred.
+    pub fn merge_from(&self, other: &SweepSession) -> AbsorbStats {
+        self.backend.absorb(other.backend.export())
     }
 
     /// Serializes the session's entries into snapshot bytes (deterministic:
@@ -92,7 +94,7 @@ impl SweepSession {
 
     /// Verifies snapshot bytes under `scope` and merges the entries into the
     /// session (through the same deterministic `absorb` path shard merges
-    /// use). Returns the number of entries absorbed.
+    /// use). Returns the merge counters.
     ///
     /// # Errors
     ///
@@ -102,7 +104,7 @@ impl SweepSession {
         &self,
         bytes: &[u8],
         scope: SnapshotScope,
-    ) -> Result<usize, SnapshotRejection> {
+    ) -> Result<AbsorbStats, SnapshotRejection> {
         self.backend.load_snapshot(bytes, scope)
     }
 
@@ -116,8 +118,7 @@ impl SweepSession {
         snapshot::write_snapshot_bytes(path.as_ref(), &self.save_snapshot())
     }
 
-    /// Loads a snapshot file into the session. Returns the number of entries
-    /// absorbed.
+    /// Loads a snapshot file into the session. Returns the merge counters.
     ///
     /// # Errors
     ///
@@ -127,7 +128,7 @@ impl SweepSession {
         &self,
         path: impl AsRef<Path>,
         scope: SnapshotScope,
-    ) -> Result<usize, SnapshotError> {
+    ) -> Result<AbsorbStats, SnapshotError> {
         let bytes = std::fs::read(path.as_ref())?;
         Ok(self.load_snapshot(&bytes, scope)?)
     }

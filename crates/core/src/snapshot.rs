@@ -46,7 +46,7 @@ use impact_codec::{Decode, Decoder, Encode, Encoder};
 use impact_rtl::FingerprintHasher;
 
 use crate::cache::{
-    CacheBackend, CacheSnapshot, CacheStats, DesignContext, InMemoryCache, MuxEntry,
+    AbsorbStats, CacheBackend, CacheSnapshot, CacheStats, DesignContext, InMemoryCache, MuxEntry,
 };
 use crate::evaluate::DesignPoint;
 use crate::fingerprint::{
@@ -528,8 +528,8 @@ impl CacheBackend for DiskCache {
     fn export(&self) -> CacheSnapshot {
         self.inner.export()
     }
-    fn absorb(&self, snapshot: CacheSnapshot) {
-        self.inner.absorb(snapshot);
+    fn absorb(&self, snapshot: CacheSnapshot) -> AbsorbStats {
+        self.inner.absorb(snapshot)
     }
     fn save_snapshot(&self) -> Vec<u8> {
         self.inner.save_snapshot()
@@ -538,7 +538,7 @@ impl CacheBackend for DiskCache {
         &self,
         bytes: &[u8],
         scope: SnapshotScope,
-    ) -> Result<usize, SnapshotRejection> {
+    ) -> Result<AbsorbStats, SnapshotRejection> {
         self.inner.load_snapshot(bytes, scope)
     }
 }

@@ -57,8 +57,10 @@ fn snapshots_are_deterministic_and_round_trip_losslessly() {
     // Export → save → load → absorb into a fresh session: the re-encoded
     // bytes are identical, so the round trip lost nothing.
     let warm = SweepSession::new();
-    let absorbed = warm.load_snapshot(&bytes, SnapshotScope::Any).unwrap();
-    assert!(absorbed > 0, "the cold run populated every layer");
+    let merged = warm.load_snapshot(&bytes, SnapshotScope::Any).unwrap();
+    assert!(merged.absorbed > 0, "the cold run populated every layer");
+    assert_eq!(merged.duplicates, 0, "the fresh session had no entries");
+    assert_eq!(merged.dropped, 0, "nothing was evicted at default capacity");
     assert_eq!(warm.save_snapshot(), bytes, "decode∘encode is the identity");
     assert_eq!(warm.stats().snapshot.loads, 1);
 

@@ -1,0 +1,508 @@
+//! The coordinator: one job queue, N worker links, work stealing and a
+//! deterministic merge.
+//!
+//! # Scheduling
+//!
+//! Jobs are not partitioned up front. The coordinator hands every worker
+//! one job, then hands each worker its next job the moment its previous
+//! `Outcome` arrives — dynamic self-scheduling, the multi-process analog of
+//! the atomic-claim loop in `impact_bench::run_batch`. A worker stuck on an
+//! expensive job (a `paulin` synthesis costs roughly 7× a `gcd` one per
+//! pass) simply claims fewer jobs while the others drain the queue, so the
+//! wall-clock tracks the total work, not `shards × slowest shard`.
+//!
+//! # Cache exchange
+//!
+//! The coordinator keeps a *hub* session. Worker deltas are verified
+//! (decode + cache audit) and absorbed into the hub; right before each
+//! `Assign`, the hub's delta against that worker's [`KnownKeys`] is sent
+//! down, so work one shard did reaches the others one round-trip later.
+//! Rejected exchanges are counted and skipped — the hub is never poisoned,
+//! the affected worker just runs colder.
+//!
+//! # Determinism
+//!
+//! Results land in their job's submission slot, so the returned list is in
+//! submission order no matter which worker finished first or how the cache
+//! exchange interleaved. Synthesis itself is deterministic and cache
+//! sharing never changes results, so the merged list is bit-identical to a
+//! single-process run of the same jobs.
+
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+
+use impact_core::{write_snapshot_bytes, SweepSession};
+
+use crate::delta::KnownKeys;
+use crate::exchange::{export_delta, gate_and_absorb, ExchangeStats};
+use crate::protocol::{self, Message, PROTOCOL_VERSION};
+
+/// One job to distribute: a label for reports plus the opaque payload the
+/// worker application decodes.
+#[derive(Clone, Debug)]
+pub struct ShardJob {
+    /// Label carried into the result (e.g. `gcd/power@1.4`).
+    pub label: String,
+    /// Application-defined job description.
+    pub payload: Vec<u8>,
+}
+
+/// One job's result, back in submission order.
+#[derive(Clone, Debug)]
+pub struct ShardResult {
+    /// The job's label.
+    pub label: String,
+    /// Application-defined result payload.
+    pub payload: Vec<u8>,
+    /// Wall-clock of the job on its worker, in milliseconds.
+    pub wall_ms: f64,
+    /// Id of the worker that ran the job.
+    pub worker: u32,
+}
+
+/// What a coordinated run produced.
+#[derive(Debug)]
+pub struct CoordinatorOutcome {
+    /// Every job's result, in submission order (slot-merged).
+    pub results: Vec<ShardResult>,
+    /// Jobs completed per link, in link order — the work-stealing balance.
+    pub jobs_per_link: Vec<u64>,
+    /// Snapshot exchange counters summed over every link.
+    pub exchange: ExchangeStats,
+}
+
+/// One worker connection: its id and the byte streams to reach it. The
+/// streams can be a spawned process's stdin/stdout or an in-memory pipe.
+pub struct WorkerLink {
+    /// The worker's id (shown in results and mailbox file names).
+    pub id: u32,
+    /// Stream carrying the worker's messages to the coordinator.
+    pub reader: Box<dyn Read + Send>,
+    /// Stream carrying the coordinator's messages to the worker.
+    pub writer: Box<dyn Write + Send>,
+}
+
+/// Per-link coordinator state.
+struct LinkState {
+    id: u32,
+    /// `None` once the run is over — dropping the writer closes the
+    /// worker's inbound stream, so workers (and then the reader threads)
+    /// unblock even when the run ends in an error.
+    writer: Option<Box<dyn Write + Send>>,
+    /// Keys this worker is known to hold (sent to it or received from it).
+    known: KnownKeys,
+    jobs_done: u64,
+    /// The slot currently running on this worker, if any.
+    running: Option<u64>,
+    /// The worker acknowledged `Shutdown` (or closed cleanly).
+    finished: bool,
+}
+
+enum Event {
+    Message(usize, Message),
+    Closed(usize, Option<io::Error>),
+}
+
+/// Persists exchanged snapshots for post-hoc audit (`impact-verify
+/// --snapshot-dir`).
+struct Mailbox {
+    dir: PathBuf,
+    seq: u64,
+}
+
+impl Mailbox {
+    fn persist(&mut self, worker: u32, direction: &str, bytes: &[u8]) -> io::Result<()> {
+        let name = format!("exchange_{:04}_w{worker}_{direction}.impactcache", self.seq);
+        self.seq += 1;
+        write_snapshot_bytes(&self.dir.join(name), bytes)
+    }
+}
+
+/// Distributes `jobs` over the linked workers and merges the results
+/// deterministically. The `hub` session accumulates every verified worker
+/// delta (pre-warm it to give every worker a head start; export it after
+/// for a snapshot of the whole fleet's work). With a `mailbox` directory,
+/// every exchanged snapshot — inbound worker deltas and outbound hub deltas
+/// — is persisted as a `.impactcache` file for post-hoc verification.
+///
+/// # Errors
+///
+/// I/O errors on any link, a worker speaking a different protocol version,
+/// protocol violations (wrong message direction, unknown or duplicate
+/// slots), and links that close while their job — or the queue — is
+/// unfinished. Exchange *rejections* are not errors; they are counted in
+/// the outcome's [`ExchangeStats`].
+pub fn coordinate(
+    hub: &SweepSession,
+    links: Vec<WorkerLink>,
+    jobs: Vec<ShardJob>,
+    mailbox: Option<&Path>,
+) -> io::Result<CoordinatorOutcome> {
+    assert!(!links.is_empty(), "coordinating zero workers is a bug");
+    let mut mailbox = mailbox.map(|dir| Mailbox {
+        dir: dir.to_path_buf(),
+        seq: 0,
+    });
+
+    let (event_tx, event_rx) = mpsc::channel::<Event>();
+    let mut states = Vec::with_capacity(links.len());
+    std::thread::scope(|scope| {
+        for (index, link) in links.into_iter().enumerate() {
+            states.push(LinkState {
+                id: link.id,
+                writer: Some(link.writer),
+                known: KnownKeys::new(),
+                jobs_done: 0,
+                running: None,
+                finished: false,
+            });
+            let tx = event_tx.clone();
+            let mut reader = link.reader;
+            scope.spawn(move || loop {
+                match protocol::receive(&mut reader) {
+                    Ok(Some(message)) => {
+                        if tx.send(Event::Message(index, message)).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(None) => {
+                        let _ = tx.send(Event::Closed(index, None));
+                        break;
+                    }
+                    Err(error) => {
+                        let _ = tx.send(Event::Closed(index, Some(error)));
+                        break;
+                    }
+                }
+            });
+        }
+        drop(event_tx);
+        let outcome = event_loop(hub, &mut states, &jobs, mailbox.as_mut(), &event_rx);
+        // Close every link before the scope joins the reader threads: after
+        // an early error other workers are still waiting for a message, and
+        // a reader blocked on a healthy worker would deadlock the join. EOF
+        // makes the workers exit, which closes their side of each pipe.
+        for state in &mut states {
+            state.writer = None;
+        }
+        outcome
+    })
+    .map(|(results, exchange)| CoordinatorOutcome {
+        results,
+        jobs_per_link: states.iter().map(|s| s.jobs_done).collect(),
+        exchange,
+    })
+}
+
+/// Sends a worker the hub delta it is missing and its next job (or the
+/// shutdown once the queue is empty).
+fn dispatch(
+    hub: &SweepSession,
+    state: &mut LinkState,
+    jobs: &[ShardJob],
+    next_job: &mut usize,
+    exchange: &mut ExchangeStats,
+    mailbox: Option<&mut Mailbox>,
+) -> io::Result<()> {
+    if let Some(bytes) = export_delta(hub, &mut state.known, exchange) {
+        if let Some(mailbox) = mailbox {
+            mailbox.persist(state.id, "out", &bytes)?;
+        }
+        let writer = state.writer.as_mut().expect("link is open during the run");
+        protocol::send(writer, &Message::Sync { bytes })?;
+    }
+    let writer = state.writer.as_mut().expect("link is open during the run");
+    if *next_job < jobs.len() {
+        let slot = *next_job as u64;
+        state.running = Some(slot);
+        protocol::send(
+            writer,
+            &Message::Assign {
+                slot,
+                payload: jobs[*next_job].payload.clone(),
+            },
+        )?;
+        *next_job += 1;
+    } else {
+        protocol::send(writer, &Message::Shutdown)?;
+    }
+    Ok(())
+}
+
+fn protocol_error(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+fn event_loop(
+    hub: &SweepSession,
+    states: &mut [LinkState],
+    jobs: &[ShardJob],
+    mut mailbox: Option<&mut Mailbox>,
+    events: &mpsc::Receiver<Event>,
+) -> io::Result<(Vec<ShardResult>, ExchangeStats)> {
+    let mut results: Vec<Option<ShardResult>> = jobs.iter().map(|_| None).collect();
+    let mut collected = 0usize;
+    let mut next_job = 0usize;
+    let mut exchange = ExchangeStats::default();
+    let mut active = states.len();
+
+    while active > 0 {
+        let event = events
+            .recv()
+            .map_err(|_| protocol_error("every link closed before the run completed"))?;
+        match event {
+            Event::Message(index, Message::Hello { worker, protocol }) => {
+                if protocol != PROTOCOL_VERSION {
+                    return Err(protocol_error(format!(
+                        "worker {worker} speaks protocol v{protocol}, coordinator v{PROTOCOL_VERSION}"
+                    )));
+                }
+                if states[index].id != worker {
+                    return Err(protocol_error(format!(
+                        "link {} answered as worker {worker}",
+                        states[index].id
+                    )));
+                }
+                dispatch(
+                    hub,
+                    &mut states[index],
+                    jobs,
+                    &mut next_job,
+                    &mut exchange,
+                    mailbox.as_deref_mut(),
+                )?;
+            }
+            Event::Message(index, Message::Sync { bytes }) => {
+                let state = &mut states[index];
+                let outcome = gate_and_absorb(hub, &mut state.known, &bytes, &mut exchange);
+                if outcome.accepted() {
+                    if let Some(mailbox) = mailbox.as_deref_mut() {
+                        mailbox.persist(state.id, "in", &bytes)?;
+                    }
+                }
+            }
+            Event::Message(
+                index,
+                Message::Outcome {
+                    slot,
+                    payload,
+                    wall_ms,
+                },
+            ) => {
+                let state = &mut states[index];
+                if state.running.take() != Some(slot) {
+                    return Err(protocol_error(format!(
+                        "worker {} reported slot {slot} it was not running",
+                        state.id
+                    )));
+                }
+                let slot_index = usize::try_from(slot)
+                    .ok()
+                    .filter(|&i| i < results.len())
+                    .ok_or_else(|| protocol_error(format!("result for unknown slot {slot}")))?;
+                results[slot_index] = Some(ShardResult {
+                    label: jobs[slot_index].label.clone(),
+                    payload,
+                    wall_ms,
+                    worker: state.id,
+                });
+                collected += 1;
+                state.jobs_done += 1;
+                dispatch(
+                    hub,
+                    &mut states[index],
+                    jobs,
+                    &mut next_job,
+                    &mut exchange,
+                    mailbox.as_deref_mut(),
+                )?;
+            }
+            Event::Message(index, Message::Bye) => {
+                states[index].finished = true;
+            }
+            Event::Message(index, Message::Assign { .. } | Message::Shutdown) => {
+                return Err(protocol_error(format!(
+                    "worker {} sent a coordinator-only message",
+                    states[index].id
+                )));
+            }
+            Event::Closed(index, error) => {
+                active -= 1;
+                let state = &states[index];
+                if let Some(error) = error {
+                    return Err(error);
+                }
+                if !state.finished || state.running.is_some() {
+                    return Err(protocol_error(format!(
+                        "worker {} closed its link mid-run",
+                        state.id
+                    )));
+                }
+            }
+        }
+    }
+
+    if collected != jobs.len() {
+        return Err(protocol_error(format!(
+            "every worker exited but only {collected} of {} jobs completed",
+            jobs.len()
+        )));
+    }
+    let results = results
+        .into_iter()
+        .map(|slot| slot.expect("collected == jobs.len() implies every slot is filled"))
+        .collect();
+    Ok((results, exchange))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::wire::pipe;
+    use crate::worker::{serve, ShardApp};
+
+    /// A worker app that reverses the job payload — enough to check slots,
+    /// labels and payload routing without running real synthesis.
+    struct Reverser {
+        session: SweepSession,
+    }
+
+    impl ShardApp for Reverser {
+        fn session(&self) -> &SweepSession {
+            &self.session
+        }
+
+        fn run(&mut self, payload: &[u8]) -> Vec<u8> {
+            payload.iter().rev().copied().collect()
+        }
+    }
+
+    fn spawn_workers(count: u32) -> (Vec<WorkerLink>, Vec<std::thread::JoinHandle<()>>) {
+        let mut links = Vec::new();
+        let mut handles = Vec::new();
+        for id in 0..count {
+            let (to_worker, worker_reads) = pipe();
+            let (worker_writes, from_worker) = pipe();
+            links.push(WorkerLink {
+                id,
+                reader: Box::new(from_worker),
+                writer: Box::new(to_worker),
+            });
+            handles.push(std::thread::spawn(move || {
+                let mut app = Reverser {
+                    session: SweepSession::new(),
+                };
+                serve(&mut app, id, worker_reads, worker_writes).unwrap();
+            }));
+        }
+        (links, handles)
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let jobs: Vec<ShardJob> = (0..17)
+            .map(|i| ShardJob {
+                label: format!("job-{i}"),
+                payload: format!("payload-{i}").into_bytes(),
+            })
+            .collect();
+        let hub = SweepSession::new();
+        let (links, handles) = spawn_workers(3);
+        let outcome = coordinate(&hub, links, jobs, None).unwrap();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+
+        assert_eq!(outcome.results.len(), 17);
+        for (i, result) in outcome.results.iter().enumerate() {
+            assert_eq!(result.label, format!("job-{i}"));
+            let expected: Vec<u8> = format!("payload-{i}")
+                .into_bytes()
+                .iter()
+                .rev()
+                .copied()
+                .collect();
+            assert_eq!(result.payload, expected);
+        }
+        // Every job was done exactly once, spread over the links.
+        assert_eq!(outcome.jobs_per_link.iter().sum::<u64>(), 17);
+        assert_eq!(outcome.jobs_per_link.len(), 3);
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let jobs = vec![ShardJob {
+            label: "only".into(),
+            payload: b"x".to_vec(),
+        }];
+        let hub = SweepSession::new();
+        let (links, handles) = spawn_workers(4);
+        let outcome = coordinate(&hub, links, jobs, None).unwrap();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(outcome.results.len(), 1);
+        assert_eq!(outcome.jobs_per_link.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn a_link_that_dies_mid_run_is_an_error() {
+        let jobs = vec![ShardJob {
+            label: "job".into(),
+            payload: b"x".to_vec(),
+        }];
+        let hub = SweepSession::new();
+        // A link whose worker never answers: drop the worker-side handles
+        // immediately so the coordinator sees a closed stream.
+        let (to_worker, worker_reads) = pipe();
+        let (worker_writes, from_worker) = pipe();
+        drop(worker_reads);
+        drop(worker_writes);
+        let links = vec![WorkerLink {
+            id: 0,
+            reader: Box::new(from_worker),
+            writer: Box::new(to_worker),
+        }];
+        let error = coordinate(&hub, links, jobs, None).unwrap_err();
+        assert_eq!(error.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn a_version_mismatch_is_an_error() {
+        let hub = SweepSession::new();
+        let (mut to_coord, from_worker) = pipe();
+        let (to_worker, worker_reads) = pipe();
+        protocol::send(
+            &mut to_coord,
+            &Message::Hello {
+                worker: 0,
+                protocol: PROTOCOL_VERSION + 1,
+            },
+        )
+        .unwrap();
+        // Close the fake worker's sending side: the coordinator's reader
+        // thread must see EOF after the bad hello, or the scope join would
+        // wait on it forever.
+        drop(to_coord);
+        let links = vec![WorkerLink {
+            id: 0,
+            reader: Box::new(from_worker),
+            writer: Box::new(to_worker),
+        }];
+        let error = coordinate(
+            &hub,
+            links,
+            vec![ShardJob {
+                label: "job".into(),
+                payload: Vec::new(),
+            }],
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(error.kind(), io::ErrorKind::InvalidData);
+        assert!(error.to_string().contains("protocol"));
+        drop(worker_reads);
+    }
+}

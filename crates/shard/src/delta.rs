@@ -1,0 +1,151 @@
+//! Per-peer key tracking for delta exchange.
+//!
+//! A naive exchange would re-send the whole cache after every job; the
+//! receiver would then have to re-verify megabytes of entries it already
+//! audited, and the audit — schedule legality per design point — would
+//! quickly dominate the sweep. Instead each side of a link remembers which
+//! keys the peer already holds ([`KnownKeys`]) and sends only the
+//! complement. Values are `Arc`-shared inside [`CacheSnapshot`], so a
+//! filtered delta clones pointers, not payloads, and the audit cost of an
+//! exchange is proportional to the *new* work it carries.
+
+use std::collections::HashSet;
+
+use impact_core::{
+    BlockKey, CacheSnapshot, ContextKey, FuStatsKey, MuxStatsKey, PointKey, RegStatsKey, ScaledKey,
+    ScheduleKey,
+};
+
+/// The cache keys one peer is known to hold, layer by layer.
+///
+/// Updated in both directions: keys the peer sent us and keys we sent the
+/// peer are equally *known* — either way, re-sending them would be a
+/// duplicate the receiver skips.
+#[derive(Debug, Default)]
+pub struct KnownKeys {
+    points: HashSet<PointKey>,
+    scaled: HashSet<ScaledKey>,
+    contexts: HashSet<ContextKey>,
+    schedules: HashSet<ScheduleKey>,
+    block_schedules: HashSet<BlockKey>,
+    fu_stats: HashSet<FuStatsKey>,
+    reg_stats: HashSet<RegStatsKey>,
+    mux_stats: HashSet<MuxStatsKey>,
+}
+
+macro_rules! each_layer {
+    ($macro:ident) => {
+        $macro!(points);
+        $macro!(scaled);
+        $macro!(contexts);
+        $macro!(schedules);
+        $macro!(block_schedules);
+        $macro!(fu_stats);
+        $macro!(reg_stats);
+        $macro!(mux_stats);
+    };
+}
+
+impl KnownKeys {
+    /// An empty tracker: the peer is assumed to hold nothing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of keys known across every layer.
+    pub fn len(&self) -> usize {
+        let mut total = 0;
+        macro_rules! add {
+            ($field:ident) => {
+                total += self.$field.len();
+            };
+        }
+        each_layer!(add);
+        total
+    }
+
+    /// Whether no key is known yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Marks every key of `snapshot` as known (the peer sent it, or it was
+    /// just sent to the peer).
+    pub fn note(&mut self, snapshot: &CacheSnapshot) {
+        macro_rules! note {
+            ($field:ident) => {
+                self.$field.extend(snapshot.$field.keys().copied());
+            };
+        }
+        each_layer!(note);
+    }
+
+    /// The entries of `snapshot` the peer does not hold yet. Values are
+    /// cloned by `Arc`, so the delta is cheap regardless of entry size.
+    pub fn delta_from(&self, snapshot: &CacheSnapshot) -> CacheSnapshot {
+        let mut delta = CacheSnapshot::default();
+        macro_rules! filter {
+            ($field:ident) => {
+                for (key, value) in &snapshot.$field {
+                    if !self.$field.contains(key) {
+                        delta.$field.insert(*key, value.clone());
+                    }
+                }
+            };
+        }
+        each_layer!(filter);
+        delta
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use impact_core::{Impact, SweepSession, SynthesisConfig};
+
+    fn populated_snapshot() -> CacheSnapshot {
+        let bench = impact_benchmarks::gcd();
+        let cdfg = bench.compile().unwrap();
+        let trace = impact_behsim::simulate(&cdfg, &bench.input_sequences(6, 11)).unwrap();
+        let session = SweepSession::new();
+        Impact::new(SynthesisConfig::power_optimized(2.0).with_effort(2, 3))
+            .synthesize_with_session(&cdfg, &trace, &session)
+            .unwrap();
+        session.backend().export()
+    }
+
+    #[test]
+    fn deltas_shrink_to_nothing_once_noted() {
+        let snapshot = populated_snapshot();
+        let mut known = KnownKeys::new();
+        assert!(known.is_empty());
+
+        // Nothing known: the delta is the whole snapshot.
+        let delta = known.delta_from(&snapshot);
+        assert_eq!(delta.len(), snapshot.len());
+        assert!(!delta.is_empty(), "a real run populated the cache");
+
+        // Everything noted: the delta is empty.
+        known.note(&snapshot);
+        assert_eq!(known.len(), snapshot.len());
+        assert!(known.delta_from(&snapshot).is_empty());
+    }
+
+    #[test]
+    fn deltas_carry_exactly_the_unknown_entries() {
+        let snapshot = populated_snapshot();
+        let mut known = KnownKeys::new();
+        // Mark a proper subset (one layer) as known.
+        let subset = CacheSnapshot {
+            points: snapshot.points.clone(),
+            ..Default::default()
+        };
+        known.note(&subset);
+
+        let delta = known.delta_from(&snapshot);
+        assert!(delta.points.is_empty(), "known entries are filtered out");
+        assert_eq!(delta.len(), snapshot.len() - snapshot.points.len());
+        assert_eq!(delta.contexts.len(), snapshot.contexts.len());
+    }
+}

@@ -1,0 +1,54 @@
+//! Sharded multi-process search: one coordinator process driving N worker
+//! processes, each owning a [`SweepSession`](impact_core::SweepSession),
+//! exchanging cache entries as snapshot deltas and merging ranked results
+//! bit-identically to a single-process run.
+//!
+//! The paper's experiments sweep a laxity grid per benchmark; every job of a
+//! sweep is an independent synthesis whose result is a pure function of its
+//! configuration, and the shared evaluation cache changes wall-clock, never
+//! results. That makes the sweep embarrassingly parallel *across processes*
+//! too — what this crate adds over the in-process worker pool of
+//! `impact_bench::run_batch` is the plumbing to do it safely:
+//!
+//! * **Framing** ([`wire`]): length-prefixed frames over any byte stream —
+//!   the stdin/stdout pipes of spawned workers, or an in-memory pipe for
+//!   tests.
+//! * **Protocol** ([`protocol`]): a small tagged message set (`Hello`,
+//!   `Sync`, `Assign`, `Outcome`, `Shutdown`, `Bye`) encoded with
+//!   `impact_codec`. Job and result payloads are opaque bytes, so the
+//!   protocol layer stays independent of what a job computes.
+//! * **Delta exchange** ([`delta`], [`exchange`]): peers track which cache
+//!   keys the other side already holds ([`KnownKeys`]) and send only the
+//!   difference, encoded with the PR 6 snapshot codec. Every *inbound*
+//!   snapshot is untrusted input: it must decode (magic, version, digests)
+//!   and pass the `impact_verify` cache audit before it is absorbed — a
+//!   rejected exchange is counted and skipped, degrading that peer to a
+//!   cold start instead of poisoning the merge.
+//! * **Work stealing** ([`coordinator`]): the coordinator owns one job
+//!   queue and hands each worker its next job the moment the previous one
+//!   finishes (dynamic self-scheduling). Shards with uneven per-job cost —
+//!   `paulin` jobs cost roughly 7× `gcd` jobs — therefore balance
+//!   automatically instead of serializing on the slowest static partition.
+//! * **Deterministic merge**: every result lands in the slot of its job's
+//!   submission index, so the merged result list is in submission order
+//!   regardless of which worker finished first — the same slot discipline
+//!   `run_batch` uses, and the reason merged reports are bit-identical to a
+//!   single-process run.
+//!
+//! The crate is transport-agnostic and job-agnostic: `impact_bench`'s
+//! `shard_bench` binary supplies the job payloads (benchmark + laxity +
+//! effort) and spawns real worker processes; tests drive the same
+//! coordinator and worker loops over in-memory pipes.
+
+pub mod coordinator;
+pub mod delta;
+pub mod exchange;
+pub mod protocol;
+pub mod wire;
+pub mod worker;
+
+pub use coordinator::{coordinate, CoordinatorOutcome, ShardJob, ShardResult, WorkerLink};
+pub use delta::KnownKeys;
+pub use exchange::{export_delta, gate_and_absorb, ExchangeOutcome, ExchangeStats};
+pub use protocol::{Message, PROTOCOL_VERSION};
+pub use worker::{serve, ShardApp, WorkerStats};

@@ -1,0 +1,211 @@
+//! The coordinator ↔ worker message set, encoded with `impact_codec` and
+//! carried in [`wire`](crate::wire) frames.
+//!
+//! The conversation is strictly alternating from the worker's point of
+//! view: it sends `Hello`, then for every `Assign` it receives it replies
+//! with an optional `Sync` (its cache delta) followed by the `Outcome`, and
+//! a `Shutdown` is answered with `Bye`. The coordinator writes to a worker
+//! only right after that worker spoke (`Hello` or `Outcome`), which is when
+//! the worker is guaranteed to be reading — the protocol cannot deadlock on
+//! full pipes.
+//!
+//! Job and result payloads are opaque byte strings: the application layer
+//! (e.g. `shard_bench`) defines what a job is and what it returns. Snapshot
+//! payloads are the PR 6 cache-snapshot wire format and are *always*
+//! verified by the receiver before use (see [`exchange`](crate::exchange)).
+
+use std::io::{self, Read, Write};
+
+use impact_codec::{
+    decode_from_slice, encode_to_vec, Decode, DecodeError, Decoder, Encode, Encoder,
+};
+
+use crate::wire;
+
+/// Version of the message layout. Peers with different versions refuse to
+/// talk (the coordinator checks the version in `Hello`).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+const TAG_MESSAGE: u8 = 0x70;
+
+const MSG_HELLO: u8 = 1;
+const MSG_SYNC: u8 = 2;
+const MSG_ASSIGN: u8 = 3;
+const MSG_OUTCOME: u8 = 4;
+const MSG_SHUTDOWN: u8 = 5;
+const MSG_BYE: u8 = 6;
+
+/// One coordinator ↔ worker message.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Message {
+    /// Worker → coordinator, once at startup: the worker's id and protocol
+    /// version.
+    Hello {
+        /// The worker's id (its shard index).
+        worker: u32,
+        /// The worker's [`PROTOCOL_VERSION`].
+        protocol: u32,
+    },
+    /// Either direction: encoded cache-snapshot bytes (a delta — only the
+    /// entries the receiver has not seen). Untrusted until verified.
+    Sync {
+        /// The PR 6 snapshot wire format.
+        bytes: Vec<u8>,
+    },
+    /// Coordinator → worker: run one job.
+    Assign {
+        /// The job's submission index; the result lands in this slot.
+        slot: u64,
+        /// Application-defined job description.
+        payload: Vec<u8>,
+    },
+    /// Worker → coordinator: a finished job.
+    Outcome {
+        /// The `Assign` slot this result belongs to.
+        slot: u64,
+        /// Application-defined result.
+        payload: Vec<u8>,
+        /// Wall-clock of the job on the worker, in milliseconds.
+        wall_ms: f64,
+    },
+    /// Coordinator → worker: no more jobs; answer `Bye` and exit.
+    Shutdown,
+    /// Worker → coordinator: acknowledges `Shutdown`; the worker is gone.
+    Bye,
+}
+
+impl Encode for Message {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_tag(TAG_MESSAGE);
+        match self {
+            Message::Hello { worker, protocol } => {
+                w.put_u8(MSG_HELLO);
+                w.put_u32(*worker);
+                w.put_u32(*protocol);
+            }
+            Message::Sync { bytes } => {
+                w.put_u8(MSG_SYNC);
+                w.put_bytes(bytes);
+            }
+            Message::Assign { slot, payload } => {
+                w.put_u8(MSG_ASSIGN);
+                w.put_u64(*slot);
+                w.put_bytes(payload);
+            }
+            Message::Outcome {
+                slot,
+                payload,
+                wall_ms,
+            } => {
+                w.put_u8(MSG_OUTCOME);
+                w.put_u64(*slot);
+                w.put_bytes(payload);
+                w.put_f64(*wall_ms);
+            }
+            Message::Shutdown => w.put_u8(MSG_SHUTDOWN),
+            Message::Bye => w.put_u8(MSG_BYE),
+        }
+    }
+}
+
+impl Decode for Message {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(TAG_MESSAGE)?;
+        match r.take_u8()? {
+            MSG_HELLO => Ok(Message::Hello {
+                worker: r.take_u32()?,
+                protocol: r.take_u32()?,
+            }),
+            MSG_SYNC => Ok(Message::Sync {
+                bytes: r.take_bytes()?.to_vec(),
+            }),
+            MSG_ASSIGN => Ok(Message::Assign {
+                slot: r.take_u64()?,
+                payload: r.take_bytes()?.to_vec(),
+            }),
+            MSG_OUTCOME => Ok(Message::Outcome {
+                slot: r.take_u64()?,
+                payload: r.take_bytes()?.to_vec(),
+                wall_ms: r.take_f64()?,
+            }),
+            MSG_SHUTDOWN => Ok(Message::Shutdown),
+            MSG_BYE => Ok(Message::Bye),
+            _ => Err(DecodeError::Invalid("unknown shard message discriminant")),
+        }
+    }
+}
+
+/// Writes one message as a frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the stream.
+pub fn send(writer: &mut impl Write, message: &Message) -> io::Result<()> {
+    wire::write_frame(writer, &encode_to_vec(message))
+}
+
+/// Reads one message; `None` on a clean end of stream.
+///
+/// # Errors
+///
+/// I/O errors from the stream, plus [`io::ErrorKind::InvalidData`] for a
+/// frame that is not a well-formed message.
+pub fn receive(reader: &mut impl Read) -> io::Result<Option<Message>> {
+    let Some(frame) = wire::read_frame(reader)? else {
+        return Ok(None);
+    };
+    decode_from_slice(&frame).map(Some).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad shard message: {e}"),
+        )
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::wire::pipe;
+
+    #[test]
+    fn every_message_round_trips() {
+        let messages = vec![
+            Message::Hello {
+                worker: 3,
+                protocol: PROTOCOL_VERSION,
+            },
+            Message::Sync {
+                bytes: vec![1, 2, 3],
+            },
+            Message::Assign {
+                slot: 7,
+                payload: b"job".to_vec(),
+            },
+            Message::Outcome {
+                slot: 7,
+                payload: b"report".to_vec(),
+                wall_ms: 12.5,
+            },
+            Message::Shutdown,
+            Message::Bye,
+        ];
+        let (mut writer, mut reader) = pipe();
+        for message in &messages {
+            send(&mut writer, message).unwrap();
+        }
+        for message in &messages {
+            assert_eq!(receive(&mut reader).unwrap().unwrap(), *message);
+        }
+        drop(writer);
+        assert!(receive(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn garbage_frames_are_invalid_data() {
+        let (mut writer, mut reader) = pipe();
+        wire::write_frame(&mut writer, b"not a message").unwrap();
+        let err = receive(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,184 @@
+//! Length-prefixed framing over arbitrary byte streams, plus an in-memory
+//! pipe for tests.
+//!
+//! A frame is a little-endian `u64` payload length followed by the payload.
+//! The length is sanity-capped: a corrupt or adversarial peer cannot make
+//! the reader attempt a multi-gigabyte allocation. End-of-stream *between*
+//! frames is a clean close ([`read_frame`] returns `None`); end-of-stream
+//! *inside* a frame is an error — the peer died mid-message.
+
+use std::io::{self, Read, Write};
+use std::sync::mpsc;
+
+/// Upper bound on one frame's payload. Full-mode cache snapshots of the
+/// largest example design are tens of megabytes; a frame claiming more than
+/// this is corruption, not data.
+pub const MAX_FRAME_BYTES: u64 = 1 << 30;
+
+/// Writes one frame and flushes, so the peer can react to the message
+/// without waiting for more output.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying stream.
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    writer.write_all(&(payload.len() as u64).to_le_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one frame. Returns `None` when the stream closed cleanly at a
+/// frame boundary.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::UnexpectedEof`] when the stream ends inside a frame and
+/// [`io::ErrorKind::InvalidData`] when the length prefix exceeds
+/// [`MAX_FRAME_BYTES`]; other errors come from the underlying stream.
+pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 8];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match reader.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame's length prefix",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u64::from_le_bytes(prefix);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Write half of an in-memory pipe (see [`pipe`]).
+#[derive(Debug)]
+pub struct PipeWriter {
+    tx: mpsc::Sender<Vec<u8>>,
+}
+
+/// Read half of an in-memory pipe (see [`pipe`]).
+#[derive(Debug)]
+pub struct PipeReader {
+    rx: mpsc::Receiver<Vec<u8>>,
+    pending: Vec<u8>,
+    pos: usize,
+}
+
+/// An in-memory unidirectional byte pipe: everything written to the
+/// [`PipeWriter`] comes out of the [`PipeReader`], and dropping the writer
+/// closes the reader (EOF after the buffered bytes drain). Lets tests run
+/// the worker loop on a thread against the real coordinator without
+/// spawning processes.
+pub fn pipe() -> (PipeWriter, PipeReader) {
+    let (tx, rx) = mpsc::channel();
+    (
+        PipeWriter { tx },
+        PipeReader {
+            rx,
+            pending: Vec::new(),
+            pos: 0,
+        },
+    )
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.tx
+            .send(buf.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "pipe reader dropped"))?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Read for PipeReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        while self.pos == self.pending.len() {
+            match self.rx.recv() {
+                Ok(chunk) => {
+                    self.pending = chunk;
+                    self.pos = 0;
+                }
+                // Writer dropped: the remaining bytes (none) are EOF.
+                Err(mpsc::RecvError) => return Ok(0),
+            }
+        }
+        let n = buf.len().min(self.pending.len() - self.pos);
+        buf[..n].copy_from_slice(&self.pending[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_over_a_pipe() {
+        let (mut writer, mut reader) = pipe();
+        write_frame(&mut writer, b"hello").unwrap();
+        write_frame(&mut writer, b"").unwrap();
+        write_frame(&mut writer, &[0xAB; 100_000]).unwrap();
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"");
+        assert_eq!(
+            read_frame(&mut reader).unwrap().unwrap(),
+            vec![0xAB; 100_000]
+        );
+        drop(writer);
+        assert!(read_frame(&mut reader).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn eof_inside_a_frame_is_an_error() {
+        let (mut writer, mut reader) = pipe();
+        // A length prefix promising 100 bytes, then the writer dies.
+        writer.write_all(&100u64.to_le_bytes()).unwrap();
+        writer.write_all(b"short").unwrap();
+        drop(writer);
+        let err = read_frame(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        // EOF inside the length prefix itself.
+        let (mut writer, mut reader) = pipe();
+        writer.write_all(&[1, 2, 3]).unwrap();
+        drop(writer);
+        let err = read_frame(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected() {
+        let (mut writer, mut reader) = pipe();
+        writer.write_all(&u64::MAX.to_le_bytes()).unwrap();
+        let err = read_frame(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn writing_to_a_dropped_reader_reports_broken_pipe() {
+        let (mut writer, reader) = pipe();
+        drop(reader);
+        let err = write_frame(&mut writer, b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+}

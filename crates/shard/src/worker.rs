@@ -1,0 +1,107 @@
+//! The worker side of a shard link: a serve loop around an application
+//! callback.
+//!
+//! A worker owns one [`SweepSession`] and answers the coordinator's
+//! messages: `Sync` merges the hub's delta into the local cache (gated by
+//! the full verification stack — see [`exchange`](crate::exchange)),
+//! `Assign` runs one job and replies with the worker's own cache delta
+//! followed by the result, `Shutdown` is acknowledged with `Bye`. Sending
+//! the delta *before* the `Outcome` matters: the coordinator processes the
+//! messages in order, so the worker's new entries are in the hub before the
+//! hub computes the delta it sends back with the next job — entries never
+//! echo back to their producer.
+
+use std::io::{self, Read, Write};
+use std::time::Instant;
+
+use impact_core::SweepSession;
+
+use crate::delta::KnownKeys;
+use crate::exchange::{export_delta, gate_and_absorb, ExchangeStats};
+use crate::protocol::{self, Message, PROTOCOL_VERSION};
+
+/// The application half of a worker: the session whose cache is exchanged,
+/// and the job runner.
+pub trait ShardApp {
+    /// The session every job of this worker runs against.
+    fn session(&self) -> &SweepSession;
+
+    /// Runs one job. Must be deterministic — the merged results are
+    /// compared bit-for-bit against a single-process run. Payload formats
+    /// are the application's own (the shard layer never looks inside).
+    fn run(&mut self, payload: &[u8]) -> Vec<u8>;
+}
+
+/// What a worker did over its lifetime, for operator-facing logs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct WorkerStats {
+    /// Jobs completed.
+    pub jobs: u64,
+    /// Snapshot exchange counters of the link.
+    pub exchange: ExchangeStats,
+}
+
+/// Runs the worker loop until the coordinator says `Shutdown` (or closes
+/// the stream). Every inbound `Sync` is verified before it is absorbed; a
+/// rejected one is skipped and the worker simply keeps computing from its
+/// current (possibly cold) cache.
+///
+/// # Errors
+///
+/// I/O errors on the link, plus [`io::ErrorKind::InvalidData`] for
+/// malformed or protocol-violating messages.
+pub fn serve(
+    app: &mut dyn ShardApp,
+    worker: u32,
+    mut reader: impl Read,
+    mut writer: impl Write,
+) -> io::Result<WorkerStats> {
+    let mut known = KnownKeys::new();
+    let mut stats = WorkerStats::default();
+    protocol::send(
+        &mut writer,
+        &Message::Hello {
+            worker,
+            protocol: PROTOCOL_VERSION,
+        },
+    )?;
+    // A closed stream means the coordinator is gone; treat it like a
+    // shutdown so a dying coordinator never strands worker processes.
+    while let Some(message) = protocol::receive(&mut reader)? {
+        match message {
+            Message::Sync { bytes } => {
+                // Rejection is deliberately not fatal: the worker degrades
+                // to recomputing what the snapshot would have carried.
+                let _ = gate_and_absorb(app.session(), &mut known, &bytes, &mut stats.exchange);
+            }
+            Message::Assign { slot, payload } => {
+                let started = Instant::now();
+                let result = app.run(&payload);
+                let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                stats.jobs += 1;
+                if let Some(bytes) = export_delta(app.session(), &mut known, &mut stats.exchange) {
+                    protocol::send(&mut writer, &Message::Sync { bytes })?;
+                }
+                protocol::send(
+                    &mut writer,
+                    &Message::Outcome {
+                        slot,
+                        payload: result,
+                        wall_ms,
+                    },
+                )?;
+            }
+            Message::Shutdown => {
+                protocol::send(&mut writer, &Message::Bye)?;
+                break;
+            }
+            Message::Hello { .. } | Message::Outcome { .. } | Message::Bye => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "coordinator sent a worker-only message",
+                ));
+            }
+        }
+    }
+    Ok(stats)
+}
