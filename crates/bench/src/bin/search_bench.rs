@@ -1,0 +1,193 @@
+//! Headline benchmark of the search-policy layer: runs every example design
+//! through all four explorers — greedy (the oracle the refactor is pinned
+//! against), beam, restart, and the Pareto sweep — at each laxity point,
+//! cold and single-worker so the quality-vs-time curve is honest, and audits
+//! every reported result (and every Pareto-front member) with the
+//! `impact_verify` static checker. The measurements go to
+//! `BENCH_search.json`.
+//!
+//! Usage: `search_bench [--smoke] [--out PATH]`
+//!
+//! `--smoke` runs a reduced input set (fewer passes, smaller search effort,
+//! two laxity points) so CI can track the trajectory in seconds. The process
+//! exits non-zero if any explorer lands on worse final power than greedy at
+//! the same laxity, or if any reported point fails the static audit.
+
+use impact_bench::{
+    example_designs, fail_if, format_explore_stats, prepare, report_json, search_cell,
+    write_report, BenchCli, SearchComparison, DEFAULT_EFFORT, DEFAULT_PASSES, DEFAULT_SEED,
+};
+use impact_core::{Evaluator, ExplorerKind, SynthesisConfig};
+
+/// Violations found by the static audit of one cell: every explorer's final
+/// outcome, plus every member of the Pareto front individually.
+fn audit_cell(
+    cdfg: &impact_cdfg::Cdfg,
+    trace: &impact_behsim::ExecutionTrace,
+    cell: &SearchComparison,
+) -> usize {
+    let config = SynthesisConfig::power_optimized(cell.laxity);
+    let evaluator = Evaluator::new(cdfg, trace, config).expect("bench laxities are feasible");
+    let mut violations = 0;
+    for point in &cell.points {
+        let outcome = &point.result.outcome;
+        for violation in evaluator.audit_outcome(outcome) {
+            eprintln!(
+                "AUDIT {} {}@{:.1}: {violation}",
+                cell.benchmark,
+                point.explorer.name(),
+                cell.laxity
+            );
+            violations += 1;
+        }
+        for (index, member) in outcome.front.iter().enumerate() {
+            for violation in evaluator.audit_design_point(member) {
+                eprintln!(
+                    "AUDIT {} {}@{:.1} front[{index}]: {violation}",
+                    cell.benchmark,
+                    point.explorer.name(),
+                    cell.laxity
+                );
+                violations += 1;
+            }
+        }
+    }
+    violations
+}
+
+fn cell_objects(cell: &SearchComparison, violations: usize) -> Vec<String> {
+    let greedy_power = cell.greedy().power_mw();
+    cell.points
+        .iter()
+        .map(|point| {
+            let report = &point.result.outcome.report;
+            let stats = point.explore_stats();
+            format!(
+                "{{\"design\": \"{}\", \"laxity\": {:.1}, \"explorer\": \"{}\", \
+                 \"power_mw\": {:.6}, \"power_vs_greedy\": {:.6}, \"area\": {:.1}, \
+                 \"vdd\": {:.2}, \"wall_ms\": {:.3}, \"moves\": {}, \"front_size\": {}, \
+                 \"probes\": {}, \"rank_probes\": {}, \"violations\": {}}}",
+                cell.benchmark,
+                cell.laxity,
+                point.explorer.name(),
+                report.power_mw,
+                report.power_mw / greedy_power,
+                report.area,
+                report.vdd,
+                point.result.wall_ms,
+                report.moves_applied,
+                point.result.outcome.front.len(),
+                stats.probes,
+                stats.rank_probes,
+                violations,
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let cli = BenchCli::parse();
+    let out_path = cli.out_path("BENCH_search.json");
+    let (passes, effort, laxities) = if cli.smoke() {
+        (10, (2, 3), vec![1.0, 2.0])
+    } else {
+        (DEFAULT_PASSES, DEFAULT_EFFORT, vec![1.0, 1.5, 2.0, 2.5])
+    };
+    let explorers = ExplorerKind::all();
+    let mode = cli.mode();
+
+    println!(
+        "search bench ({mode}): {} designs x {} laxities x {} explorers, {passes} passes, \
+         effort {effort:?}",
+        example_designs().len(),
+        laxities.len(),
+        explorers.len(),
+    );
+    println!(
+        "{:>10} {:>7} {:>9} {:>12} {:>9} {:>10} {:>6} {:>6}",
+        "design", "laxity", "explorer", "power (mW)", "vs greedy", "wall (ms)", "moves", "front"
+    );
+
+    let mut cells = Vec::new();
+    let mut objects = Vec::new();
+    let mut total_violations = 0;
+    for bench in example_designs() {
+        let (cdfg, trace) = prepare(&bench, passes, DEFAULT_SEED);
+        for &laxity in &laxities {
+            let cell = search_cell(&cdfg, &trace, bench.name, laxity, effort, &explorers);
+            let violations = audit_cell(&cdfg, &trace, &cell);
+            total_violations += violations;
+            let greedy_power = cell.greedy().power_mw();
+            for point in &cell.points {
+                println!(
+                    "{:>10} {:>7.1} {:>9} {:>12.4} {:>9.4} {:>10.1} {:>6} {:>6}",
+                    cell.benchmark,
+                    cell.laxity,
+                    point.explorer.name(),
+                    point.power_mw(),
+                    point.power_mw() / greedy_power,
+                    point.result.wall_ms,
+                    point.result.outcome.report.moves_applied,
+                    point.result.outcome.front.len(),
+                );
+            }
+            let mut cell_stats = impact_core::ExploreStats::default();
+            for point in &cell.points {
+                cell_stats.accumulate(point.explore_stats());
+            }
+            println!("{:>10} {}", "", format_explore_stats(&cell_stats));
+            objects.extend(cell_objects(&cell, violations));
+            cells.push(cell);
+        }
+    }
+
+    let beats: Vec<&SearchComparison> = cells.iter().filter(|c| c.any_beats_greedy()).collect();
+    let best_gain = cells
+        .iter()
+        .flat_map(|cell| {
+            let greedy = cell.greedy().power_mw();
+            cell.points.iter().map(move |p| 1.0 - p.power_mw() / greedy)
+        })
+        .fold(0.0, f64::max);
+    let headline = format!(
+        "{{\"cells\": {}, \"none_worse_than_greedy\": {}, \"beats_greedy_cells\": {}, \
+         \"any_beats_greedy\": {}, \"best_power_gain\": {:.4}, \"violations\": {}}}",
+        cells.len(),
+        cells.iter().all(SearchComparison::none_worse_than_greedy),
+        beats.len(),
+        !beats.is_empty(),
+        best_gain,
+        total_violations,
+    );
+    let json = report_json(
+        &[
+            ("mode", format!("\"{mode}\"")),
+            ("laxity_points", laxities.len().to_string()),
+        ],
+        &[("cells", &objects)],
+        &headline,
+    );
+    write_report(&out_path, &json);
+
+    println!(
+        "headline: {} of {} cells improved on greedy (best power gain {:.1}%), \
+         {} audit violations",
+        beats.len(),
+        cells.len(),
+        100.0 * best_gain,
+        total_violations,
+    );
+
+    fail_if(
+        cells.iter().any(|c| !c.none_worse_than_greedy()),
+        "an explorer landed on worse final power than the greedy oracle",
+    );
+    fail_if(
+        total_violations > 0,
+        "a reported search result failed the impact_verify static audit",
+    );
+    fail_if(
+        beats.is_empty(),
+        "no cell improved on greedy (expected beam or restart to win somewhere)",
+    );
+}

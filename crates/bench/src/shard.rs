@@ -21,12 +21,17 @@ use impact_cdfg::Cdfg;
 use impact_codec::{
     decode_from_slice, encode_to_vec, Decode, DecodeError, Decoder, Encode, Encoder,
 };
-use impact_core::{EngineConfig, Impact, SweepSession, SynthesisConfig, SynthesisReport};
+use impact_core::{
+    EngineConfig, ExplorerKind, Impact, SweepSession, SynthesisConfig, SynthesisReport,
+};
 use impact_shard::{coordinate, CoordinatorOutcome, ShardApp, ShardJob, WorkerLink};
 
 use crate::prepare;
 
-const TAG_SHARD_SPEC: u8 = 0x71;
+// Bumped 0x71 -> 0x72 when the spec grew its `explorer` field; job payloads
+// are ephemeral pipe traffic, but a version-mismatched worker should reject
+// the spec rather than misread it.
+const TAG_SHARD_SPEC: u8 = 0x72;
 
 const MODE_AREA: u8 = 0;
 const MODE_POWER: u8 = 1;
@@ -52,6 +57,8 @@ pub struct ShardSpec {
     /// Ranking-thread pin for the worker's engine (`0` = one per CPU).
     /// Workers sharing a machine pass `1`; deterministic either way.
     pub ranking_threads: usize,
+    /// Search strategy the worker's engine runs this job under.
+    pub explorer: ExplorerKind,
 }
 
 impl ShardSpec {
@@ -63,7 +70,11 @@ impl ShardSpec {
             SynthesisConfig::area_optimized(self.laxity)
         };
         base.with_effort(self.max_passes, self.max_sequence)
-            .with_engine(EngineConfig::default().with_ranking_threads(self.ranking_threads))
+            .with_engine(
+                EngineConfig::default()
+                    .with_ranking_threads(self.ranking_threads)
+                    .with_explorer(self.explorer),
+            )
     }
 }
 
@@ -78,6 +89,7 @@ impl Encode for ShardSpec {
         w.put_usize(self.max_passes);
         w.put_usize(self.max_sequence);
         w.put_usize(self.ranking_threads);
+        self.explorer.encode(w);
     }
 }
 
@@ -99,6 +111,7 @@ impl Decode for ShardSpec {
             max_passes: r.take_usize()?,
             max_sequence: r.take_usize()?,
             ranking_threads: r.take_usize()?,
+            explorer: ExplorerKind::decode(r)?,
         })
     }
 }
@@ -139,6 +152,7 @@ pub fn shard_jobs(
         max_passes,
         max_sequence,
         ranking_threads,
+        explorer: ExplorerKind::Greedy,
     };
     let mut jobs = Vec::with_capacity(benchmarks.len() * (1 + 2 * laxities.len()));
     for bench in benchmarks {
@@ -326,18 +340,22 @@ mod tests {
 
     #[test]
     fn specs_round_trip() {
-        let spec = ShardSpec {
-            benchmark: "paulin".into(),
-            power: true,
-            laxity: 1.4,
-            input_passes: 48,
-            seed: 1998,
-            max_passes: 3,
-            max_sequence: 5,
-            ranking_threads: 1,
-        };
-        let decoded: ShardSpec = decode_from_slice(&encode_to_vec(&spec)).unwrap();
-        assert_eq!(decoded, spec);
+        for explorer in ExplorerKind::all() {
+            let spec = ShardSpec {
+                benchmark: "paulin".into(),
+                power: true,
+                laxity: 1.4,
+                input_passes: 48,
+                seed: 1998,
+                max_passes: 3,
+                max_sequence: 5,
+                ranking_threads: 1,
+                explorer,
+            };
+            let decoded: ShardSpec = decode_from_slice(&encode_to_vec(&spec)).unwrap();
+            assert_eq!(decoded, spec);
+            assert_eq!(spec.config().engine.explorer, explorer);
+        }
     }
 
     #[test]
@@ -357,6 +375,7 @@ mod tests {
         let spec: ShardSpec = decode_from_slice(&jobs[2].payload).unwrap();
         assert!(spec.power);
         assert_eq!(spec.laxity, 1.0);
+        assert_eq!(spec.explorer, ExplorerKind::Greedy);
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Static audits of the search-policy layer, under the `verify` feature the
+//! bench crate turns on:
+//!
+//! - every member of a `ParetoSweep` front individually passes the
+//!   `impact_verify` design/schedule rules (not just the returned best),
+//! - `RestartExplorer`'s kick-and-revert machinery leaves a shared session
+//!   coherent: the run passes [`VerifyLevel::Full`]'s inline session audit,
+//!   and the session re-audits clean as data afterwards,
+//! - a sharded batch may mix strategies per job: workers honor each spec's
+//!   explorer and greedy jobs stay bit-identical to an in-process baseline.
+
+#![allow(clippy::unwrap_used)]
+
+use impact_bench::{prepare, run_batch, shard_jobs, SweepJob, SweepShardApp, DEFAULT_SEED};
+use impact_codec::{decode_from_slice, encode_to_vec};
+use impact_core::verify::audit_session;
+use impact_core::{
+    EngineConfig, Evaluator, ExplorerKind, Impact, SweepSession, SynthesisConfig, SynthesisReport,
+    VerifyLevel,
+};
+use impact_shard::ShardApp;
+
+fn config_with(laxity: f64, explorer: ExplorerKind) -> SynthesisConfig {
+    let config = SynthesisConfig::power_optimized(laxity).with_effort(2, 3);
+    let engine = EngineConfig::incremental()
+        .with_verify(VerifyLevel::Full)
+        .with_explorer(explorer);
+    config.with_engine(engine)
+}
+
+#[test]
+fn every_pareto_front_member_audits_clean() {
+    for bench in [impact_benchmarks::gcd(), impact_benchmarks::dealer()] {
+        let (cdfg, trace) = prepare(&bench, 8, DEFAULT_SEED);
+        for laxity in [1.0, 2.0] {
+            let config = config_with(laxity, ExplorerKind::Pareto);
+            let outcome = Impact::new(config.clone())
+                .synthesize(&cdfg, &trace)
+                .unwrap();
+            assert!(!outcome.front.is_empty(), "{}: empty front", bench.name);
+            let evaluator = Evaluator::new(&cdfg, &trace, config).unwrap();
+            for (index, member) in outcome.front.iter().enumerate() {
+                let violations = evaluator.audit_design_point(member);
+                assert!(
+                    violations.is_empty(),
+                    "{} laxity {laxity} front[{index}]: {violations:?}",
+                    bench.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn restart_kicks_leave_a_shared_session_coherent() {
+    let bench = impact_benchmarks::gcd();
+    let (cdfg, trace) = prepare(&bench, 8, DEFAULT_SEED);
+    let session = SweepSession::new();
+    for laxity in [1.0, 2.0] {
+        let explorer = ExplorerKind::Restart {
+            restarts: 3,
+            kicks: 2,
+            seed: 11,
+        };
+        // VerifyLevel::Full audits every evaluation inline *and* the whole
+        // session before the run returns — a kick whose revert left the
+        // working design or the cache inconsistent fails here.
+        let outcome = Impact::new(config_with(laxity, explorer))
+            .synthesize_with_session(&cdfg, &trace, &session)
+            .unwrap();
+        assert!(outcome.cache_stats.explore.restarts > 0);
+    }
+    let violations = audit_session(&session);
+    assert!(violations.is_empty(), "session audit found {violations:?}");
+}
+
+#[test]
+fn shard_workers_honor_mixed_strategy_job_lists() {
+    let bench = impact_benchmarks::gcd();
+    let (cdfg, trace) = prepare(&bench, 8, DEFAULT_SEED);
+
+    // Five jobs (base + two laxities x two modes), strategies assigned
+    // round-robin so all four explorers appear in one batch.
+    let mut jobs = shard_jobs(
+        &[impact_benchmarks::gcd()],
+        &[1.5, 2.0],
+        8,
+        DEFAULT_SEED,
+        (2, 3),
+        1,
+    );
+    let mixed = ExplorerKind::all();
+    for (job, &explorer) in jobs.iter_mut().zip(mixed.iter().cycle()) {
+        let mut spec: impact_bench::ShardSpec = decode_from_slice(&job.payload).unwrap();
+        spec.explorer = explorer;
+        job.payload = encode_to_vec(&spec);
+    }
+    let mut app = SweepShardApp::new();
+    let reports: Vec<SynthesisReport> = jobs
+        .iter()
+        .map(|job| decode_from_slice(&app.run(&job.payload)).unwrap())
+        .collect();
+
+    // Each worker result matches the in-process run of the same spec.
+    for (job, report) in jobs.iter().zip(&reports) {
+        let spec: impact_bench::ShardSpec = decode_from_slice(&job.payload).unwrap();
+        let baseline = run_batch(
+            &[SweepJob::new(
+                job.label.clone(),
+                &cdfg,
+                &trace,
+                spec.config(),
+            )],
+            None,
+            1,
+        );
+        assert_eq!(
+            &baseline[0].outcome.report,
+            report,
+            "{}: sharded {} diverged from in-process",
+            job.label,
+            spec.explorer.name()
+        );
+    }
+}

@@ -41,6 +41,7 @@ use impact_sched::{BlockSchedule, SchedulingResult};
 use impact_trace::{FuStats, RegStats};
 
 use crate::evaluate::DesignPoint;
+use crate::explore::ExploreStats;
 use crate::fingerprint::{
     BlockKey, ContextKey, FuStatsKey, MuxStatsKey, PointKey, RegStatsKey, ScaledKey, ScheduleKey,
 };
@@ -213,6 +214,10 @@ pub struct CacheStats {
     /// Cumulative merge counters over every `absorb` the backend performed
     /// (shard merges, snapshot loads, session `merge_from`).
     pub merge: AbsorbStats,
+    /// Cumulative search-effort counters over every synthesis run recorded
+    /// against the backend (probes, commits, reverts and the
+    /// strategy-specific work — see [`ExploreStats`]).
+    pub explore: ExploreStats,
 }
 
 impl CacheStats {
@@ -270,6 +275,12 @@ pub trait CacheBackend: Send + Sync + fmt::Debug {
     fn store_mux(&self, key: MuxStatsKey, value: MuxEntry);
     /// Snapshot of the effectiveness counters.
     fn stats(&self) -> CacheStats;
+    /// Accumulates one synthesis run's search-effort counters, so sessions
+    /// report explore work alongside the cache layers. Backends that don't
+    /// track them may keep the default no-op.
+    fn record_explore(&self, stats: ExploreStats) {
+        let _ = stats;
+    }
     /// Copies every entry out (counters are not part of the snapshot).
     fn export(&self) -> CacheSnapshot;
     /// Merges a snapshot into this backend and reports what happened to the
@@ -368,6 +379,7 @@ struct CacheInner {
     evictions: u64,
     snapshot: SnapshotStats,
     merge: AbsorbStats,
+    explore: ExploreStats,
 }
 
 /// Capacity bounds; a map whose bound a new entry would overflow is cleared
@@ -523,7 +535,12 @@ impl CacheBackend for InMemoryCache {
             scaled: inner.scaled_traffic,
             snapshot: inner.snapshot,
             merge: inner.merge,
+            explore: inner.explore,
         }
+    }
+
+    fn record_explore(&self, stats: ExploreStats) {
+        self.lock().explore.accumulate(stats);
     }
 
     fn export(&self) -> CacheSnapshot {

@@ -3,6 +3,8 @@
 use impact_modlib::DEFAULT_CLOCK_NS;
 use impact_power::PowerConfig;
 
+use crate::explore::ExplorerKind;
+
 /// What the iterative improvement minimizes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum OptimizationMode {
@@ -73,6 +75,11 @@ pub struct EngineConfig {
     /// Static invariant auditing of evaluator outputs (requires the
     /// `verify` cargo feature to have any effect).
     pub verify: VerifyLevel,
+    /// Search strategy run over the probe/commit kernel (see
+    /// [`ExplorerKind`]). The default, [`ExplorerKind::Greedy`], is the
+    /// paper's variable-depth descent and the oracle every other strategy
+    /// is pinned against.
+    pub explorer: ExplorerKind,
 }
 
 impl EngineConfig {
@@ -88,6 +95,7 @@ impl EngineConfig {
             schedule_memo: true,
             schedule_repair: true,
             verify: VerifyLevel::Off,
+            explorer: ExplorerKind::Greedy,
         }
     }
 
@@ -126,6 +134,7 @@ impl EngineConfig {
             schedule_memo: false,
             schedule_repair: false,
             verify: VerifyLevel::Off,
+            explorer: ExplorerKind::Greedy,
         }
     }
 
@@ -133,6 +142,15 @@ impl EngineConfig {
     /// requires the `verify` cargo feature to have any effect).
     pub fn with_verify(mut self, verify: VerifyLevel) -> Self {
         self.verify = verify;
+        self
+    }
+
+    /// Returns a copy running a different search strategy (see
+    /// [`ExplorerKind`]). Every strategy descends through the same
+    /// probe/commit kernel, so the greedy-no-worse invariant holds under any
+    /// choice.
+    pub fn with_explorer(mut self, explorer: ExplorerKind) -> Self {
+        self.explorer = explorer;
         self
     }
 
@@ -319,6 +337,9 @@ mod tests {
         let seq = EngineConfig::sequential();
         assert!(!seq.cache && !seq.parallel_ranking);
         assert!(!seq.delta_patching && !seq.schedule_memo && !seq.schedule_repair);
+        assert_eq!(seq.explorer, ExplorerKind::Greedy);
+        let beam = EngineConfig::incremental().with_explorer(ExplorerKind::Beam { width: 3 });
+        assert_eq!(beam.explorer, ExplorerKind::Beam { width: 3 });
         let c = SynthesisConfig::power_optimized(2.0).with_engine(seq);
         assert_eq!(c.engine, seq);
         assert_eq!(

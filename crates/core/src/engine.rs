@@ -1,17 +1,24 @@
 //! The IMPACT iterative-improvement engine (Figure 7 of the paper).
+//!
+//! The engine prepares the evaluator and the probe/commit
+//! [`SearchKernel`](crate::SearchKernel), dispatches to the configured
+//! [`Explorer`](crate::Explorer) strategy (see
+//! [`ExplorerKind`](crate::ExplorerKind) on [`EngineConfig`](crate::EngineConfig)),
+//! and assembles the report — the search policy itself lives in the
+//! `explore` module.
 
 use impact_behsim::ExecutionTrace;
-use impact_cdfg::analysis::ExclusionInfo;
 use impact_cdfg::Cdfg;
 use impact_power::PowerBreakdown;
 use impact_rtl::RtlDesign;
 use impact_sched::SchedulingResult;
 
 use crate::cache::CacheStats;
-use crate::config::{OptimizationMode, SynthesisConfig};
+use crate::config::SynthesisConfig;
 use crate::error::SynthesisError;
 use crate::evaluate::{DesignPoint, Evaluator};
-use crate::moves::{generate, Move};
+use crate::explore::SearchKernel;
+use crate::moves::Move;
 use crate::session::SweepSession;
 
 /// One committed move together with its (possibly negative) gain.
@@ -23,6 +30,10 @@ pub struct MoveRecord {
     pub gain: f64,
     /// Improvement pass during which it was committed.
     pub pass: usize,
+    /// Name of the explorer strategy that committed it (e.g. `"greedy"`,
+    /// `"beam"`, `"restart-kick"`), so mixed-strategy runs and audits can
+    /// attribute history entries.
+    pub strategy: &'static str,
 }
 
 /// Summary metrics of a finished synthesis run.
@@ -69,6 +80,10 @@ pub struct SynthesisOutcome {
     pub report: SynthesisReport,
     /// Committed moves in application order.
     pub history: Vec<MoveRecord>,
+    /// Non-dominated power/area/latency front of the probed design space.
+    /// Empty for single-point strategies; filled by
+    /// [`ParetoSweep`](crate::ParetoSweep).
+    pub front: Vec<DesignPoint>,
     /// Evaluation-cache counters of the session the run used (all zero for
     /// the sequential engine configuration; cumulative over every run of the
     /// session when synthesized with a shared [`SweepSession`]).
@@ -130,36 +145,23 @@ impl Impact {
         self.run_with(cdfg, evaluator)
     }
 
-    /// The Figure 7 improvement loop over a prepared evaluator.
+    /// Runs the configured explorer over a prepared evaluator: build the
+    /// probe/commit kernel, hand it (and the evaluated initial architecture)
+    /// to the strategy selected by `engine.explorer`, and assemble the
+    /// report from what the strategy returns.
     fn run_with(
         &self,
         cdfg: &Cdfg,
         evaluator: Evaluator<'_>,
     ) -> Result<SynthesisOutcome, SynthesisError> {
-        let exclusion = ExclusionInfo::compute(cdfg);
+        let mut kernel = SearchKernel::new(cdfg, &evaluator);
 
-        let initial = evaluator.initial_point()?;
+        let initial = kernel.initial_point()?;
         let initial_power_mw = initial.power_at_reference.total_mw();
         let initial_area = initial.area;
 
-        let mut current = initial;
-        let mut history: Vec<MoveRecord> = Vec::new();
-        let mut passes_run = 0usize;
-
-        for pass in 0..self.config.max_passes {
-            passes_run = pass + 1;
-            let committed = self.improvement_pass(
-                cdfg,
-                &evaluator,
-                &exclusion,
-                &mut current,
-                pass,
-                &mut history,
-            )?;
-            if !committed {
-                break;
-            }
-        }
+        let explorer = self.config.engine.explorer.build();
+        let exploration = explorer.explore(&mut kernel, initial)?;
 
         // At the full auditing level the whole session is checked for cache
         // coherence before the outcome is handed out.
@@ -168,6 +170,15 @@ impl Impact {
             evaluator.audit_session()?;
         }
 
+        // Explore counters ride the session backend like the cache layers,
+        // so sweep and shard drivers report cumulative numbers; sessionless
+        // runs carry their own counters directly.
+        let explore_stats = kernel.stats();
+        if let Some(session) = evaluator.session() {
+            session.backend().record_explore(explore_stats);
+        }
+
+        let current = exploration.best;
         let report = SynthesisReport {
             power_mw: current.power.total_mw(),
             power_at_reference_mw: current.power_at_reference.total_mw(),
@@ -180,185 +191,21 @@ impl Impact {
             laxity: self.config.laxity,
             initial_power_mw,
             initial_area,
-            moves_applied: history.len(),
-            passes: passes_run,
+            moves_applied: exploration.history.len(),
+            passes: exploration.passes,
         };
+        let mut cache_stats = evaluator.cache_stats();
+        if evaluator.session().is_none() {
+            cache_stats.explore = explore_stats;
+        }
         Ok(SynthesisOutcome {
             design: current.design,
             schedule: (*current.schedule).clone(),
             report,
-            history,
-            cache_stats: evaluator.cache_stats(),
+            history: exploration.history,
+            front: exploration.front,
+            cache_stats,
         })
-    }
-
-    /// One variable-depth pass. Returns `true` when at least one move was
-    /// committed.
-    fn improvement_pass(
-        &self,
-        cdfg: &Cdfg,
-        evaluator: &Evaluator<'_>,
-        exclusion: &ExclusionInfo,
-        current: &mut DesignPoint,
-        pass: usize,
-        history: &mut Vec<MoveRecord>,
-    ) -> Result<bool, SynthesisError> {
-        let mode = self.config.mode;
-        let mut working = current.clone();
-        let mut sequence: Vec<(Move, DesignPoint, f64)> = Vec::new();
-        let mut cumulative_gain = 0.0;
-        let mut best_gain = 0.0;
-        let mut best_prefix = 0usize;
-
-        for _ in 0..self.config.max_sequence_length {
-            let candidates = generate(
-                cdfg,
-                evaluator.library(),
-                &working.design,
-                &self.config,
-                exclusion,
-            );
-            if candidates.is_empty() {
-                break;
-            }
-
-            // Rank candidates with a cheap single-schedule evaluation at the
-            // reference supply, then fully evaluate (including Vdd scaling)
-            // in rank order until a candidate survives — a top-ranked
-            // candidate that turns out infeasible under full evaluation no
-            // longer discards the rest of the sequence. The working design
-            // is fingerprinted once per step; every candidate's digest and
-            // context are then patched from it through the move's delta.
-            let parent_fingerprint = evaluator
-                .session()
-                .is_some()
-                .then(|| working.design.fingerprint());
-            let ranked =
-                self.rank_candidates(evaluator, &working, &candidates, parent_fingerprint)?;
-            let advanced = first_feasible(&ranked, |index| -> Result<_, SynthesisError> {
-                Ok(evaluator
-                    .evaluate_move_shared(&working.design, parent_fingerprint, &candidates[index])?
-                    .map(|point| (*point).clone()))
-            })?;
-            let Some((index, full)) = advanced else { break };
-            let chosen = candidates[index].clone();
-
-            let gain = working.cost(mode) - full.cost(mode);
-            cumulative_gain += gain;
-            working = full.clone();
-            sequence.push((chosen, full, gain));
-            if cumulative_gain > best_gain + 1e-9 {
-                best_gain = cumulative_gain;
-                best_prefix = sequence.len();
-            }
-        }
-
-        if best_prefix == 0 {
-            return Ok(false);
-        }
-        // Commit the prefix with the best cumulative gain.
-        for (mv, _, gain) in sequence.iter().take(best_prefix) {
-            history.push(MoveRecord {
-                applied: mv.clone(),
-                gain: *gain,
-                pass,
-            });
-        }
-        *current = sequence[best_prefix - 1].1.clone();
-        Ok(true)
-    }
-
-    /// Scores every applicable candidate at the reference supply and returns
-    /// `(candidate index, gain)` pairs sorted best-first.
-    ///
-    /// The ordering is deterministic and independent of the thread count:
-    /// higher gain first, and among equal gains the earliest-generated
-    /// candidate wins (move generation orders candidates by preference, e.g.
-    /// mutually exclusive sharing pairs first, so the tie-break preserves that
-    /// intent — and matches the winner the historical first-strictly-greater
-    /// scan selected).
-    fn rank_candidates(
-        &self,
-        evaluator: &Evaluator<'_>,
-        working: &DesignPoint,
-        candidates: &[Move],
-        parent_fingerprint: Option<impact_rtl::DesignFingerprint>,
-    ) -> Result<Vec<(usize, f64)>, SynthesisError> {
-        let mode = self.config.mode;
-        let working_reference_cost = reference_cost(working, mode);
-        let score = |index: usize| -> Result<Option<f64>, SynthesisError> {
-            let Some(point) = evaluator.evaluate_move_at_vdd_shared(
-                &working.design,
-                parent_fingerprint,
-                &candidates[index],
-                impact_modlib::VDD_REFERENCE,
-            )?
-            else {
-                return Ok(None);
-            };
-            Ok(Some(
-                working_reference_cost - reference_cost(point.as_ref(), mode),
-            ))
-        };
-
-        let threads = self.ranking_threads(candidates.len());
-        let mut gains: Vec<Option<f64>> = vec![None; candidates.len()];
-        if threads <= 1 {
-            for (index, slot) in gains.iter_mut().enumerate() {
-                *slot = score(index)?;
-            }
-        } else {
-            // Scoped worker threads strided over the candidate set; results
-            // land in per-index slots, so scheduling order cannot influence
-            // the outcome.
-            type ScoredChunk = Result<Vec<(usize, Option<f64>)>, SynthesisError>;
-            let chunks: Vec<ScoredChunk> = std::thread::scope(|scope| {
-                let score = &score;
-                let handles: Vec<_> = (0..threads)
-                    .map(|offset| {
-                        scope.spawn(move || {
-                            (offset..candidates.len())
-                                .step_by(threads)
-                                .map(|index| Ok((index, score(index)?)))
-                                .collect()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|handle| handle.join().expect("ranking worker panicked"))
-                    .collect()
-            });
-            for chunk in chunks {
-                for (index, gain) in chunk? {
-                    gains[index] = gain;
-                }
-            }
-        }
-
-        let mut ranked: Vec<(usize, f64)> = gains
-            .into_iter()
-            .enumerate()
-            .filter_map(|(index, gain)| gain.map(|gain| (index, gain)))
-            .collect();
-        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        Ok(ranked)
-    }
-
-    /// Worker-thread count for one ranking stage.
-    fn ranking_threads(&self, candidate_count: usize) -> usize {
-        if !self.config.engine.parallel_ranking {
-            return 1;
-        }
-        let configured = self.config.engine.ranking_threads;
-        let available = if configured > 0 {
-            configured
-        } else {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        };
-        available.min(candidate_count).max(1)
     }
 }
 
@@ -409,29 +256,6 @@ impl Decode for SynthesisReport {
             passes: r.take_usize()?,
         })
     }
-}
-
-fn reference_cost(point: &DesignPoint, mode: OptimizationMode) -> f64 {
-    match mode {
-        OptimizationMode::Power => point.power_at_reference.total_mw(),
-        OptimizationMode::Area => point.area,
-    }
-}
-
-/// Walks a ranked candidate list and returns the first candidate that
-/// survives full evaluation, together with its design point. A top-ranked
-/// candidate whose full Vdd-scaled evaluation is infeasible no longer aborts
-/// the caller's sequence — lower-ranked feasible candidates get their turn.
-fn first_feasible<E>(
-    ranked: &[(usize, f64)],
-    mut evaluate: impl FnMut(usize) -> Result<Option<DesignPoint>, E>,
-) -> Result<Option<(usize, DesignPoint)>, E> {
-    for &(index, _) in ranked {
-        if let Some(point) = evaluate(index)? {
-            return Ok(Some((index, point)));
-        }
-    }
-    Ok(None)
 }
 
 #[cfg(test)]
@@ -505,8 +329,13 @@ mod tests {
         for record in &outcome.history {
             assert!(record.pass < outcome.report.passes);
             assert!(!record.applied.kind().is_empty());
+            assert_eq!(record.strategy, "greedy", "default explorer attribution");
         }
         assert_eq!(outcome.history.len(), outcome.report.moves_applied);
+        assert!(
+            outcome.front.is_empty(),
+            "single-point strategies return no front"
+        );
     }
 
     #[test]
@@ -526,44 +355,6 @@ mod tests {
             .unwrap();
         assert!(outcome.report.power_mw > 0.0);
         assert!(outcome.report.enc <= outcome.report.enc_limit + crate::evaluate::ENC_EPS);
-    }
-
-    #[test]
-    fn infeasible_top_candidate_falls_through_to_the_next_ranked_one() {
-        // Regression for the pass-abort bug: the engine used to `break` the
-        // whole sequence when the top-ranked candidate's full evaluation came
-        // back infeasible, discarding feasible lower-ranked candidates.
-        let (cdfg, trace) = setup(impact_benchmarks::gcd(), 8);
-        let evaluator = Evaluator::new(
-            &cdfg,
-            &trace,
-            SynthesisConfig::power_optimized(2.0).with_effort(1, 1),
-        )
-        .unwrap();
-        let template = evaluator.initial_point().unwrap();
-        let ranked = vec![(0usize, 3.0), (1, 2.0), (2, 1.0)];
-        let mut probed = Vec::new();
-        let result = first_feasible(&ranked, |index| -> Result<_, SynthesisError> {
-            probed.push(index);
-            // The best-gain candidate is infeasible under full evaluation.
-            Ok((index != 0).then(|| template.clone()))
-        })
-        .unwrap();
-        let (chosen, _) = result.expect("a lower-ranked feasible candidate is committed");
-        assert_eq!(chosen, 1, "the next-ranked candidate is chosen");
-        assert_eq!(probed, vec![0, 1], "ranking order is respected");
-        // When every candidate is infeasible the step (not the whole pass
-        // machinery) reports exhaustion.
-        let none = first_feasible(&ranked, |_| -> Result<_, SynthesisError> { Ok(None) }).unwrap();
-        assert!(none.is_none());
-        // Errors propagate immediately.
-        let err = first_feasible(
-            &ranked,
-            |_| -> Result<Option<DesignPoint>, SynthesisError> {
-                Err(SynthesisError::InfeasibleLaxity { laxity: 0.0 })
-            },
-        );
-        assert!(err.is_err());
     }
 
     #[test]

@@ -668,6 +668,37 @@ impl<'a> Evaluator<'a> {
         violations
     }
 
+    /// Full static audit of one evaluated design point, as data: design
+    /// legality, fingerprint recompute, mux-site consistency, and the
+    /// point's schedule against the scheduling problem rebuilt at the
+    /// point's supply — including this evaluator's ENC budget. The
+    /// Pareto-front gates of `search_bench` run every reported front member
+    /// through this. Pure and independent of
+    /// [`VerifyLevel`](crate::VerifyLevel), like [`Self::audit_outcome`].
+    #[cfg(feature = "verify")]
+    pub fn audit_design_point(&self, point: &DesignPoint) -> Vec<impact_verify::Violation> {
+        let design = &point.design;
+        let mut violations = impact_verify::verify_design(self.cdfg, design);
+        violations.extend(impact_verify::verify_fingerprint(
+            design,
+            design.fingerprint(),
+        ));
+        let context = self.context_for(design, design.fingerprint(), None);
+        violations.extend(impact_verify::verify_mux_sites(
+            self.cdfg,
+            design,
+            &context.sites,
+        ));
+        let factor = self.library.vdd().delay_factor(point.vdd);
+        let problem = self.problem_for(&context, factor);
+        violations.extend(impact_verify::verify_schedule(
+            &problem,
+            &point.schedule,
+            Some(self.enc_limit),
+        ));
+        violations
+    }
+
     /// This evaluator's ENC-budget filter: the read-time counterpart of the
     /// feasibility check the uncached path applies at computation time.
     fn within_budget(&self, point: Arc<DesignPoint>) -> Option<Arc<DesignPoint>> {

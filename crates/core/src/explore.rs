@@ -1,0 +1,1188 @@
+//! The search-policy layer: [`Explorer`] strategies over the probe/commit
+//! kernel.
+//!
+//! The paper's IMPACT loop is a greedy best-candidate-per-pass descent, and
+//! until this module existed that exact shape was hardwired into the engine.
+//! Delta evaluation and schedule repair made probing a candidate nearly free,
+//! so the search policy is now a first-class, swappable layer:
+//!
+//! * [`SearchKernel`] is the policy-free probe/commit kernel. It owns the
+//!   mechanics every strategy shares — candidate generation, the
+//!   fingerprint-once-per-step bookkeeping, cheap reference-supply ranking
+//!   with deterministic tie-breaks, the fall-through-on-infeasible walk of
+//!   the ranked list, and the [`ExploreStats`] counters.
+//! * [`Explorer`] is the policy: given the kernel and the initial design
+//!   point, decide which moves to probe, what to commit, and when to stop.
+//!
+//! Four explorers ship with the engine, selected through
+//! [`ExplorerKind`](crate::ExplorerKind) on
+//! [`EngineConfig`](crate::EngineConfig):
+//!
+//! * [`GreedyExplorer`] — the paper's variable-depth descent, bit-identical
+//!   to the pre-refactor engine. It is the oracle every other strategy is
+//!   pinned against: none may return a worse design at the same laxity.
+//! * [`BeamExplorer`] — keeps the top-k move sequences alive per step
+//!   instead of one; `k = 1` reduces exactly to greedy.
+//! * [`RestartExplorer`] — best-of-n greedy descents from seeded
+//!   perturbation kicks, with the kicks rolled back through the
+//!   transactional [`DesignDelta`](impact_rtl::DesignDelta) exact-revert
+//!   path.
+//! * [`ParetoSweep`] — a greedy descent that keeps every feasible probe and
+//!   returns the non-dominated power/area/latency front for the laxity
+//!   instead of a single point.
+//!
+//! All strategies run over the same [`Evaluator`] and therefore share one
+//! [`SweepSession`](crate::SweepSession) cache: exploring more of the move
+//! space amortizes the way sweeps and shard fleets already amortize
+//! evaluation.
+
+use impact_cdfg::analysis::ExclusionInfo;
+use impact_cdfg::Cdfg;
+use impact_codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+use impact_rtl::{DesignDelta, RtlDesign};
+use rand::prelude::*;
+
+use crate::config::{OptimizationMode, SynthesisConfig};
+use crate::engine::MoveRecord;
+use crate::error::SynthesisError;
+use crate::evaluate::{DesignPoint, Evaluator};
+use crate::moves::{generate, Move};
+
+/// Strict-improvement tolerance shared by every strategy's "keep the better
+/// design" comparisons; equal-cost candidates keep the incumbent, so ties
+/// never flap on floating-point noise.
+const GAIN_EPS: f64 = 1e-9;
+
+// ----------------------------------------------------------------- counters
+
+/// Search-effort counters of the explore layer, reported alongside the cache
+/// layers in [`CacheStats`](crate::CacheStats): how many candidates the
+/// strategy probed, what it committed, and the strategy-specific work (beam
+/// width realized, restarts taken, Pareto dominance outcomes).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ExploreStats {
+    /// Full (supply-search) candidate evaluations issued.
+    pub probes: u64,
+    /// Cheap reference-supply ranking evaluations issued.
+    pub rank_probes: u64,
+    /// Moves committed into a run's history (including moves committed by
+    /// descents a best-of-n strategy later discarded).
+    pub commits: u64,
+    /// Exact-revert rollbacks of applied deltas (restart kicks undone).
+    pub reverts: u64,
+    /// Widest beam actually realized (0 for non-beam strategies).
+    pub beam_width: u64,
+    /// Perturbation restarts taken.
+    pub restarts: u64,
+    /// Pareto-front members kept after dominance filtering.
+    pub pareto_kept: u64,
+    /// Collected points discarded as dominated (or metric-duplicates).
+    pub pareto_dominated: u64,
+}
+
+impl ExploreStats {
+    /// Accumulates another run's counters (sums, except `beam_width`, which
+    /// keeps the maximum realized).
+    pub fn accumulate(&mut self, other: ExploreStats) {
+        self.probes += other.probes;
+        self.rank_probes += other.rank_probes;
+        self.commits += other.commits;
+        self.reverts += other.reverts;
+        self.beam_width = self.beam_width.max(other.beam_width);
+        self.restarts += other.restarts;
+        self.pareto_kept += other.pareto_kept;
+        self.pareto_dominated += other.pareto_dominated;
+    }
+}
+
+// ------------------------------------------------------------ kind + codec
+
+/// Default beam width of [`ExplorerKind::Beam`] when none is given.
+pub const DEFAULT_BEAM_WIDTH: usize = 3;
+/// Default restart count of [`ExplorerKind::Restart`].
+pub const DEFAULT_RESTARTS: usize = 4;
+/// Default perturbation length (moves per kick) of
+/// [`ExplorerKind::Restart`].
+pub const DEFAULT_KICKS: usize = 2;
+/// Default kick seed of [`ExplorerKind::Restart`].
+pub const DEFAULT_RESTART_SEED: u64 = 1998;
+
+/// Which search strategy the engine runs — the policy knob of
+/// [`EngineConfig`](crate::EngineConfig). `Copy`/`Eq` like the rest of the
+/// engine configuration, and wire-encodable so shard fleets can carry a
+/// strategy per job.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ExplorerKind {
+    /// The paper's greedy variable-depth descent (the oracle).
+    #[default]
+    Greedy,
+    /// Top-`width` beam over ranked move sequences (`width = 1` ≡ greedy).
+    Beam {
+        /// Number of move sequences kept alive per step.
+        width: usize,
+    },
+    /// Best-of-n greedy descents from seeded perturbation kicks.
+    Restart {
+        /// Number of perturbation restarts after the base descent.
+        restarts: usize,
+        /// Moves per perturbation kick.
+        kicks: usize,
+        /// Seed of the kick generator.
+        seed: u64,
+    },
+    /// Greedy descent that returns the whole non-dominated
+    /// power/area/latency front of the probed space.
+    Pareto,
+}
+
+impl ExplorerKind {
+    /// Short stable name, used in reports, history attribution and CLIs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExplorerKind::Greedy => "greedy",
+            ExplorerKind::Beam { .. } => "beam",
+            ExplorerKind::Restart { .. } => "restart",
+            ExplorerKind::Pareto => "pareto",
+        }
+    }
+
+    /// The four kinds with their default parameters, in oracle-first order —
+    /// what `search_bench` sweeps.
+    pub fn all() -> [ExplorerKind; 4] {
+        [
+            ExplorerKind::Greedy,
+            ExplorerKind::Beam {
+                width: DEFAULT_BEAM_WIDTH,
+            },
+            ExplorerKind::Restart {
+                restarts: DEFAULT_RESTARTS,
+                kicks: DEFAULT_KICKS,
+                seed: DEFAULT_RESTART_SEED,
+            },
+            ExplorerKind::Pareto,
+        ]
+    }
+
+    /// Parses a CLI spelling: `greedy`, `beam`, `beam:K`, `restart`,
+    /// `restart:N`, `restart:N:K`, `restart:N:K:SEED`, `pareto`. Returns
+    /// `None` for anything else.
+    pub fn parse(spec: &str) -> Option<ExplorerKind> {
+        let mut parts = spec.split(':');
+        let head = parts.next()?;
+        let arg = |part: Option<&str>, default: usize| -> Option<usize> {
+            match part {
+                None => Some(default),
+                Some(text) => text.parse().ok(),
+            }
+        };
+        let kind = match head {
+            "greedy" => ExplorerKind::Greedy,
+            "beam" => ExplorerKind::Beam {
+                width: arg(parts.next(), DEFAULT_BEAM_WIDTH)?,
+            },
+            "restart" => ExplorerKind::Restart {
+                restarts: arg(parts.next(), DEFAULT_RESTARTS)?,
+                kicks: arg(parts.next(), DEFAULT_KICKS)?,
+                seed: match parts.next() {
+                    None => DEFAULT_RESTART_SEED,
+                    Some(text) => text.parse().ok()?,
+                },
+            },
+            "pareto" => ExplorerKind::Pareto,
+            _ => return None,
+        };
+        parts.next().is_none().then_some(kind)
+    }
+
+    /// Instantiates the strategy.
+    pub(crate) fn build(self) -> Box<dyn Explorer> {
+        match self {
+            ExplorerKind::Greedy => Box::new(GreedyExplorer),
+            ExplorerKind::Beam { width } => Box::new(BeamExplorer { width }),
+            ExplorerKind::Restart {
+                restarts,
+                kicks,
+                seed,
+            } => Box::new(RestartExplorer {
+                restarts,
+                kicks,
+                seed,
+            }),
+            ExplorerKind::Pareto => Box::new(ParetoSweep),
+        }
+    }
+}
+
+/// Version tag of [`ExplorerKind`]'s wire layout (shard job protocol).
+const TAG_EXPLORER_KIND: u8 = 0x5E;
+
+const KIND_GREEDY: u8 = 0;
+const KIND_BEAM: u8 = 1;
+const KIND_RESTART: u8 = 2;
+const KIND_PARETO: u8 = 3;
+
+impl Encode for ExplorerKind {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_tag(TAG_EXPLORER_KIND);
+        match self {
+            ExplorerKind::Greedy => w.put_u8(KIND_GREEDY),
+            ExplorerKind::Beam { width } => {
+                w.put_u8(KIND_BEAM);
+                w.put_usize(*width);
+            }
+            ExplorerKind::Restart {
+                restarts,
+                kicks,
+                seed,
+            } => {
+                w.put_u8(KIND_RESTART);
+                w.put_usize(*restarts);
+                w.put_usize(*kicks);
+                w.put_u64(*seed);
+            }
+            ExplorerKind::Pareto => w.put_u8(KIND_PARETO),
+        }
+    }
+}
+
+impl Decode for ExplorerKind {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(TAG_EXPLORER_KIND)?;
+        match r.take_u8()? {
+            KIND_GREEDY => Ok(ExplorerKind::Greedy),
+            KIND_BEAM => Ok(ExplorerKind::Beam {
+                width: r.take_usize()?,
+            }),
+            KIND_RESTART => Ok(ExplorerKind::Restart {
+                restarts: r.take_usize()?,
+                kicks: r.take_usize()?,
+                seed: r.take_u64()?,
+            }),
+            KIND_PARETO => Ok(ExplorerKind::Pareto),
+            _ => Err(DecodeError::Invalid("unknown explorer kind")),
+        }
+    }
+}
+
+// ------------------------------------------------------------------ kernel
+
+/// A ranked candidate that survived full evaluation: the move, the resulting
+/// design point, and its gain relative to the working design it was probed
+/// from.
+#[derive(Clone, Debug)]
+pub struct RankedCandidate {
+    /// The move.
+    pub mv: Move,
+    /// Fully evaluated (supply-scaled) result of applying it.
+    pub point: DesignPoint,
+    /// Cost reduction versus the working design, in the units of the
+    /// optimization mode (negative for uphill moves).
+    pub gain: f64,
+}
+
+/// The policy-free probe/commit kernel every [`Explorer`] runs on.
+///
+/// It bundles what used to be hardwired into the engine's improvement pass:
+/// candidate generation over the working design, the working design's
+/// fingerprint hashed once per step (candidates are then delta-patched from
+/// it), the cheap reference-supply ranking stage with its deterministic
+/// tie-break, and the fall-through walk that fully evaluates candidates in
+/// rank order until enough survive. The kernel also accumulates the
+/// [`ExploreStats`] the engine reports.
+pub struct SearchKernel<'e, 'a> {
+    cdfg: &'e Cdfg,
+    evaluator: &'e Evaluator<'a>,
+    exclusion: ExclusionInfo,
+    stats: ExploreStats,
+    /// When set, every feasible full probe (and the initial point) is kept
+    /// for post-hoc dominance filtering — the Pareto strategy's collector.
+    collected: Option<Vec<DesignPoint>>,
+}
+
+impl<'e, 'a> SearchKernel<'e, 'a> {
+    /// Builds a kernel over a prepared evaluator.
+    pub fn new(cdfg: &'e Cdfg, evaluator: &'e Evaluator<'a>) -> Self {
+        Self {
+            cdfg,
+            evaluator,
+            exclusion: ExclusionInfo::compute(cdfg),
+            stats: ExploreStats::default(),
+            collected: None,
+        }
+    }
+
+    /// The CDFG under synthesis.
+    pub fn cdfg(&self) -> &Cdfg {
+        self.cdfg
+    }
+
+    /// The evaluator the kernel probes through.
+    pub fn evaluator(&self) -> &Evaluator<'a> {
+        self.evaluator
+    }
+
+    /// The run's configuration.
+    pub fn config(&self) -> &SynthesisConfig {
+        self.evaluator.config()
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> ExploreStats {
+        self.stats
+    }
+
+    /// The fully evaluated initial (fully parallel) architecture.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler failures.
+    pub fn initial_point(&mut self) -> Result<DesignPoint, SynthesisError> {
+        let point = self.evaluator.initial_point()?;
+        self.collect(&point);
+        Ok(point)
+    }
+
+    /// Candidate moves applicable to `design`, in generation (preference)
+    /// order.
+    pub fn candidates(&self, design: &RtlDesign) -> Vec<Move> {
+        generate(
+            self.cdfg,
+            self.evaluator.library(),
+            design,
+            self.config(),
+            &self.exclusion,
+        )
+    }
+
+    /// One ranked search step: generates the candidates of `working`, ranks
+    /// them with the cheap reference-supply evaluation, then fully evaluates
+    /// in rank order — falling through infeasible candidates — until up to
+    /// `width` survive. Returns the survivors in rank order; an empty vector
+    /// means the step is exhausted (no candidates, or none feasible).
+    ///
+    /// `width = 1` is exactly the classic greedy step: probe the ranked list
+    /// until the first feasible candidate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler failures.
+    pub fn ranked_step(
+        &mut self,
+        working: &DesignPoint,
+        width: usize,
+    ) -> Result<Vec<RankedCandidate>, SynthesisError> {
+        let candidates = self.candidates(&working.design);
+        if candidates.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        // Fingerprint the working design once per step; every candidate's
+        // digest and context are then patched from it through the move's
+        // delta.
+        let parent_fingerprint = self
+            .evaluator
+            .session()
+            .is_some()
+            .then(|| working.design.fingerprint());
+        let ranked = self.rank_candidates(working, &candidates, parent_fingerprint)?;
+        self.stats.rank_probes += candidates.len() as u64;
+
+        let mode = self.config().mode;
+        let mut chosen: Vec<RankedCandidate> = Vec::new();
+        let mut rest: &[(usize, f64)] = &ranked;
+        while chosen.len() < width && !rest.is_empty() {
+            let mut probed = 0u64;
+            let advanced = first_feasible(rest, |index| -> Result<_, SynthesisError> {
+                probed += 1;
+                Ok(self
+                    .evaluator
+                    .evaluate_move_shared(&working.design, parent_fingerprint, &candidates[index])?
+                    .map(|point| (*point).clone()))
+            })?;
+            self.stats.probes += probed;
+            let Some((index, point)) = advanced else {
+                break;
+            };
+            let position = rest
+                .iter()
+                .position(|&(i, _)| i == index)
+                .expect("first_feasible returns an index from the ranked slice");
+            rest = &rest[position + 1..];
+            self.collect(&point);
+            chosen.push(RankedCandidate {
+                mv: candidates[index].clone(),
+                gain: working.cost(mode) - point.cost(mode),
+                point,
+            });
+        }
+        Ok(chosen)
+    }
+
+    /// Fully evaluates one specific move against `working` (the restart
+    /// strategy's kick probe). Returns `None` when the move is inapplicable
+    /// or infeasible under the ENC budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler failures.
+    pub fn probe_move(
+        &mut self,
+        working: &DesignPoint,
+        mv: &Move,
+    ) -> Result<Option<DesignPoint>, SynthesisError> {
+        let parent_fingerprint = self
+            .evaluator
+            .session()
+            .is_some()
+            .then(|| working.design.fingerprint());
+        self.stats.probes += 1;
+        let point = self
+            .evaluator
+            .evaluate_move_shared(&working.design, parent_fingerprint, mv)?
+            .map(|point| (*point).clone());
+        if let Some(point) = &point {
+            self.collect(point);
+        }
+        Ok(point)
+    }
+
+    /// Scores every applicable candidate at the reference supply and returns
+    /// `(candidate index, gain)` pairs sorted best-first.
+    ///
+    /// The ordering is deterministic and independent of the thread count:
+    /// higher gain first, and among equal gains the earliest-generated
+    /// candidate wins (move generation orders candidates by preference, e.g.
+    /// mutually exclusive sharing pairs first, so the tie-break preserves
+    /// that intent — and matches the winner the historical
+    /// first-strictly-greater scan selected).
+    fn rank_candidates(
+        &self,
+        working: &DesignPoint,
+        candidates: &[Move],
+        parent_fingerprint: Option<impact_rtl::DesignFingerprint>,
+    ) -> Result<Vec<(usize, f64)>, SynthesisError> {
+        let mode = self.config().mode;
+        let evaluator = self.evaluator;
+        let working_reference_cost = reference_cost(working, mode);
+        let score = |index: usize| -> Result<Option<f64>, SynthesisError> {
+            let Some(point) = evaluator.evaluate_move_at_vdd_shared(
+                &working.design,
+                parent_fingerprint,
+                &candidates[index],
+                impact_modlib::VDD_REFERENCE,
+            )?
+            else {
+                return Ok(None);
+            };
+            Ok(Some(
+                working_reference_cost - reference_cost(point.as_ref(), mode),
+            ))
+        };
+
+        let threads = self.ranking_threads(candidates.len());
+        let mut gains: Vec<Option<f64>> = vec![None; candidates.len()];
+        if threads <= 1 {
+            for (index, slot) in gains.iter_mut().enumerate() {
+                *slot = score(index)?;
+            }
+        } else {
+            // Scoped worker threads strided over the candidate set; results
+            // land in per-index slots, so scheduling order cannot influence
+            // the outcome.
+            type ScoredChunk = Result<Vec<(usize, Option<f64>)>, SynthesisError>;
+            let chunks: Vec<ScoredChunk> = std::thread::scope(|scope| {
+                let score = &score;
+                let handles: Vec<_> = (0..threads)
+                    .map(|offset| {
+                        scope.spawn(move || {
+                            (offset..candidates.len())
+                                .step_by(threads)
+                                .map(|index| Ok((index, score(index)?)))
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("ranking worker panicked"))
+                    .collect()
+            });
+            for chunk in chunks {
+                for (index, gain) in chunk? {
+                    gains[index] = gain;
+                }
+            }
+        }
+
+        let mut ranked: Vec<(usize, f64)> = gains
+            .into_iter()
+            .enumerate()
+            .filter_map(|(index, gain)| gain.map(|gain| (index, gain)))
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        Ok(ranked)
+    }
+
+    /// Worker-thread count for one ranking stage.
+    fn ranking_threads(&self, candidate_count: usize) -> usize {
+        let engine = &self.config().engine;
+        if !engine.parallel_ranking {
+            return 1;
+        }
+        let available = if engine.ranking_threads > 0 {
+            engine.ranking_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        };
+        available.min(candidate_count).max(1)
+    }
+
+    /// Starts collecting feasible probes (the Pareto strategy's sweep).
+    fn begin_collection(&mut self) {
+        self.collected = Some(Vec::new());
+    }
+
+    /// Drains the collected points.
+    fn take_collected(&mut self) -> Vec<DesignPoint> {
+        self.collected.take().unwrap_or_default()
+    }
+
+    fn collect(&mut self, point: &DesignPoint) {
+        if let Some(collected) = &mut self.collected {
+            collected.push(point.clone());
+        }
+    }
+
+    fn note_commits(&mut self, count: usize) {
+        self.stats.commits += count as u64;
+    }
+
+    fn note_revert(&mut self) {
+        self.stats.reverts += 1;
+    }
+
+    fn note_beam_width(&mut self, width: usize) {
+        self.stats.beam_width = self.stats.beam_width.max(width as u64);
+    }
+
+    fn note_restart(&mut self) {
+        self.stats.restarts += 1;
+    }
+}
+
+fn reference_cost(point: &DesignPoint, mode: OptimizationMode) -> f64 {
+    match mode {
+        OptimizationMode::Power => point.power_at_reference.total_mw(),
+        OptimizationMode::Area => point.area,
+    }
+}
+
+/// Walks a ranked candidate list and returns the first candidate that
+/// survives full evaluation, together with its design point. A top-ranked
+/// candidate whose full Vdd-scaled evaluation is infeasible no longer aborts
+/// the caller's sequence — lower-ranked feasible candidates get their turn.
+pub(crate) fn first_feasible<E>(
+    ranked: &[(usize, f64)],
+    mut evaluate: impl FnMut(usize) -> Result<Option<DesignPoint>, E>,
+) -> Result<Option<(usize, DesignPoint)>, E> {
+    for &(index, _) in ranked {
+        if let Some(point) = evaluate(index)? {
+            return Ok(Some((index, point)));
+        }
+    }
+    Ok(None)
+}
+
+// ------------------------------------------------------------------- trait
+
+/// Result of one [`Explorer::explore`] run.
+#[derive(Clone, Debug)]
+pub struct Exploration {
+    /// The best design point found (what the engine reports).
+    pub best: DesignPoint,
+    /// Committed moves leading to `best`, in application order.
+    pub history: Vec<MoveRecord>,
+    /// Improvement passes executed (of the descent that produced `best`).
+    pub passes: usize,
+    /// Non-dominated power/area/latency front of the probed space. Empty
+    /// for single-point strategies; [`ParetoSweep`] fills it.
+    pub front: Vec<DesignPoint>,
+}
+
+/// A search strategy over the probe/commit kernel: given the kernel (which
+/// wraps the [`Evaluator`] and the candidate generator) and the evaluated
+/// initial design, decide which moves to probe, what to commit, and when to
+/// stop.
+///
+/// Contract every implementation must honor (property-tested against
+/// [`GreedyExplorer`], the oracle): the returned `best` is feasible under
+/// the run's ENC budget and its cost is never worse than what the greedy
+/// descent reaches from the same initial point.
+pub trait Explorer {
+    /// Short stable name, recorded into each committed move's
+    /// [`MoveRecord::strategy`].
+    fn name(&self) -> &'static str;
+
+    /// Runs the strategy to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler failures surfaced by the kernel's probes.
+    fn explore(
+        &self,
+        kernel: &mut SearchKernel<'_, '_>,
+        initial: DesignPoint,
+    ) -> Result<Exploration, SynthesisError>;
+}
+
+// ---------------------------------------------------------- greedy descent
+
+/// One variable-depth improvement pass of the classic descent (Figure 7 of
+/// the paper): build a sequence of locally best moves, then commit the
+/// prefix with the best cumulative gain. Returns `true` when at least one
+/// move was committed.
+fn greedy_pass(
+    kernel: &mut SearchKernel<'_, '_>,
+    current: &mut DesignPoint,
+    pass: usize,
+    strategy: &'static str,
+    history: &mut Vec<MoveRecord>,
+) -> Result<bool, SynthesisError> {
+    let max_sequence_length = kernel.config().max_sequence_length;
+    let mut working = current.clone();
+    let mut sequence: Vec<(Move, DesignPoint, f64)> = Vec::new();
+    let mut cumulative_gain = 0.0;
+    let mut best_gain = 0.0;
+    let mut best_prefix = 0usize;
+
+    for _ in 0..max_sequence_length {
+        let mut step = kernel.ranked_step(&working, 1)?;
+        let Some(chosen) = step.pop() else { break };
+        cumulative_gain += chosen.gain;
+        working = chosen.point.clone();
+        sequence.push((chosen.mv, chosen.point, chosen.gain));
+        if cumulative_gain > best_gain + GAIN_EPS {
+            best_gain = cumulative_gain;
+            best_prefix = sequence.len();
+        }
+    }
+
+    if best_prefix == 0 {
+        return Ok(false);
+    }
+    // Commit the prefix with the best cumulative gain.
+    kernel.note_commits(best_prefix);
+    for (mv, _, gain) in sequence.iter().take(best_prefix) {
+        history.push(MoveRecord {
+            applied: mv.clone(),
+            gain: *gain,
+            pass,
+            strategy,
+        });
+    }
+    *current = sequence[best_prefix - 1].1.clone();
+    Ok(true)
+}
+
+/// The full classic descent: improvement passes until one commits nothing
+/// (or the pass limit). Shared by the greedy, restart and Pareto strategies
+/// so the point they all descend to is computed by one code path.
+fn greedy_descent(
+    kernel: &mut SearchKernel<'_, '_>,
+    start: DesignPoint,
+    strategy: &'static str,
+) -> Result<Exploration, SynthesisError> {
+    let max_passes = kernel.config().max_passes;
+    let mut current = start;
+    let mut history: Vec<MoveRecord> = Vec::new();
+    let mut passes = 0usize;
+    for pass in 0..max_passes {
+        passes = pass + 1;
+        if !greedy_pass(kernel, &mut current, pass, strategy, &mut history)? {
+            break;
+        }
+    }
+    Ok(Exploration {
+        best: current,
+        history,
+        passes,
+        front: Vec::new(),
+    })
+}
+
+// --------------------------------------------------------------- explorers
+
+/// The paper's greedy variable-depth descent — the oracle strategy,
+/// bit-identical to the engine before the search-policy layer existed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GreedyExplorer;
+
+impl Explorer for GreedyExplorer {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn explore(
+        &self,
+        kernel: &mut SearchKernel<'_, '_>,
+        initial: DesignPoint,
+    ) -> Result<Exploration, SynthesisError> {
+        greedy_descent(kernel, initial, "greedy")
+    }
+}
+
+/// Beam search over move sequences: each step expands every live sequence
+/// by its top-`width` feasible candidates and keeps the best `width`
+/// children overall, with deterministic tie-breaks (cumulative gain, then
+/// parent beam position, then candidate rank). The best prefix seen across
+/// the whole beam is committed per pass — with `width = 1` this is exactly
+/// the greedy pass.
+#[derive(Clone, Copy, Debug)]
+pub struct BeamExplorer {
+    /// Number of move sequences kept alive per step (minimum 1).
+    pub width: usize,
+}
+
+/// One live sequence of a beam pass.
+struct BeamNode {
+    seq: Vec<(Move, DesignPoint, f64)>,
+    cumulative_gain: f64,
+}
+
+impl BeamExplorer {
+    fn beam_pass(
+        &self,
+        kernel: &mut SearchKernel<'_, '_>,
+        current: &mut DesignPoint,
+        pass: usize,
+        history: &mut Vec<MoveRecord>,
+    ) -> Result<bool, SynthesisError> {
+        let width = self.width.max(1);
+        let max_sequence_length = kernel.config().max_sequence_length;
+        let root = current.clone();
+        let mut beam = vec![BeamNode {
+            seq: Vec::new(),
+            cumulative_gain: 0.0,
+        }];
+        let mut best_gain = 0.0;
+        let mut best_seq: Vec<(Move, DesignPoint, f64)> = Vec::new();
+
+        for _ in 0..max_sequence_length {
+            // Expand every live sequence by its top-`width` feasible
+            // candidates; (parent position, candidate rank) ride along as
+            // the deterministic tie-break.
+            let mut children: Vec<(usize, usize, BeamNode)> = Vec::new();
+            for (parent, node) in beam.iter().enumerate() {
+                let working = node.seq.last().map_or(&root, |(_, point, _)| point).clone();
+                let expansions = kernel.ranked_step(&working, width)?;
+                for (rank, candidate) in expansions.into_iter().enumerate() {
+                    let mut seq = node.seq.clone();
+                    let child_gain = node.cumulative_gain + candidate.gain;
+                    seq.push((candidate.mv, candidate.point, candidate.gain));
+                    children.push((
+                        parent,
+                        rank,
+                        BeamNode {
+                            seq,
+                            cumulative_gain: child_gain,
+                        },
+                    ));
+                }
+            }
+            if children.is_empty() {
+                break;
+            }
+            children.sort_by(|a, b| {
+                b.2.cumulative_gain
+                    .total_cmp(&a.2.cumulative_gain)
+                    .then(a.0.cmp(&b.0))
+                    .then(a.1.cmp(&b.1))
+            });
+            children.truncate(width);
+            kernel.note_beam_width(children.len());
+            // First-strictly-greater in sorted order, so ties keep the
+            // earlier (better-ranked) sequence — with width 1 this is the
+            // greedy pass's best-prefix update.
+            for (_, _, node) in &children {
+                if node.cumulative_gain > best_gain + GAIN_EPS {
+                    best_gain = node.cumulative_gain;
+                    best_seq = node.seq.clone();
+                }
+            }
+            beam = children.into_iter().map(|(_, _, node)| node).collect();
+        }
+
+        if best_seq.is_empty() {
+            return Ok(false);
+        }
+        kernel.note_commits(best_seq.len());
+        for (mv, _, gain) in &best_seq {
+            history.push(MoveRecord {
+                applied: mv.clone(),
+                gain: *gain,
+                pass,
+                strategy: "beam",
+            });
+        }
+        *current = best_seq[best_seq.len() - 1].1.clone();
+        Ok(true)
+    }
+}
+
+impl Explorer for BeamExplorer {
+    fn name(&self) -> &'static str {
+        "beam"
+    }
+
+    fn explore(
+        &self,
+        kernel: &mut SearchKernel<'_, '_>,
+        initial: DesignPoint,
+    ) -> Result<Exploration, SynthesisError> {
+        let mut current = initial;
+        let mut history: Vec<MoveRecord> = Vec::new();
+        let mut passes = 0usize;
+        for pass in 0..kernel.config().max_passes {
+            passes = pass + 1;
+            if !self.beam_pass(kernel, &mut current, pass, &mut history)? {
+                break;
+            }
+        }
+        Ok(Exploration {
+            best: current,
+            history,
+            passes,
+            front: Vec::new(),
+        })
+    }
+}
+
+/// Best-of-n restarts: run the unperturbed greedy descent first (so the
+/// result is never worse than greedy's), then repeatedly kick the incumbent
+/// with a few seeded random feasible moves and descend again, keeping the
+/// strictly best outcome. Kicks are applied to a scratch design through
+/// [`Move::apply`] and rolled back delta by delta through the transactional
+/// exact-revert path, so the incumbent is never mutated.
+#[derive(Clone, Copy, Debug)]
+pub struct RestartExplorer {
+    /// Perturbation restarts after the base descent.
+    pub restarts: usize,
+    /// Moves per perturbation kick.
+    pub kicks: usize,
+    /// Seed of the kick generator (compat `rand` SplitMix64).
+    pub seed: u64,
+}
+
+/// Random-candidate draws attempted per kick move before giving up on the
+/// kick step (an infeasible draw is retried with the next random index).
+const KICK_ATTEMPTS: usize = 8;
+
+impl RestartExplorer {
+    /// Perturbs `from` by up to `self.kicks` random feasible moves. Returns
+    /// the kicked design point and the kick's history records, or `None`
+    /// when no feasible perturbation was found. The scratch design the kick
+    /// mutates is rolled back through [`RtlDesign::revert_delta`] before
+    /// returning, which (debug-)asserts the exact pre-kick state is
+    /// restored.
+    fn kick(
+        &self,
+        kernel: &mut SearchKernel<'_, '_>,
+        from: &DesignPoint,
+        rng: &mut StdRng,
+    ) -> Result<Option<(DesignPoint, Vec<MoveRecord>)>, SynthesisError> {
+        let mode = kernel.config().mode;
+        let mut scratch = from.design.clone();
+        let before = scratch.fingerprint();
+        let mut deltas: Vec<DesignDelta> = Vec::new();
+        let mut records: Vec<MoveRecord> = Vec::new();
+        let mut point = from.clone();
+
+        for _ in 0..self.kicks {
+            let candidates = kernel.candidates(&scratch);
+            if candidates.is_empty() {
+                break;
+            }
+            let mut advanced = None;
+            for _ in 0..KICK_ATTEMPTS {
+                let pick = rng.random_range(0..candidates.len());
+                if let Some(next) = kernel.probe_move(&point, &candidates[pick])? {
+                    advanced = Some((candidates[pick].clone(), next));
+                    break;
+                }
+            }
+            let Some((mv, next)) = advanced else { break };
+            let Ok(delta) = mv.apply(kernel.cdfg(), kernel.evaluator().library(), &mut scratch)
+            else {
+                break;
+            };
+            deltas.push(delta);
+            records.push(MoveRecord {
+                applied: mv,
+                gain: point.cost(mode) - next.cost(mode),
+                pass: 0,
+                strategy: "restart-kick",
+            });
+            point = next;
+        }
+
+        // Roll the scratch design back move by move — the transactional
+        // exact-revert path the deltas exist for.
+        for delta in deltas.iter().rev() {
+            scratch.revert_delta(delta);
+            kernel.note_revert();
+        }
+        debug_assert_eq!(
+            scratch.fingerprint(),
+            before,
+            "reverting a kick must restore the exact pre-kick design"
+        );
+
+        if records.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some((point, records)))
+    }
+}
+
+impl Explorer for RestartExplorer {
+    fn name(&self) -> &'static str {
+        "restart"
+    }
+
+    fn explore(
+        &self,
+        kernel: &mut SearchKernel<'_, '_>,
+        initial: DesignPoint,
+    ) -> Result<Exploration, SynthesisError> {
+        let mode = kernel.config().mode;
+        // Run 0 is the unperturbed descent: the restart strategy can only
+        // ever improve on the greedy result.
+        let mut best = greedy_descent(kernel, initial, "restart")?;
+        if kernel.config().max_passes == 0 || self.kicks == 0 {
+            return Ok(best);
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for _ in 0..self.restarts {
+            kernel.note_restart();
+            let Some((kicked, kick_records)) = self.kick(kernel, &best.best, &mut rng)? else {
+                continue;
+            };
+            let descent = greedy_descent(kernel, kicked, "restart")?;
+            if descent.best.cost(mode) < best.best.cost(mode) - GAIN_EPS {
+                // The winning restart's history is the kick that escaped the
+                // basin plus the descent that followed it.
+                kernel.note_commits(kick_records.len());
+                let mut history = kick_records;
+                history.extend(descent.history);
+                best = Exploration {
+                    best: descent.best,
+                    history,
+                    passes: descent.passes,
+                    front: Vec::new(),
+                };
+            }
+        }
+        Ok(best)
+    }
+}
+
+/// Greedy descent with a sweep collector: every feasible fully evaluated
+/// probe (and the initial point) is kept, and the non-dominated
+/// power/area/latency front is returned alongside the greedy best point.
+/// The reported design is bit-identical to [`GreedyExplorer`]'s; the front
+/// is the extra product.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParetoSweep;
+
+impl Explorer for ParetoSweep {
+    fn name(&self) -> &'static str {
+        "pareto"
+    }
+
+    fn explore(
+        &self,
+        kernel: &mut SearchKernel<'_, '_>,
+        initial: DesignPoint,
+    ) -> Result<Exploration, SynthesisError> {
+        kernel.begin_collection();
+        kernel.collect(&initial);
+        let mut exploration = greedy_descent(kernel, initial, "pareto")?;
+        let collected = kernel.take_collected();
+        let (front, dominated) = pareto_front(collected);
+        kernel.stats.pareto_kept += front.len() as u64;
+        kernel.stats.pareto_dominated += dominated;
+        exploration.front = front;
+        Ok(exploration)
+    }
+}
+
+/// Whether `a` dominates `b` on the (power, area, ENC) objectives: no worse
+/// on all three and strictly better on at least one.
+fn dominates(a: &DesignPoint, b: &DesignPoint) -> bool {
+    let a_metrics = [a.power.total_mw(), a.area, a.enc()];
+    let b_metrics = [b.power.total_mw(), b.area, b.enc()];
+    let no_worse = a_metrics.iter().zip(&b_metrics).all(|(x, y)| x <= y);
+    let strictly_better = a_metrics.iter().zip(&b_metrics).any(|(x, y)| x < y);
+    no_worse && strictly_better
+}
+
+/// Dominance-filters a set of design points on (power, area, ENC). Returns
+/// the non-dominated front in deterministic order (power ascending, then
+/// area, then ENC) and the number of points discarded as dominated or as
+/// metric-duplicates.
+pub fn pareto_front(mut points: Vec<DesignPoint>) -> (Vec<DesignPoint>, u64) {
+    let offered = points.len();
+    points.sort_by(|a, b| {
+        a.power
+            .total_mw()
+            .total_cmp(&b.power.total_mw())
+            .then(a.area.total_cmp(&b.area))
+            .then(a.enc().total_cmp(&b.enc()))
+            .then(a.vdd.total_cmp(&b.vdd))
+    });
+    // Points with identical objectives are interchangeable for the front;
+    // keep the first (lowest supply after the sort above).
+    points.dedup_by(|a, b| {
+        a.power.total_mw() == b.power.total_mw() && a.area == b.area && a.enc() == b.enc()
+    });
+    let front: Vec<DesignPoint> = points
+        .iter()
+        .filter(|p| !points.iter().any(|q| dominates(q, p)))
+        .cloned()
+        .collect();
+    let dominated = (offered - front.len()) as u64;
+    (front, dominated)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use impact_codec::{decode_from_slice, encode_to_vec};
+
+    #[test]
+    fn explorer_kind_parses_cli_spellings() {
+        assert_eq!(ExplorerKind::parse("greedy"), Some(ExplorerKind::Greedy));
+        assert_eq!(
+            ExplorerKind::parse("beam"),
+            Some(ExplorerKind::Beam {
+                width: DEFAULT_BEAM_WIDTH
+            })
+        );
+        assert_eq!(
+            ExplorerKind::parse("beam:7"),
+            Some(ExplorerKind::Beam { width: 7 })
+        );
+        assert_eq!(
+            ExplorerKind::parse("restart:5:3:42"),
+            Some(ExplorerKind::Restart {
+                restarts: 5,
+                kicks: 3,
+                seed: 42
+            })
+        );
+        assert_eq!(
+            ExplorerKind::parse("restart"),
+            Some(ExplorerKind::Restart {
+                restarts: DEFAULT_RESTARTS,
+                kicks: DEFAULT_KICKS,
+                seed: DEFAULT_RESTART_SEED
+            })
+        );
+        assert_eq!(ExplorerKind::parse("pareto"), Some(ExplorerKind::Pareto));
+        assert_eq!(ExplorerKind::parse("beam:x"), None);
+        assert_eq!(ExplorerKind::parse("annealing"), None);
+        assert_eq!(ExplorerKind::parse("greedy:1"), None);
+    }
+
+    #[test]
+    fn explorer_kind_round_trips_through_the_codec() {
+        for kind in ExplorerKind::all() {
+            let decoded: ExplorerKind = decode_from_slice(&encode_to_vec(&kind)).unwrap();
+            assert_eq!(decoded, kind);
+        }
+        let custom = ExplorerKind::Restart {
+            restarts: 9,
+            kicks: 4,
+            seed: 0xDEAD_BEEF,
+        };
+        let decoded: ExplorerKind = decode_from_slice(&encode_to_vec(&custom)).unwrap();
+        assert_eq!(decoded, custom);
+    }
+
+    #[test]
+    fn explore_stats_accumulate_sums_and_maxes() {
+        let mut a = ExploreStats {
+            probes: 10,
+            rank_probes: 100,
+            commits: 3,
+            reverts: 1,
+            beam_width: 2,
+            restarts: 1,
+            pareto_kept: 4,
+            pareto_dominated: 6,
+        };
+        let b = ExploreStats {
+            probes: 5,
+            rank_probes: 50,
+            commits: 2,
+            reverts: 2,
+            beam_width: 4,
+            restarts: 3,
+            pareto_kept: 1,
+            pareto_dominated: 2,
+        };
+        a.accumulate(b);
+        assert_eq!(a.probes, 15);
+        assert_eq!(a.rank_probes, 150);
+        assert_eq!(a.commits, 5);
+        assert_eq!(a.reverts, 3);
+        assert_eq!(a.beam_width, 4, "beam width keeps the maximum realized");
+        assert_eq!(a.restarts, 4);
+        assert_eq!(a.pareto_kept, 5);
+        assert_eq!(a.pareto_dominated, 8);
+    }
+
+    #[test]
+    fn infeasible_top_candidate_falls_through_to_the_next_ranked_one() {
+        // Regression for the pass-abort bug: the engine used to `break` the
+        // whole sequence when the top-ranked candidate's full evaluation came
+        // back infeasible, discarding feasible lower-ranked candidates.
+        let bench = impact_benchmarks::gcd();
+        let cdfg = bench.compile().unwrap();
+        let trace = impact_behsim::simulate(&cdfg, &bench.input_sequences(8, 17)).unwrap();
+        let evaluator = Evaluator::new(
+            &cdfg,
+            &trace,
+            SynthesisConfig::power_optimized(2.0).with_effort(1, 1),
+        )
+        .unwrap();
+        let template = evaluator.initial_point().unwrap();
+        let ranked = vec![(0usize, 3.0), (1, 2.0), (2, 1.0)];
+        let mut probed = Vec::new();
+        let result = first_feasible(&ranked, |index| -> Result<_, SynthesisError> {
+            probed.push(index);
+            // The best-gain candidate is infeasible under full evaluation.
+            Ok((index != 0).then(|| template.clone()))
+        })
+        .unwrap();
+        let (chosen, _) = result.expect("a lower-ranked feasible candidate is committed");
+        assert_eq!(chosen, 1, "the next-ranked candidate is chosen");
+        assert_eq!(probed, vec![0, 1], "ranking order is respected");
+        // When every candidate is infeasible the step (not the whole pass
+        // machinery) reports exhaustion.
+        let none = first_feasible(&ranked, |_| -> Result<_, SynthesisError> { Ok(None) }).unwrap();
+        assert!(none.is_none());
+        // Errors propagate immediately.
+        let err = first_feasible(
+            &ranked,
+            |_| -> Result<Option<DesignPoint>, SynthesisError> {
+                Err(SynthesisError::InfeasibleLaxity { laxity: 0.0 })
+            },
+        );
+        assert!(err.is_err());
+    }
+}

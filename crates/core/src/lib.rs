@@ -39,6 +39,7 @@ mod config;
 mod engine;
 mod error;
 mod evaluate;
+mod explore;
 mod fingerprint;
 mod moves;
 mod session;
@@ -54,6 +55,11 @@ pub use config::{EngineConfig, OptimizationMode, SynthesisConfig, VerifyLevel};
 pub use engine::{Impact, MoveRecord, SynthesisOutcome, SynthesisReport};
 pub use error::SynthesisError;
 pub use evaluate::{DesignPoint, Evaluator};
+pub use explore::{
+    pareto_front, BeamExplorer, Exploration, ExploreStats, Explorer, ExplorerKind, GreedyExplorer,
+    ParetoSweep, RankedCandidate, RestartExplorer, SearchKernel, DEFAULT_BEAM_WIDTH, DEFAULT_KICKS,
+    DEFAULT_RESTARTS, DEFAULT_RESTART_SEED,
+};
 pub use fingerprint::{
     BlockKey, ContextKey, FuStatsKey, MuxStatsKey, PointKey, RegStatsKey, ScaledKey, ScheduleKey,
     WorkloadId,

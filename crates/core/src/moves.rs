@@ -74,16 +74,33 @@ impl Move {
         library: &ModuleLibrary,
         design: &mut RtlDesign,
     ) -> Result<DesignDelta, RtlError> {
-        match self {
-            Move::RestructureMux { sink } => Ok(design.set_restructured_delta(*sink, true)),
+        let mut delta = match self {
+            Move::RestructureMux { sink } => design.set_restructured_delta(*sink, true),
             Move::SubstituteModule { fu, module } => {
-                design.substitute_module(library, *fu, *module)
+                design.substitute_module(library, *fu, *module)?
             }
-            Move::ShareFus { keep, remove } => design.share_fus(*keep, *remove),
-            Move::SplitFu { fu, op } => design.split_fu(cdfg, *fu, &[*op]),
-            Move::ShareRegisters { keep, remove } => design.share_registers(*keep, *remove),
-            Move::SplitRegister { reg, var } => design.split_register(cdfg, *reg, &[*var]),
+            Move::ShareFus { keep, remove } => design.share_fus(*keep, *remove)?,
+            Move::SplitFu { fu, op } => design.split_fu(cdfg, *fu, &[*op])?,
+            Move::ShareRegisters { keep, remove } => design.share_registers(*keep, *remove)?,
+            Move::SplitRegister { reg, var } => design.split_register(cdfg, *reg, &[*var])?,
+        };
+        // Rebinding operations or variables can collapse a multi-source mux
+        // site into a single-source one (e.g. sharing the two units that fed
+        // a register input), stranding a restructuring annotation on a sink
+        // that no longer is a mux site. Sweep those into the delta so the
+        // invariant `annotated => multi-source` holds after *any* move
+        // composition, not just the sequences the greedy search happens to
+        // pick — and so a revert restores them exactly.
+        if matches!(
+            self,
+            Move::ShareFus { .. }
+                | Move::SplitFu { .. }
+                | Move::ShareRegisters { .. }
+                | Move::SplitRegister { .. }
+        ) {
+            clear_stale_annotations(cdfg, design, &mut delta);
         }
+        Ok(delta)
     }
 
     /// Short human-readable description for reports and logs.
@@ -109,6 +126,30 @@ impl fmt::Display for Move {
             Move::ShareRegisters { keep, remove } => write!(f, "share {remove} into {keep}"),
             Move::SplitRegister { reg, var } => write!(f, "split {var} off {reg}"),
         }
+    }
+}
+
+/// Clears restructuring annotations stranded on sinks that stopped being
+/// multi-source mux sites, folding the clears into `delta` so reverting it
+/// restores them. Cheap when the design carries no annotations (the common
+/// case while probing): the site enumeration only runs when one exists.
+fn clear_stale_annotations(cdfg: &Cdfg, design: &mut RtlDesign, delta: &mut DesignDelta) {
+    if design.restructured_sites().next().is_none() {
+        return;
+    }
+    let real: std::collections::HashSet<MuxSink> = design
+        .mux_sites(cdfg)
+        .into_iter()
+        .filter(|site| site.fan_in() >= 2)
+        .map(|site| site.sink)
+        .collect();
+    let stale: Vec<MuxSink> = design
+        .restructured_sites()
+        .filter(|sink| !real.contains(sink))
+        .collect();
+    for sink in stale {
+        let cleared = design.set_restructured_delta(sink, false);
+        delta.restructured.extend(cleared.restructured);
     }
 }
 

@@ -525,6 +525,9 @@ impl CacheBackend for DiskCache {
     fn stats(&self) -> CacheStats {
         self.inner.stats()
     }
+    fn record_explore(&self, stats: crate::ExploreStats) {
+        self.inner.record_explore(stats);
+    }
     fn export(&self) -> CacheSnapshot {
         self.inner.export()
     }
